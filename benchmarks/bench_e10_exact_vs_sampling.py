@@ -1,0 +1,133 @@
+"""E10 — ablation: exact Shannon expansion vs FPTRAS, and the crossover.
+
+The exact engine (Shannon expansion with memoisation and component
+factoring) is excellent while the grounded DNF is small or loosely
+connected, and #P-hard in general; the FPTRAS costs
+O(m^2 log(1/delta)/eps^2) regardless of the formula's internal
+structure.  Two workloads expose both regimes:
+
+* **chains** — clauses overlapping in one variable: a single connected
+  component, but the conditioning cascade keeps the exact recursion
+  shallow, so *exact wins* at every size (a finding worth recording:
+  connectivity alone does not defeat Shannon expansion);
+* **dense overlap** — random 4DNF with clauses/variables = 3.2: the
+  memoisation stops helping and exact time explodes around ~25
+  variables, while Karp-Luby's grows quadratically at worst — the
+  crossover the `reliability_additive` API exists for.
+"""
+
+import pytest
+
+from fractions import Fraction
+
+from repro.propositional.counting import probability_exact
+from repro.propositional.formula import DNF, Clause, Literal
+from repro.propositional.karp_luby import karp_luby
+from repro.util.rng import make_rng
+from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+CHAIN_LENGTHS = (8, 32, 128)
+DENSE_SIZES = (15, 20, 25)  # variables; clauses = 3.2 * variables
+
+
+def _chained_dnf(length, width=4):
+    """Clauses overlapping in one variable: a single connected component."""
+    clauses = []
+    for index in range(length):
+        variables = [f"v{index * (width - 1) + j}" for j in range(width)]
+        clauses.append(Clause(Literal(v, True) for v in variables))
+    dnf = DNF(clauses)
+    probs = {v: Fraction(1, 3) for v in dnf.variables}
+    return dnf, probs
+
+
+def _dense_dnf(variables):
+    rng = make_rng(variables)
+    dnf = random_kdnf(
+        rng, variables=variables, clauses=int(variables * 3.2), width=4
+    )
+    probs = random_probabilities(rng, dnf)
+    return dnf, probs
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_e10_exact_engine_on_chains(benchmark, length):
+    dnf, probs = _chained_dnf(length)
+    value = benchmark.pedantic(
+        lambda: probability_exact(dnf, probs),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert 0 < value < 1
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_e10_fptras_on_chains(benchmark, length):
+    dnf, probs = _chained_dnf(length)
+    rng = make_rng(length)
+    run = benchmark.pedantic(
+        lambda: karp_luby(dnf, probs, 0.2, 0.2, rng),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert 0 < run.estimate < 1
+
+
+@pytest.mark.parametrize("variables", DENSE_SIZES)
+def test_e10_exact_engine_on_dense_overlap(benchmark, variables):
+    dnf, probs = _dense_dnf(variables)
+    value = benchmark.pedantic(
+        lambda: probability_exact(dnf, probs),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert 0 < value <= 1
+
+
+@pytest.mark.parametrize("variables", DENSE_SIZES)
+def test_e10_fptras_on_dense_overlap(benchmark, variables):
+    dnf, probs = _dense_dnf(variables)
+    rng = make_rng(variables)
+    run = benchmark.pedantic(
+        lambda: karp_luby(dnf, probs, 0.2, 0.2, rng),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert 0 < run.estimate <= 1
+
+
+def test_e10_engines_agree_where_both_feasible(benchmark):
+    dnf, probs = _dense_dnf(15)
+    exact = float(probability_exact(dnf, probs))
+    rng = make_rng(1)
+    run = benchmark.pedantic(
+        lambda: karp_luby(dnf, probs, 0.05, 0.05, rng),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert abs(run.estimate - exact) / exact <= 0.1
+
+
+@pytest.mark.parametrize("variables", DENSE_SIZES[:2])
+def test_e10_bdd_engine_on_dense_overlap(benchmark, variables):
+    """Knowledge compilation (ROBDD) as a third engine on the same data.
+
+    BDD size is order-sensitive and can blow up where Shannon expansion
+    with components does not (and vice versa) — compiled once, it then
+    answers probability *and* all influences in linear passes.
+    """
+    from repro.propositional.bdd import probability_via_bdd
+
+    dnf, probs = _dense_dnf(variables)
+    value = benchmark.pedantic(
+        lambda: probability_via_bdd(dnf, probs),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert value == probability_exact(dnf, probs)

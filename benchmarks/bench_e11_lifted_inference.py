@@ -1,0 +1,77 @@
+"""E11 — extension: lifted (safe-plan) inference vs grounded exact.
+
+Proposition 3.2 says conjunctive reliability is #P-hard *somewhere*; the
+hierarchical/safe fragment is where it is not.  This ablation measures
+the gap on the safe query ``exists x y. R(x) & S(x, y) & T(x)``:
+
+* the lifted engine's cost grows polynomially in the universe size,
+* the grounded-DNF Shannon engine handles the same instances but as a
+  model counter (its cost is formula-structure dependent),
+* both agree exactly on every row (asserted).
+
+The unsafe pattern ``R(x), S(x, y), T(y)`` is also run through the
+grounded engine to show what the lifted engine refuses — the refusal is
+asserted.
+"""
+
+import pytest
+
+from repro.logic.conjunctive import ConjunctiveQuery
+from repro.reliability.exact import truth_probability
+from repro.reliability.lifted import (
+    UnsafeQueryError,
+    lifted_probability,
+)
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+SAFE = ConjunctiveQuery.from_text("exists x y. R(x) & S(x, y) & T(x)")
+UNSAFE = ConjunctiveQuery.from_text("exists x y. R(x) & S(x, y) & T(y)")
+
+SIZES = (4, 8, 16, 24)
+
+
+def _database(size):
+    return random_unreliable_database(
+        make_rng(size),
+        size=size,
+        relations={"R": 1, "S": 2, "T": 1},
+        density=0.3,
+        error="1/6",
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e11_lifted_scaling(benchmark, size):
+    db = _database(size)
+    value = benchmark(lambda: lifted_probability(db, SAFE))
+    assert 0 <= value <= 1
+
+
+@pytest.mark.parametrize("size", SIZES[:3])
+def test_e11_grounded_exact_on_same_instances(benchmark, size):
+    db = _database(size)
+    value = benchmark.pedantic(
+        lambda: truth_probability(db, SAFE.to_formula(), method="dnf"),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert value == lifted_probability(db, SAFE)
+
+
+def test_e11_unsafe_query_refused(benchmark):
+    db = _database(4)
+
+    def attempt():
+        try:
+            lifted_probability(db, UNSAFE)
+            return False
+        except UnsafeQueryError:
+            return True
+
+    refused = benchmark(attempt)
+    assert refused
+    # The grounded engine still answers it (the #P-hard route).
+    value = truth_probability(db, UNSAFE.to_formula(), method="dnf")
+    assert 0 <= value <= 1

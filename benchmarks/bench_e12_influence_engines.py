@@ -1,0 +1,85 @@
+"""E12 — extension ablation: influence computation, conditioning vs BDD.
+
+The conditioning engine computes each atom's Birnbaum influence with two
+Shannon-expansion probability calls (``2u`` counter calls for ``u``
+atoms); the ROBDD engine compiles once and reads *all* influences off
+two linear passes.  This benchmark measures the gap as the number of
+uncertain atoms grows, and a companion test pins exact agreement.
+
+Also benchmarked: the verification planner built on top (greedy exact
+lookahead), since its inner loop is exactly these influence-style
+computations — the practical payoff of the faster engine.
+"""
+
+import pytest
+
+from repro.logic.evaluator import FOQuery
+from repro.reliability.influence import atom_influence
+from repro.reliability.repair import greedy_verification_plan
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+SIZES = (3, 4, 5)
+SENTENCE = "exists x y. E(x, y) & S(x) & S(y)"
+
+
+def _database(size):
+    return random_unreliable_database(
+        make_rng(size),
+        size=size,
+        relations={"E": 2, "S": 1},
+        density=0.4,
+        error_choices=["1/6", "1/4"],
+        uncertain_fraction=1.0,
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e12_conditioning_engine(benchmark, size):
+    db = _database(size)
+    influences = benchmark.pedantic(
+        lambda: atom_influence(db, SENTENCE, engine="conditioning"),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert influences
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e12_bdd_engine(benchmark, size):
+    db = _database(size)
+    influences = benchmark.pedantic(
+        lambda: atom_influence(db, SENTENCE, engine="bdd"),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert influences
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e12_engines_agree(benchmark, size):
+    db = _database(size)
+
+    def both():
+        return (
+            atom_influence(db, SENTENCE, engine="conditioning"),
+            atom_influence(db, SENTENCE, engine="bdd"),
+        )
+
+    conditioning, bdd = benchmark.pedantic(
+        both, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert conditioning == bdd
+
+
+def test_e12_verification_planner(benchmark):
+    db = _database(4)
+    plan = benchmark.pedantic(
+        lambda: greedy_verification_plan(db, SENTENCE, budget=3),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert all(gain > 0 for _atom, gain in plan)

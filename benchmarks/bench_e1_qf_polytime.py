@@ -1,0 +1,50 @@
+"""E1 — Proposition 3.1: quantifier-free reliability is polynomial time.
+
+Series: exact reliability of a fixed binary QF query on random databases
+of growing size.  The paper's claim is a *shape*: time grows polynomially
+in the universe size (here O(n^2) tuples, constant work per tuple), in
+contrast to E2's exponential blowup for conjunctive queries.
+
+Read the benchmark table top-to-bottom: doubling n should roughly
+quadruple the time, never square it into the exponent.
+"""
+
+import pytest
+
+from repro.logic.evaluator import FOQuery
+from repro.reliability.exact import reliability
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+QUERY = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+
+SIZES = (4, 8, 16, 32)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e1_qf_reliability_scaling(benchmark, size):
+    db = random_unreliable_database(
+        make_rng(size),
+        size=size,
+        relations={"E": 2, "S": 1},
+        density=0.3,
+        error="1/16",
+    )
+    # Far beyond world enumeration (2^(n^2+n) worlds), yet exact:
+    assert len(db.uncertain_atoms()) == size * size + size
+
+    result = benchmark(lambda: reliability(db, QUERY, method="qf"))
+    assert 0 < result <= 1
+
+
+def test_e1_per_tuple_cost_is_constant(benchmark):
+    """The inner loop of Prop 3.1 touches <= n(psi) atoms regardless of n."""
+    from repro.reliability.exact import qf_tuple_wrong_probability
+
+    db = random_unreliable_database(
+        make_rng(99), size=24, relations={"E": 2, "S": 1}, error="1/16"
+    )
+    result = benchmark(
+        lambda: qf_tuple_wrong_probability(db, QUERY, (3, 17))
+    )
+    assert 0 <= result <= 1

@@ -1,0 +1,51 @@
+"""E2 — Proposition 3.2: conjunctive-query reliability is #P-hard.
+
+Series: exact expected error of the fixed conjunctive query
+``exists x y z. L(x,y) & R(x,z) & S(y) & S(z)`` on the Prop 3.2 encoding
+of random monotone 2-CNFs with a growing number of variables.  The
+correctness identity ``H_psi * 2^m == #SAT`` is asserted on every row.
+
+Shape to read off: exact time grows exponentially in m (the engine is
+doing model counting), while E4 shows the FPTRAS flat-lining on the same
+instances — together they are the paper's hardness/approximability
+dichotomy.
+"""
+
+import pytest
+
+from repro.reductions.monotone2sat import (
+    count_satisfying_assignments,
+    sat_count_via_expected_error,
+)
+from repro.util.rng import make_rng
+from repro.workloads.random_cnf import random_monotone_2cnf
+
+VARIABLES = (6, 9, 12, 15)
+
+
+@pytest.mark.parametrize("variables", VARIABLES)
+def test_e2_exact_expected_error_scaling(benchmark, variables):
+    formula = random_monotone_2cnf(
+        make_rng(variables), variables=variables, clauses=variables
+    )
+    expected = count_satisfying_assignments(formula)
+
+    result = benchmark.pedantic(
+        lambda: sat_count_via_expected_error(formula),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result == expected
+
+
+def test_e2_bruteforce_baseline(benchmark):
+    """The direct #SAT oracle at the largest size, for comparison."""
+    formula = random_monotone_2cnf(make_rng(15), variables=15, clauses=15)
+    count = benchmark.pedantic(
+        lambda: count_satisfying_assignments(formula),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert count >= 1

@@ -1,0 +1,93 @@
+"""E3 — Theorem 4.2: the exact FP^#P algorithm, run literally.
+
+The benchmark walks the theorem's computation tree: enumerate the worlds
+of Omega(D), split each into nu(B)*g integer branches (granularity g),
+evaluate the query at each leaf.  Asserted invariants on every row:
+
+* nu(B) * g is integral for every world (the splitting is well defined);
+* the scaled counts sum to g (the tree partitions the probability mass);
+* the resulting probability equals the grounded-DNF engine's answer.
+
+The series over the number of uncertain atoms shows the expected 2^u
+growth — the algorithm is an oracle machine, not an efficient one, which
+is the point of the FP^#P classification.  A second-order query
+(3-colourability) exercises the beyond-PTIME branch of the proof.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.so import three_colourability
+from repro.relational.atoms import Atom
+from repro.reliability.exact import truth_probability
+from repro.reliability.space import scaled_world_counts, world_granularity
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_structure
+
+UNCERTAIN_COUNTS = (4, 8, 12)
+QUERY = FOQuery("exists x y. E(x, y) & S(y)")
+
+
+def _database(uncertain):
+    rng = make_rng(uncertain)
+    structure = random_structure(rng, 4, {"E": 2, "S": 1}, density=0.4)
+    atoms = sorted(structure.atoms(), key=repr)
+    chosen = rng.sample(atoms, uncertain)
+    mu = {atom: Fraction(1, rng.choice([3, 4, 5])) for atom in chosen}
+    return UnreliableDatabase(structure, mu)
+
+
+@pytest.mark.parametrize("uncertain", UNCERTAIN_COUNTS)
+def test_e3_theorem_42_tree_walk(benchmark, uncertain):
+    db = _database(uncertain)
+    g = world_granularity(db)
+
+    def run():
+        accepted = 0
+        total = 0
+        for world, count in scaled_world_counts(db):
+            total += count
+            if QUERY.evaluate(world, ()):
+                accepted += count
+        return accepted, total
+
+    accepted, total = benchmark(run)
+    assert total == g
+    assert Fraction(accepted, g) == truth_probability(db, QUERY, method="dnf")
+
+
+def test_e3_second_order_leaf_evaluation(benchmark):
+    """PH-hard query at the leaves: non-3-colourability of small worlds."""
+    from repro.relational.builder import graph_structure
+
+    structure = graph_structure(
+        [0, 1, 2, 3],
+        [(0, 1), (1, 2), (2, 3), (3, 0)],
+        symmetric=True,
+    )
+    db = UnreliableDatabase(
+        structure,
+        {
+            Atom("E", (0, 2)): Fraction(1, 3),
+            Atom("E", (2, 0)): Fraction(1, 3),
+            Atom("E", (1, 3)): Fraction(1, 2),
+            Atom("E", (3, 1)): Fraction(1, 2),
+        },
+    )
+    query = three_colourability()
+
+    def run():
+        g = world_granularity(db)
+        accepted = sum(
+            count
+            for world, count in scaled_world_counts(db)
+            if query.evaluate(world, ())
+        )
+        return Fraction(accepted, g)
+
+    probability = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert 0 <= probability <= 1
+    assert probability == truth_probability(db, query, method="worlds")

@@ -1,0 +1,92 @@
+"""E4 — Theorem 5.3: the FPTRAS for Prob-kDNF.
+
+Two series:
+
+* runtime vs 1/epsilon at fixed formula size — fully polynomial means
+  the sample count (and time) grows as 1/eps^2, not with the model count;
+* runtime vs formula size at fixed epsilon — linear-ish in clauses.
+
+Each run asserts the relative-error guarantee against the exact engine.
+A third benchmark runs the paper's literal bit-vector reduction pipeline
+(Prob-kDNF -> #DNF -> Karp-Luby), and a comparison of the two Karp-Luby
+estimator variants (ablation from DESIGN.md section 5).
+"""
+
+import pytest
+
+from repro.propositional.bitvector import probability_via_bitvector
+from repro.propositional.counting import probability_exact
+from repro.propositional.karp_luby import karp_luby, sample_count
+from repro.util.rng import make_rng
+from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+EPSILONS = (0.2, 0.1, 0.05)
+CLAUSE_COUNTS = (8, 16, 32)
+
+
+def _instance(seed, variables=12, clauses=8, width=3):
+    rng = make_rng(seed)
+    dnf = random_kdnf(rng, variables=variables, clauses=clauses, width=width)
+    probs = random_probabilities(rng, dnf)
+    return dnf, probs
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_e4_sample_cost_scales_inverse_quadratically(benchmark, epsilon):
+    dnf, probs = _instance(1)
+    exact = float(probability_exact(dnf, probs))
+    rng = make_rng(2)
+
+    run = benchmark(
+        lambda: karp_luby(dnf, probs, epsilon, 0.05, rng, method="coverage")
+    )
+    assert run.samples == sample_count(len(dnf.clauses), epsilon, 0.05)
+    assert abs(run.estimate - exact) <= 2 * epsilon * exact
+
+
+@pytest.mark.parametrize("clauses", CLAUSE_COUNTS)
+def test_e4_cost_vs_formula_size(benchmark, clauses):
+    dnf, probs = _instance(clauses, variables=24, clauses=clauses, width=3)
+    rng = make_rng(3)
+    run = benchmark(lambda: karp_luby(dnf, probs, 0.2, 0.2, rng))
+    assert 0 <= run.estimate <= 1
+
+
+@pytest.mark.parametrize("method", ("coverage", "canonical"))
+def test_e4_estimator_variant_ablation(benchmark, method):
+    dnf, probs = _instance(7)
+    exact = float(probability_exact(dnf, probs))
+    rng = make_rng(4)
+    run = benchmark(lambda: karp_luby(dnf, probs, 0.1, 0.05, rng, method))
+    assert abs(run.estimate - exact) <= 0.2 * exact
+
+
+def test_e4_bitvector_reduction_pipeline(benchmark):
+    """The paper's literal Theorem 5.3 construction, counted exactly."""
+    dnf, probs = _instance(9, variables=5, clauses=4, width=2)
+    via_reduction = benchmark(lambda: probability_via_bitvector(dnf, probs))
+    assert via_reduction == probability_exact(dnf, probs)
+
+
+def test_e4_stopping_rule_ablation(benchmark):
+    """DKLR adaptive stopping rule vs the fixed Karp-Luby budget.
+
+    On a fat union (high target probability) the adaptive rule stops
+    long before the fixed m-scaled budget while keeping the same
+    relative guarantee.
+    """
+    from repro.propositional.stopping_rule import karp_luby_stopping_rule
+
+    rng = make_rng(21)
+    dnf = random_kdnf(rng, variables=10, clauses=40, width=2)
+    from fractions import Fraction
+
+    probs = {v: Fraction(1, 2) for v in dnf.variables}
+    exact = float(probability_exact(dnf, probs))
+
+    run = benchmark(
+        lambda: karp_luby_stopping_rule(dnf, probs, 0.1, 0.05, make_rng(22))
+    )
+    assert abs(run.estimate - exact) / exact <= 0.1
+    fixed = sample_count(len(dnf.clauses), 0.1, 0.05)
+    assert run.samples < fixed  # the adaptive rule must win here

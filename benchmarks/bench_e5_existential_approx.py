@@ -1,0 +1,78 @@
+"""E5 — Theorem 5.4 + Corollary 5.5: additive reliability approximation.
+
+Series over database size for a fixed conjunctive query: the estimator's
+cost is polynomial in n (grounding produces O(n^2) clauses; Karp-Luby is
+polynomial in that), where exact computation is #P-hard in general.
+Every row asserts |estimate - exact| <= epsilon against the exact engine
+(feasible at these sizes; the estimator is the one that keeps scaling).
+
+The second series sweeps epsilon at fixed size — additive accuracy is
+bought at 1/eps^2 samples, matching the corollary's budget.
+
+The grounding-simplification ablation (DESIGN.md section 5) is reported
+as the clause count before/after deterministic-atom folding.
+"""
+
+import pytest
+
+from repro.logic.evaluator import FOQuery
+from repro.reliability.approx import reliability_additive
+from repro.reliability.exact import reliability
+from repro.reliability.grounding import ground_existential_to_dnf
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+QUERY = FOQuery("exists x y. E(x, y) & S(x) & S(y)")
+SIZES = (4, 6, 8)
+EPSILONS = (0.2, 0.1, 0.05)
+
+
+def _database(size, uncertain_fraction=1.0):
+    return random_unreliable_database(
+        make_rng(size),
+        size=size,
+        relations={"E": 2, "S": 1},
+        density=0.3,
+        error_choices=["1/8", "1/5"],
+        uncertain_fraction=uncertain_fraction,
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e5_additive_estimate_vs_database_size(benchmark, size):
+    db = _database(size)
+    exact = float(reliability(db, QUERY))
+    rng = make_rng(1000 + size)
+
+    estimate = benchmark.pedantic(
+        lambda: reliability_additive(db, QUERY, 0.1, 0.1, rng),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert abs(estimate.value - exact) <= 0.1
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_e5_cost_vs_epsilon(benchmark, epsilon):
+    db = _database(6)
+    exact = float(reliability(db, QUERY))
+    rng = make_rng(2000)
+    estimate = benchmark.pedantic(
+        lambda: reliability_additive(db, QUERY, epsilon, 0.1, rng),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert abs(estimate.value - exact) <= epsilon
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e5_grounding_folding_ablation(benchmark, size):
+    """Folding deterministic atoms shrinks the grounded DNF drastically."""
+    db = _database(size, uncertain_fraction=0.25)
+    result = benchmark(lambda: ground_existential_to_dnf(db, QUERY.formula))
+    kept = len(result.dnf)
+    raw = result.clauses_before_folding
+    assert raw == size * size  # one clause per (x, y) valuation
+    assert kept < raw  # folding must have removed certainly-false clauses

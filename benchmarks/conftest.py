@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*`` file regenerates one experiment from DESIGN.md's
+index.  The pytest-benchmark table is the experiment's "figure": the
+parametrised test names carry the sweep variable, so the timing column
+read top to bottom is the scaling series the paper's claim predicts.
+Correctness assertions inside each benchmark keep the numbers honest —
+a benchmark that silently computed the wrong value would be meaningless.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def rng():
+    return make_rng(20260706)

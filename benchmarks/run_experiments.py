@@ -1,0 +1,374 @@
+#!/usr/bin/env python
+"""Standalone experiment harness: regenerate every table in EXPERIMENTS.md.
+
+``pytest benchmarks/ --benchmark-only`` gives per-operation timings with
+statistical rigor; this script complements it by printing the
+*shape-level* tables the reproduction is judged on — who wins, by what
+factor, where the crossovers fall — in one run.
+
+Usage::
+
+    python benchmarks/run_experiments.py           # all experiments
+    python benchmarks/run_experiments.py E2 E9     # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from fractions import Fraction
+
+from repro.logic.conjunctive import hardness_query
+from repro.logic.datalog import reachability_query
+from repro.logic.evaluator import FOQuery
+from repro.propositional.counting import probability_exact
+from repro.propositional.formula import DNF, Clause, Literal
+from repro.propositional.karp_luby import (
+    karp_luby,
+    karp_luby_samples,
+    naive_probability_estimate,
+    sample_count,
+)
+from repro.reductions.fourcolouring import (
+    four_colourable_via_absolute_reliability,
+    is_four_colourable,
+)
+from repro.reductions.monotone2sat import (
+    count_satisfying_assignments,
+    sat_count_via_expected_error,
+)
+from repro.reliability.approx import reliability_additive
+from repro.reliability.exact import reliability, truth_probability
+from repro.reliability.grounding import ground_existential_to_dnf
+from repro.reliability.montecarlo import estimate_reliability_hamming
+from repro.reliability.padding import padded_truth_probability
+from repro.reliability.space import scaled_world_counts, world_granularity
+from repro.relational.builder import graph_structure
+from repro.reliability.unreliable import uniform_error
+from repro.metafinite.reliability import (
+    estimate_metafinite_reliability,
+    metafinite_reliability,
+    metafinite_reliability_qf,
+)
+from repro.util.rng import make_rng
+from repro.workloads.graphs import complete_graph, random_colourable_graph, random_digraph
+from repro.workloads.random_cnf import random_monotone_2cnf
+from repro.workloads.random_db import random_unreliable_database
+from repro.workloads.random_dnf import random_kdnf, random_probabilities
+from repro.workloads.scenarios import sensor_scenario
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    value = thunk()
+    return value, time.perf_counter() - start
+
+
+def e1() -> None:
+    print("== E1: Prop 3.1 — quantifier-free reliability is polynomial ==")
+    query = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+    print(f"{'n':>4} {'uncertain':>10} {'time (s)':>9} {'R':>8}")
+    previous = None
+    for size in (4, 8, 16, 32, 48):
+        db = random_unreliable_database(
+            make_rng(size), size, {"E": 2, "S": 1}, density=0.3, error="1/16"
+        )
+        value, seconds = _timed(lambda: reliability(db, query, method="qf"))
+        ratio = "" if previous is None else f"  x{seconds / previous:.1f}"
+        print(
+            f"{size:>4} {len(db.uncertain_atoms()):>10} {seconds:>9.3f} "
+            f"{float(value):>8.4f}{ratio}"
+        )
+        previous = seconds
+    print("shape: time ratios track (n2/n1)^2 — polynomial, never exponential\n")
+
+
+def e2() -> None:
+    print("== E2: Prop 3.2 — conjunctive expected error is #P-hard ==")
+    print(f"{'m vars':>6} {'#SAT':>8} {'via H_psi':>10} {'time (s)':>9}")
+    previous = None
+    for variables in (6, 9, 12, 15, 18):
+        formula = random_monotone_2cnf(make_rng(variables), variables, variables)
+        brute = count_satisfying_assignments(formula)
+        value, seconds = _timed(lambda: sat_count_via_expected_error(formula))
+        assert value == brute
+        ratio = "" if previous is None else f"  x{seconds / previous:.1f}"
+        print(f"{variables:>6} {brute:>8} {value:>10} {seconds:>9.3f}{ratio}")
+        previous = seconds
+    print("shape: identity H*2^m == #SAT holds; cost climbs with m "
+          "(model counting)\n")
+
+
+def e3() -> None:
+    print("== E3: Thm 4.2 — the exact FP^#P algorithm ==")
+    query = FOQuery("exists x y. E(x, y) & S(y)")
+    print(f"{'uncertain':>10} {'worlds':>8} {'g':>12} {'time (s)':>9} {'ok':>3}")
+    for uncertain in (4, 8, 12, 16):
+        rng = make_rng(uncertain)
+        from repro.workloads.random_db import random_structure
+        from repro.relational.atoms import Atom
+        from repro.reliability.unreliable import UnreliableDatabase
+
+        structure = random_structure(rng, 4, {"E": 2, "S": 1}, 0.4)
+        atoms = sorted(structure.atoms(), key=repr)
+        mu = {a: Fraction(1, rng.choice([3, 4, 5])) for a in rng.sample(atoms, uncertain)}
+        db = UnreliableDatabase(structure, mu)
+        g = world_granularity(db)
+
+        def walk():
+            accepted = total = 0
+            for world, count in scaled_world_counts(db):
+                total += count
+                if query.evaluate(world, ()):
+                    accepted += count
+            return accepted, total
+
+        (accepted, total), seconds = _timed(walk)
+        ok = total == g and Fraction(accepted, g) == truth_probability(
+            db, query, method="dnf"
+        )
+        print(
+            f"{uncertain:>10} {2**uncertain:>8} {g:>12} {seconds:>9.3f} "
+            f"{'yes' if ok else 'NO':>3}"
+        )
+    print("shape: 2^u growth; nu(B)*g integral and counts sum to g on "
+          "every row\n")
+
+
+def e4() -> None:
+    print("== E4: Thm 5.3 — FPTRAS for Prob-kDNF ==")
+    rng = make_rng(1)
+    dnf = random_kdnf(rng, variables=12, clauses=8, width=3)
+    probs = random_probabilities(rng, dnf)
+    exact = float(probability_exact(dnf, probs))
+    print(f"exact nu = {exact:.6f}")
+    print(f"{'epsilon':>8} {'samples':>9} {'estimate':>10} {'rel err':>8} {'time (s)':>9}")
+    for epsilon in (0.2, 0.1, 0.05, 0.025):
+        run, seconds = _timed(
+            lambda: karp_luby(dnf, probs, epsilon, 0.05, make_rng(2))
+        )
+        rel = abs(run.estimate - exact) / exact
+        print(
+            f"{epsilon:>8} {run.samples:>9} {run.estimate:>10.6f} "
+            f"{rel:>8.4f} {seconds:>9.3f}"
+        )
+    print("shape: samples scale as 1/eps^2; relative error stays below "
+          "each eps\n")
+
+
+def e5() -> None:
+    print("== E5: Thm 5.4 + Cor 5.5 — additive reliability approximation ==")
+    query = FOQuery("exists x y. E(x, y) & S(x) & S(y)")
+    print(f"{'n':>4} {'clauses raw':>12} {'kept':>6} {'exact R':>9} "
+          f"{'estimate':>9} {'|err|':>7}")
+    for size in (4, 6, 8):
+        db = random_unreliable_database(
+            make_rng(size),
+            size,
+            {"E": 2, "S": 1},
+            density=0.3,
+            error_choices=["1/8", "1/5"],
+            uncertain_fraction=1.0,
+        )
+        grounding = ground_existential_to_dnf(db, query.formula)
+        exact = float(reliability(db, query))
+        estimate = reliability_additive(db, query, 0.05, 0.1, make_rng(50 + size))
+        print(
+            f"{size:>4} {grounding.clauses_before_folding:>12} "
+            f"{len(grounding.dnf):>6} {exact:>9.4f} {estimate.value:>9.4f} "
+            f"{abs(estimate.value - exact):>7.4f}"
+        )
+    print("shape: |err| <= 0.05 on every row; folding shrinks the "
+          "grounded DNF\n")
+
+
+def e6() -> None:
+    print("== E6: Lemma 5.9/5.10 — absolute reliability is coNP-hard ==")
+    print(f"{'graph':<12} {'4-col':>6} {'AR fails':>9} {'agree':>6} {'time (s)':>9}")
+    rng = make_rng(4)
+    cases = [("K4", complete_graph(4)), ("K5", complete_graph(5))]
+    for nodes in (6, 7):
+        cases.append(
+            (f"col({nodes})", random_colourable_graph(make_rng(nodes), nodes, 4, 0.7))
+        )
+    for name, (vertex_list, edges) in cases:
+        if not edges:
+            continue
+        expected = is_four_colourable(vertex_list, edges)
+        got, seconds = _timed(
+            lambda: four_colourable_via_absolute_reliability(vertex_list, edges)
+        )
+        print(
+            f"{name:<12} {str(expected):>6} {str(got):>9} "
+            f"{str(expected == got):>6} {seconds:>9.3f}"
+        )
+    # Lemma 5.10: naive MC on a rare flip event.
+    from repro.reductions.fourcolouring import (
+        encode_four_colouring,
+        non_four_colouring_query,
+    )
+    from repro.logic.fo import neg
+    from repro.reliability.exact import expected_error
+    from repro.reliability.montecarlo import estimate_truth_probability
+
+    vertex_list, edges = complete_graph(4)
+    shifted_nodes = vertex_list + [v + 10 for v in vertex_list]
+    shifted_edges = edges + [(u + 10, v + 10) for u, v in edges]
+    db = encode_four_colouring(shifted_nodes, shifted_edges)
+    query = non_four_colouring_query()
+    h = float(expected_error(db, query))
+    naive = estimate_truth_probability(
+        db, neg(query.formula), make_rng(1), samples=100
+    )
+    print(f"Lemma 5.10: H = {h:.6f}; naive MC (100 samples) = {naive:.6f}")
+    print("shape: reduction agrees with brute force; naive MC reports ~0 "
+          "on the rare event\n")
+
+
+def e7() -> None:
+    print("== E7: Thm 5.12 — estimator for arbitrary PTIME queries ==")
+    query = reachability_query()
+    print(f"{'n':>4} {'xi':>6} {'samples':>8} {'wrong est':>10} {'time (s)':>9}")
+    for size, xi in ((5, Fraction(1, 4)), (7, Fraction(1, 4)), (7, Fraction(1, 10)), (7, Fraction(2, 5))):
+        nodes, edges = random_digraph(make_rng(size), size, 0.25)
+        db = uniform_error(graph_structure(nodes, edges), Fraction(1, 10))
+        target = (0, size - 1)
+        observed = query.evaluate(db.structure, target)
+        estimate, seconds = _timed(
+            lambda: padded_truth_probability(
+                db, query, 0.15, 0.2, make_rng(size), xi=xi, args=target
+            )
+        )
+        wrong = 1.0 - estimate.value if observed else estimate.value
+        print(
+            f"{size:>4} {str(xi):>6} {estimate.samples:>8} {wrong:>10.4f} "
+            f"{seconds:>9.3f}"
+        )
+    nodes, edges = random_digraph(make_rng(3), 4, 0.4)
+    db = uniform_error(graph_structure(nodes, edges), Fraction(1, 8))
+    from repro.reliability.exact import wrong_probability
+
+    exact = float(wrong_probability(db, query, (0, 3)))
+    estimate = padded_truth_probability(
+        db, query, 0.1, 0.1, make_rng(4), args=(0, 3)
+    )
+    observed = query.evaluate(db.structure, (0, 3))
+    wrong = 1.0 - estimate.value if observed else estimate.value
+    print(f"guarantee check (n=4): exact wrong = {exact:.4f}, "
+          f"estimate = {wrong:.4f}, |err| = {abs(exact - wrong):.4f} <= 0.1")
+    print("shape: samples ~ 1/xi; additive guarantee verified against the "
+          "exact engine\n")
+
+
+def e8() -> None:
+    print("== E8: Thm 6.2 — metafinite reliability ==")
+    print(f"{'sensors':>8} {'engine':<10} {'R[total]':>9} {'time (s)':>9}")
+    for sensors in (4, 8, 12):
+        scenario = sensor_scenario(make_rng(sensors), sensors=sensors)
+        value, seconds = _timed(
+            lambda: metafinite_reliability(scenario.db, scenario.queries["total"])
+        )
+        print(f"{sensors:>8} {'exact':<10} {float(value):>9.4f} {seconds:>9.3f}")
+    scenario = sensor_scenario(make_rng(30), sensors=30)
+    value, seconds = _timed(
+        lambda: metafinite_reliability_qf(scenario.db, scenario.queries["local"])
+    )
+    print(f"{30:>8} {'qf-exact':<10} {float(value):>9.4f} {seconds:>9.3f}"
+          "   (2^30 worlds, polynomial engine)")
+    value, seconds = _timed(
+        lambda: estimate_metafinite_reliability(
+            scenario.db, scenario.queries["total"], make_rng(31), samples=2000
+        )
+    )
+    print(f"{30:>8} {'MC':<10} {value:>9.4f} {seconds:>9.3f}")
+    print("shape: exact aggregate engine is exponential in sensors; the "
+          "QF engine and MC scale\n")
+
+
+def e9() -> None:
+    print("== E9: ablation — Karp-Luby vs naive MC on rare unions ==")
+    print(f"{'width':>6} {'exact':>12} {'KL est':>12} {'KL rel':>7} "
+          f"{'naive est':>10}")
+    for width in (6, 10, 14):
+        clauses = []
+        for index in range(5):
+            names = [f"v{index}_{j}" for j in range(width)]
+            clauses.append(Clause(Literal(v, True) for v in names))
+        dnf = DNF(clauses)
+        probs = {v: Fraction(1, 4) for v in dnf.variables}
+        exact = float(probability_exact(dnf, probs))
+        kl = karp_luby_samples(dnf, probs, 3000, make_rng(width)).estimate
+        naive = naive_probability_estimate(dnf, probs, 3000, make_rng(width))
+        print(
+            f"{width:>6} {exact:>12.3e} {kl:>12.3e} "
+            f"{abs(kl - exact) / exact:>7.3f} {naive:>10.3e}"
+        )
+    print("shape: KL's relative error is flat; naive MC collapses to 0\n")
+
+
+def e10() -> None:
+    print("== E10: ablation — exact Shannon expansion vs FPTRAS crossover ==")
+    print("chain workload (sparse overlap):")
+    print(f"{'chain':>6} {'exact (s)':>10} {'KL (s)':>8} {'winner':>8}")
+    for length in (8, 32, 128):
+        clauses = []
+        for index in range(length):
+            names = [f"v{index * 3 + j}" for j in range(4)]
+            clauses.append(Clause(Literal(v, True) for v in names))
+        dnf = DNF(clauses)
+        probs = {v: Fraction(1, 3) for v in dnf.variables}
+        _value, exact_seconds = _timed(lambda: probability_exact(dnf, probs))
+        _run, kl_seconds = _timed(
+            lambda: karp_luby(dnf, probs, 0.2, 0.2, make_rng(length))
+        )
+        winner = "exact" if exact_seconds < kl_seconds else "KL"
+        print(
+            f"{length:>6} {exact_seconds:>10.3f} {kl_seconds:>8.3f} {winner:>8}"
+        )
+    print("dense-overlap workload (random 4DNF, clauses = 3.2 x vars):")
+    print(f"{'vars':>6} {'exact (s)':>10} {'KL (s)':>8} {'winner':>8}")
+    for variables in (15, 20, 25, 28):
+        rng = make_rng(variables)
+        dnf = random_kdnf(
+            rng, variables=variables, clauses=int(variables * 3.2), width=4
+        )
+        probs = random_probabilities(rng, dnf)
+        _value, exact_seconds = _timed(lambda: probability_exact(dnf, probs))
+        _run, kl_seconds = _timed(
+            lambda: karp_luby(dnf, probs, 0.2, 0.2, make_rng(variables))
+        )
+        winner = "exact" if exact_seconds < kl_seconds else "KL"
+        print(
+            f"{variables:>6} {exact_seconds:>10.3f} {kl_seconds:>8.3f} {winner:>8}"
+        )
+    print("shape: exact wins on sparse-overlap chains at every size; on "
+          "dense overlap it\nexplodes past ~25 variables while KL grows "
+          "polynomially — the crossover\n")
+
+
+EXPERIMENTS = {
+    "E1": e1,
+    "E2": e2,
+    "E3": e3,
+    "E4": e4,
+    "E5": e5,
+    "E6": e6,
+    "E7": e7,
+    "E8": e8,
+    "E9": e9,
+    "E10": e10,
+}
+
+
+def main(argv) -> int:
+    chosen = [name.upper() for name in argv] or list(EXPERIMENTS)
+    for name in chosen:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}")
+            return 2
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

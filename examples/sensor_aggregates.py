@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Metafinite databases: reliability of SQL-style aggregate queries.
+
+Section 6 of the paper extends the model to *functional* databases —
+finite sets with functions into numbers — and queries built from
+aggregates (multiset operations), the relational-theory picture of SQL.
+Here a fleet of temperature sensors reports integer readings that may be
+off by one unit; we quantify how trustworthy various aggregates are.
+
+Takeaways the run makes visible:
+
+* SUM is fragile (any single jitter changes it);
+* MAX is robust (only jitter at the top matters);
+* COUNT-over-threshold sits in between (only near-threshold sensors
+  matter);
+* the quantifier-free per-sensor query gets the exact polynomial-time
+  treatment of Theorem 6.2(i).
+
+Run:  python examples/sensor_aggregates.py
+"""
+
+import random
+
+from repro.metafinite.reliability import (
+    estimate_metafinite_reliability,
+    metafinite_reliability,
+    metafinite_reliability_qf,
+)
+from repro.workloads.scenarios import sensor_scenario
+
+
+def main() -> None:
+    rng = random.Random(5)
+    scenario = sensor_scenario(rng, sensors=8)
+    db = scenario.db
+    print(f"scenario: {scenario.description}")
+    observed = db.observed
+    readings = {s: observed.value("reading", (s,)) for (s,) in
+                ((u,) for u in observed.universe)}
+    print(f"observed readings: {readings}")
+    print(f"worlds with positive probability: {db.support_size()}")
+    print()
+
+    print(f"{'query':<10} {'observed':>9} {'exact R':>10} {'MC R':>9}")
+    for name in ("total", "hottest", "alarms"):
+        query = scenario.queries[name]
+        value = query.evaluate(observed, ())
+        exact = float(metafinite_reliability(db, query))
+        estimate = estimate_metafinite_reliability(db, query, rng, samples=4000)
+        print(f"{name:<10} {str(value):>9} {exact:>10.4f} {estimate:>9.4f}")
+    print()
+
+    local = scenario.queries["local"]
+    fast = metafinite_reliability_qf(db, local)
+    print(
+        "per-sensor margin query (aggregate-free): "
+        f"R = {float(fast):.4f} via the Theorem 6.2(i) polynomial engine"
+    )
+    print()
+    print(
+        "reading the table: SUM's reliability is lowest because every\n"
+        "sensor's jitter flips it; MAX only reacts to jitter at the\n"
+        "maximum; the alarm COUNT only to sensors straddling the\n"
+        "threshold."
+    )
+
+
+if __name__ == "__main__":
+    main()

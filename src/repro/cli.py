@@ -1,0 +1,206 @@
+"""Command-line interface: query reliability from the shell.
+
+The CLI reads an unreliable database in the canonical text format (see
+:mod:`repro.relational.encoding`: ``universe`` / ``relation`` /
+``tuple`` / ``error`` lines) and computes or estimates the reliability
+of a first-order query.
+
+Examples::
+
+    python -m repro compute db.txt "exists x y. E(x, y) & S(y)"
+    python -m repro compute db.txt "E(x, y)" --free x y --method qf
+    python -m repro estimate db.txt "exists x. S(x)" --epsilon 0.05 \\
+        --delta 0.05 --seed 7
+    python -m repro estimate db.txt "forall x. exists y. E(x, y)" \\
+        --estimator padding
+    python -m repro inspect db.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.logic.classify import classify
+from repro.logic.evaluator import FOQuery
+from repro.relational.encoding import decode_unreliable_database
+from repro.reliability.approx import reliability_additive
+from repro.reliability.exact import expected_error, reliability
+from repro.reliability.montecarlo import estimate_reliability_hamming
+from repro.reliability.padding import padded_reliability
+from repro.reliability.report import analyze
+from repro.util.errors import ReproError
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return decode_unreliable_database(handle.read())
+
+
+def _query(args: argparse.Namespace) -> FOQuery:
+    return FOQuery(args.query, args.free or None)
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    query = _query(args)
+    value = reliability(db, query, method=args.method)
+    print(f"reliability = {value} ({float(value):.6f})")
+    if args.expected_error:
+        h = expected_error(db, query, method=args.method)
+        print(f"expected_error = {h} ({float(h):.6f})")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    query = _query(args)
+    rng = random.Random(args.seed)
+    if args.estimator == "karp-luby":
+        estimate = reliability_additive(
+            db, query, args.epsilon, args.delta, rng
+        )
+        print(
+            f"reliability ~ {estimate.value:.6f}  "
+            f"(+/- {args.epsilon} with prob >= {1 - args.delta}; "
+            f"{estimate.samples} samples)"
+        )
+    elif args.estimator == "padding":
+        estimate = padded_reliability(
+            db, query, args.epsilon, args.delta, rng, xi=Fraction(1, 4)
+        )
+        print(
+            f"reliability ~ {estimate.value:.6f}  "
+            f"(+/- {args.epsilon} with prob >= {1 - args.delta}; "
+            f"{estimate.samples} samples)"
+        )
+    else:
+        value = estimate_reliability_hamming(
+            db, query, rng, epsilon=args.epsilon, delta=args.delta
+        )
+        print(
+            f"reliability ~ {value:.6f}  "
+            f"(+/- {args.epsilon} with prob >= {1 - args.delta})"
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    query = _query(args)
+    rng = random.Random(args.seed) if args.seed is not None else None
+    report = analyze(
+        db, query, rng=rng, epsilon=args.epsilon, delta=args.delta
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    structure = db.structure
+    print(f"universe: {len(structure)} elements")
+    for symbol in structure.vocabulary:
+        rows = structure.relation(symbol.name)
+        print(f"relation {symbol}: {len(rows)} tuples")
+    uncertain = db.uncertain_atoms()
+    print(f"uncertain atoms: {len(uncertain)}")
+    if uncertain:
+        rates = sorted({str(db.mu(a)) for a in uncertain})
+        print(f"error rates in use: {', '.join(rates)}")
+        print(f"possible worlds: 2^{len(uncertain)}")
+    if args.query:
+        query = FOQuery(args.query, args.free or None)
+        print(f"query fragment: {classify(query.formula)}")
+        answers = query.answers(structure)
+        print(f"observed answer: {len(answers)} tuples")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Query reliability on unreliable databases "
+            "(Grädel-Gurevich-Hirsch, PODS 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compute = sub.add_parser("compute", help="exact reliability")
+    compute.add_argument("database", help="database file (canonical text format)")
+    compute.add_argument("query", help="first-order query text")
+    compute.add_argument("--free", nargs="*", help="free-variable order")
+    compute.add_argument(
+        "--method",
+        choices=["auto", "qf", "dnf", "worlds"],
+        default="auto",
+        help="exact engine selection",
+    )
+    compute.add_argument(
+        "--expected-error",
+        action="store_true",
+        help="also print H_psi",
+    )
+    compute.set_defaults(handler=_cmd_compute)
+
+    estimate = sub.add_parser("estimate", help="randomized reliability")
+    estimate.add_argument("database")
+    estimate.add_argument("query")
+    estimate.add_argument("--free", nargs="*")
+    estimate.add_argument("--epsilon", type=float, default=0.05)
+    estimate.add_argument("--delta", type=float, default=0.05)
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument(
+        "--estimator",
+        choices=["karp-luby", "padding", "hamming"],
+        default="karp-luby",
+        help=(
+            "karp-luby: Cor 5.5 (existential/universal); padding: Thm "
+            "5.12 (any PTIME query); hamming: whole-table world sampling"
+        ),
+    )
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    analyze_cmd = sub.add_parser(
+        "analyze", help="classify, dispatch and explain in one call"
+    )
+    analyze_cmd.add_argument("database")
+    analyze_cmd.add_argument("query")
+    analyze_cmd.add_argument("--free", nargs="*")
+    analyze_cmd.add_argument("--epsilon", type=float, default=0.05)
+    analyze_cmd.add_argument("--delta", type=float, default=0.05)
+    analyze_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="enable estimators with this seed (omit to force exact)",
+    )
+    analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    inspect = sub.add_parser("inspect", help="summarise a database file")
+    inspect.add_argument("database")
+    inspect.add_argument("--query", help="optionally classify a query")
+    inspect.add_argument("--free", nargs="*")
+    inspect.set_defaults(handler=_cmd_inspect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

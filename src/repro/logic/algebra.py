@@ -1,0 +1,435 @@
+"""Relational algebra over finite structures, compiled to first-order logic.
+
+The paper's related work (Zimányi; ProbView) phrases queries in
+relational algebra; practitioners do too.  This module provides the
+classical operators —
+
+* :func:`rel` — a base relation scan,
+* :meth:`~RAExpression.select` — selection by column/constant equalities,
+* :meth:`~RAExpression.project` — projection (introduces existentials),
+* :meth:`~RAExpression.join` — natural join on shared column names,
+* :meth:`~RAExpression.rename` — column renaming,
+* :meth:`~RAExpression.union`, :meth:`~RAExpression.difference`,
+* :meth:`~RAExpression.product` — cartesian product —
+
+with two consumers: direct set-at-a-time evaluation on a
+:class:`~repro.relational.structure.Structure`, and compilation to an
+equivalent :class:`~repro.logic.evaluator.FOQuery` (tests assert the two
+agree), which plugs the whole algebra into every reliability engine in
+the library.
+
+Columns are named; an expression's schema is an ordered tuple of column
+names.  The compiled formula uses one variable per output column plus
+existentials for projected-away columns.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.fo import AtomF, Eq, Formula, conj, disj, exists, neg
+from repro.logic.terms import Const, Term, Var
+from repro.relational.structure import Structure
+from repro.util.errors import QueryError
+
+Row = Tuple[Any, ...]
+
+
+class RAExpression:
+    """Base class: a relational-algebra expression with a named schema."""
+
+    __slots__ = ()
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # combinators (fluent API)
+    # ------------------------------------------------------------------ #
+
+    def select(self, **equalities: Any) -> "RAExpression":
+        """Keep rows where each named column equals the given constant.
+
+        ``expr.select(colour="red", size=3)``; to compare two columns use
+        :meth:`select_eq`.
+        """
+        return Selection(self, tuple(equalities.items()), ())
+
+    def select_eq(self, left: str, right: str) -> "RAExpression":
+        """Keep rows where two columns are equal."""
+        return Selection(self, (), ((left, right),))
+
+    def project(self, *columns: str) -> "RAExpression":
+        """Keep (and reorder to) the named columns."""
+        return Projection(self, tuple(columns))
+
+    def rename(self, **mapping: str) -> "RAExpression":
+        """Rename columns: ``expr.rename(old="new")``."""
+        return Renaming(self, tuple(mapping.items()))
+
+    def join(self, other: "RAExpression") -> "RAExpression":
+        """Natural join on all shared column names."""
+        return Join(self, other)
+
+    def product(self, other: "RAExpression") -> "RAExpression":
+        """Cartesian product; schemas must be disjoint."""
+        return Product(self, other)
+
+    def union(self, other: "RAExpression") -> "RAExpression":
+        """Set union; schemas must match exactly."""
+        return Union_(self, other)
+
+    def difference(self, other: "RAExpression") -> "RAExpression":
+        """Set difference; schemas must match exactly."""
+        return Difference(self, other)
+
+    # ------------------------------------------------------------------ #
+    # consumers
+    # ------------------------------------------------------------------ #
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        """Evaluate set-at-a-time on a structure."""
+        raise NotImplementedError
+
+    def to_formula(self) -> Tuple[Formula, Tuple[Var, ...]]:
+        """Compile to ``(formula, free_variable_order)``."""
+        counter = count()
+        variables = {name: Var(f"c{next(counter)}_{name}") for name in self.schema}
+        formula = self._compile(variables, counter)
+        return formula, tuple(variables[name] for name in self.schema)
+
+    def to_fo_query(self) -> FOQuery:
+        """Compile to an :class:`FOQuery` usable by the reliability layer."""
+        formula, order = self.to_formula()
+        return FOQuery(formula, order)
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        raise NotImplementedError
+
+    # query protocol ---------------------------------------------------- #
+
+    @property
+    def arity(self) -> int:
+        return len(self.schema)
+
+    def evaluate(self, structure: Structure, args: Sequence[Any] = ()) -> bool:
+        if len(args) != self.arity:
+            raise QueryError(
+                f"expression has arity {self.arity}, got {len(args)} arguments"
+            )
+        return tuple(args) in self.rows(structure)
+
+    def answers(self, structure: Structure) -> Set[Row]:
+        return self.rows(structure)
+
+
+def rel(name: str, *columns: str) -> "BaseRelation":
+    """A base relation scan with named columns."""
+    return BaseRelation(name, tuple(columns))
+
+
+class BaseRelation(RAExpression):
+    """Scan of a stored relation, columns named by the caller."""
+
+    __slots__ = ("name", "_schema")
+
+    def __init__(self, name: str, columns: Tuple[str, ...]):
+        if len(set(columns)) != len(columns):
+            raise QueryError(f"duplicate column names in {columns}")
+        self.name = name
+        self._schema = columns
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self._schema
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        stored = structure.relation(self.name)
+        if stored and len(next(iter(stored))) != len(self._schema):
+            raise QueryError(
+                f"relation {self.name!r} has arity "
+                f"{len(next(iter(stored)))}, expression names "
+                f"{len(self._schema)} columns"
+            )
+        return set(stored)
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        return AtomF(self.name, tuple(variables[c] for c in self._schema))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self._schema)})"
+
+
+class Selection(RAExpression):
+    """Selection by constant equalities and column-column equalities."""
+
+    __slots__ = ("source", "constants", "pairs")
+
+    def __init__(
+        self,
+        source: RAExpression,
+        constants: Tuple[Tuple[str, Any], ...],
+        pairs: Tuple[Tuple[str, str], ...],
+    ):
+        for column, _value in constants:
+            if column not in source.schema:
+                raise QueryError(f"unknown column {column!r} in selection")
+        for left, right in pairs:
+            if left not in source.schema or right not in source.schema:
+                raise QueryError(
+                    f"unknown column in selection pair ({left}, {right})"
+                )
+        self.source = source
+        self.constants = constants
+        self.pairs = pairs
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.source.schema
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        index = {name: i for i, name in enumerate(self.schema)}
+        result = set()
+        for row in self.source.rows(structure):
+            if any(row[index[c]] != v for c, v in self.constants):
+                continue
+            if any(row[index[l]] != row[index[r]] for l, r in self.pairs):
+                continue
+            result.add(row)
+        return result
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        inner = self.source._compile(variables, counter)
+        guards: List[Formula] = []
+        for column, value in self.constants:
+            guards.append(Eq(variables[column], Const(value)))
+        for left, right in self.pairs:
+            guards.append(Eq(variables[left], variables[right]))
+        return conj(inner, *guards)
+
+    def __repr__(self) -> str:
+        conditions = [f"{c}={v!r}" for c, v in self.constants]
+        conditions += [f"{l}={r}" for l, r in self.pairs]
+        return f"select[{', '.join(conditions)}]({self.source!r})"
+
+
+class Projection(RAExpression):
+    """Projection onto (and reordering of) named columns."""
+
+    __slots__ = ("source", "columns")
+
+    def __init__(self, source: RAExpression, columns: Tuple[str, ...]):
+        missing = [c for c in columns if c not in source.schema]
+        if missing:
+            raise QueryError(f"unknown columns {missing} in projection")
+        if len(set(columns)) != len(columns):
+            raise QueryError(f"duplicate columns {columns} in projection")
+        self.source = source
+        self.columns = columns
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.columns
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        index = {name: i for i, name in enumerate(self.source.schema)}
+        return {
+            tuple(row[index[c]] for c in self.columns)
+            for row in self.source.rows(structure)
+        }
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        inner_vars = dict(variables)
+        dropped = []
+        for name in self.source.schema:
+            if name not in self.columns:
+                fresh = Var(f"p{next(counter)}_{name}")
+                inner_vars[name] = fresh
+                dropped.append(fresh)
+        inner = self.source._compile(inner_vars, counter)
+        return exists(dropped, inner)
+
+    def __repr__(self) -> str:
+        return f"project[{', '.join(self.columns)}]({self.source!r})"
+
+
+class Renaming(RAExpression):
+    """Column renaming."""
+
+    __slots__ = ("source", "mapping")
+
+    def __init__(self, source: RAExpression, mapping: Tuple[Tuple[str, str], ...]):
+        table = dict(mapping)
+        for old in table:
+            if old not in source.schema:
+                raise QueryError(f"unknown column {old!r} in rename")
+        renamed = tuple(table.get(c, c) for c in source.schema)
+        if len(set(renamed)) != len(renamed):
+            raise QueryError(f"rename produces duplicate columns {renamed}")
+        self.source = source
+        self.mapping = mapping
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        table = dict(self.mapping)
+        return tuple(table.get(c, c) for c in self.source.schema)
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        return self.source.rows(structure)
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        table = dict(self.mapping)
+        inner_vars = {
+            old: variables[table.get(old, old)] for old in self.source.schema
+        }
+        return self.source._compile(inner_vars, counter)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{o}->{n}" for o, n in self.mapping)
+        return f"rename[{inner}]({self.source!r})"
+
+
+class Join(RAExpression):
+    """Natural join on shared column names."""
+
+    __slots__ = ("left", "right", "_schema", "_shared")
+
+    def __init__(self, left: RAExpression, right: RAExpression):
+        shared = tuple(c for c in left.schema if c in right.schema)
+        self.left = left
+        self.right = right
+        self._shared = shared
+        self._schema = left.schema + tuple(
+            c for c in right.schema if c not in shared
+        )
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self._schema
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        left_rows = self.left.rows(structure)
+        right_rows = self.right.rows(structure)
+        left_index = {c: i for i, c in enumerate(self.left.schema)}
+        right_index = {c: i for i, c in enumerate(self.right.schema)}
+        extra = [c for c in self.right.schema if c not in self._shared]
+        # Hash join on the shared columns.
+        buckets: Dict[Tuple, List[Row]] = {}
+        for row in right_rows:
+            key = tuple(row[right_index[c]] for c in self._shared)
+            buckets.setdefault(key, []).append(row)
+        result = set()
+        for row in left_rows:
+            key = tuple(row[left_index[c]] for c in self._shared)
+            for match in buckets.get(key, ()):
+                result.add(row + tuple(match[right_index[c]] for c in extra))
+        return result
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        return conj(
+            self.left._compile(variables, counter),
+            self.right._compile(variables, counter),
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} |x| {self.right!r})"
+
+
+class Product(RAExpression):
+    """Cartesian product of schema-disjoint expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: RAExpression, right: RAExpression):
+        overlap = set(left.schema) & set(right.schema)
+        if overlap:
+            raise QueryError(
+                f"product schemas overlap on {sorted(overlap)}; "
+                "rename or use join"
+            )
+        self.left = left
+        self.right = right
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.left.schema + self.right.schema
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        return {
+            l + r
+            for l in self.left.rows(structure)
+            for r in self.right.rows(structure)
+        }
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        return conj(
+            self.left._compile(variables, counter),
+            self.right._compile(variables, counter),
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} x {self.right!r})"
+
+
+def _check_same_schema(left: RAExpression, right: RAExpression, op: str):
+    if left.schema != right.schema:
+        raise QueryError(
+            f"{op} needs identical schemas, got {left.schema} vs {right.schema}"
+        )
+
+
+class Union_(RAExpression):
+    """Set union of same-schema expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: RAExpression, right: RAExpression):
+        _check_same_schema(left, right, "union")
+        self.left = left
+        self.right = right
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.left.schema
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        return self.left.rows(structure) | self.right.rows(structure)
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        return disj(
+            self.left._compile(variables, counter),
+            self.right._compile(variables, counter),
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} U {self.right!r})"
+
+
+class Difference(RAExpression):
+    """Set difference of same-schema expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: RAExpression, right: RAExpression):
+        _check_same_schema(left, right, "difference")
+        self.left = left
+        self.right = right
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.left.schema
+
+    def rows(self, structure: Structure) -> Set[Row]:
+        return self.left.rows(structure) - self.right.rows(structure)
+
+    def _compile(self, variables: Dict[str, Var], counter) -> Formula:
+        return conj(
+            self.left._compile(variables, counter),
+            neg(self.right._compile(variables, counter)),
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} - {self.right!r})"

@@ -1,0 +1,95 @@
+"""Syntactic classification of first-order queries.
+
+The paper's results are indexed by fragment — quantifier-free
+(Proposition 3.1), conjunctive (Proposition 3.2), existential/universal
+(Theorem 5.4, Corollary 5.5), polynomial-time evaluable (Theorem 5.12).
+The reliability layer dispatches on these predicates, so they live in one
+place and are shared by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.logic.fo import (
+    And,
+    AtomF,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.normalform import to_nnf, to_prenex
+from repro.util.errors import QueryError
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    """No quantifier anywhere in the formula."""
+    if isinstance(formula, (Top, Bottom, AtomF, Eq)):
+        return True
+    if isinstance(formula, Not):
+        return is_quantifier_free(formula.sub)
+    if isinstance(formula, (And, Or)):
+        return all(is_quantifier_free(s) for s in formula.subs)
+    if isinstance(formula, (Implies, Iff)):
+        return is_quantifier_free(formula.left) and is_quantifier_free(
+            formula.right
+        )
+    if isinstance(formula, (Exists, Forall)):
+        return False
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def is_existential(formula: Formula) -> bool:
+    """Equivalent (after NNF/prenex) to ``exists* (quantifier-free)``.
+
+    This is a syntactic check on the prenex prefix of the NNF, so e.g.
+    ``~forall x. phi`` counts as existential — the same closure the paper
+    implicitly uses when it speaks of "existential queries".
+    """
+    prefix, _matrix = to_prenex(formula)
+    return all(kind == "exists" for kind, _var in prefix)
+
+
+def is_universal(formula: Formula) -> bool:
+    """Equivalent (after NNF/prenex) to ``forall* (quantifier-free)``."""
+    prefix, _matrix = to_prenex(formula)
+    return all(kind == "forall" for kind, _var in prefix)
+
+
+def is_conjunctive(formula: Formula) -> bool:
+    """Of the form ``exists x1 ... xk. (a1 & ... & al)`` with atomic ``ai``.
+
+    Strict syntactic conjunctive queries as in Proposition 3.2: no
+    negation, no disjunction, no equality atoms required (equalities are
+    permitted, matching the usual CQ definition with selections).
+    """
+    body = formula
+    while isinstance(body, Exists):
+        body = body.sub
+    if isinstance(body, (AtomF, Eq, Top)):
+        return True
+    if isinstance(body, And):
+        return all(isinstance(s, (AtomF, Eq, Top)) for s in body.subs)
+    return False
+
+
+def classify(formula: Formula) -> str:
+    """Finest fragment label for dispatching reliability algorithms.
+
+    Returns one of ``"quantifier-free"``, ``"conjunctive"``,
+    ``"existential"``, ``"universal"``, ``"first-order"``.
+    """
+    if is_quantifier_free(formula):
+        return "quantifier-free"
+    if is_conjunctive(formula):
+        return "conjunctive"
+    if is_existential(formula):
+        return "existential"
+    if is_universal(formula):
+        return "universal"
+    return "first-order"

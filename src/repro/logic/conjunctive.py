@@ -1,0 +1,171 @@
+"""Conjunctive queries as a first-class type.
+
+Conjunctive queries — ``exists x1 ... xk. (a1 & ... & al)`` with atomic
+conjuncts — are the smallest fragment the paper proves hard
+(Proposition 3.2).  :class:`ConjunctiveQuery` stores the body as a list of
+atoms, validates the shape on construction, and converts to/from the
+generic :class:`~repro.logic.evaluator.FOQuery` representation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Set, Tuple, Union
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.fo import (
+    AtomF,
+    Eq,
+    Exists,
+    Formula,
+    And,
+    Top,
+    conj,
+    exists,
+    free_variables,
+)
+from repro.logic.parser import parse
+from repro.logic.terms import Const, Term, Var
+from repro.relational.structure import Structure
+from repro.util.errors import QueryError
+
+
+class ConjunctiveQuery:
+    """An existentially quantified conjunction of atoms.
+
+    Construct from atoms directly::
+
+        from repro.logic.fo import atom
+        cq = ConjunctiveQuery(
+            head=("x",),
+            body=[atom("E", "x", "y"), atom("S", "y")],
+        )
+
+    or from text (which must parse to a conjunctive formula)::
+
+        cq = ConjunctiveQuery.from_text("exists y. E(x, y) & S(y)", head=("x",))
+
+    ``head`` lists the free (answer) variables; every variable in the body
+    not in the head is existentially quantified.
+    """
+
+    __slots__ = ("head", "body")
+
+    def __init__(
+        self,
+        head: Sequence[Union[Var, str]],
+        body: Iterable[Formula],
+    ):
+        self.head: Tuple[Var, ...] = tuple(
+            Var(v) if isinstance(v, str) else v for v in head
+        )
+        atoms = []
+        for part in body:
+            if not isinstance(part, (AtomF, Eq)):
+                raise QueryError(
+                    "conjunctive query bodies may contain only atoms and "
+                    f"equalities, got {type(part).__name__}"
+                )
+            atoms.append(part)
+        self.body: Tuple[Formula, ...] = tuple(atoms)
+        body_vars = free_variables(conj(*self.body)) if self.body else frozenset()
+        missing = set(self.head) - set(body_vars)
+        if missing:
+            names = sorted(v.name for v in missing)
+            raise QueryError(f"head variables {names} do not occur in the body")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_text(
+        cls, source: str, head: Optional[Sequence[Union[Var, str]]] = None
+    ) -> "ConjunctiveQuery":
+        """Parse a textual conjunctive query."""
+        formula = parse(source)
+        return cls.from_formula(formula, head)
+
+    @classmethod
+    def from_formula(
+        cls,
+        formula: Formula,
+        head: Optional[Sequence[Union[Var, str]]] = None,
+    ) -> "ConjunctiveQuery":
+        """Convert a conjunctive-shaped formula; reject anything else."""
+        body = formula
+        while isinstance(body, Exists):
+            body = body.sub
+        if isinstance(body, (AtomF, Eq)):
+            parts: Tuple[Formula, ...] = (body,)
+        elif isinstance(body, And):
+            parts = body.subs
+        elif isinstance(body, Top):
+            parts = ()
+        else:
+            raise QueryError(
+                f"formula is not conjunctive: body is {type(body).__name__}"
+            )
+        if head is None:
+            head = tuple(sorted(free_variables(formula)))
+        return cls(head, parts)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def existential_variables(self) -> Tuple[Var, ...]:
+        """Body variables not in the head, sorted by name."""
+        body_vars = free_variables(conj(*self.body)) if self.body else frozenset()
+        return tuple(sorted(body_vars - set(self.head)))
+
+    def to_formula(self) -> Formula:
+        """The equivalent first-order formula."""
+        return exists(self.existential_variables, conj(*self.body))
+
+    def to_fo_query(self) -> FOQuery:
+        """The equivalent :class:`FOQuery` (same free-variable order)."""
+        return FOQuery(self.to_formula(), self.head)
+
+    def evaluate(self, structure: Structure, args: Sequence[Any] = ()) -> bool:
+        """Truth of the query on one tuple (query-protocol method)."""
+        return self.to_fo_query().evaluate(structure, args)
+
+    def answers(self, structure: Structure) -> Set[Tuple[Any, ...]]:
+        """The answer relation (query-protocol method)."""
+        return self.to_fo_query().answers(structure)
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.head)
+        body = " & ".join(str(a) for a in self.body)
+        return f"ConjunctiveQuery([{names}] <- {body})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+
+def hardness_query() -> ConjunctiveQuery:
+    """The Boolean conjunctive query of Proposition 3.2.
+
+    ``exists x y z. L(x, y) & R(x, z) & S(y) & S(z)`` — on a structure
+    encoding a monotone 2-CNF formula plus an assignment ``S``, it says
+    the assignment *falsifies* some clause.  Its expected error equals the
+    fraction of satisfying assignments, which makes computing it
+    #P-hard.
+    """
+    from repro.logic.fo import atom
+
+    return ConjunctiveQuery(
+        head=(),
+        body=[
+            atom("L", "x", "y"),
+            atom("R", "x", "z"),
+            atom("S", "y"),
+            atom("S", "z"),
+        ],
+    )

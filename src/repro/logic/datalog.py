@@ -1,0 +1,579 @@
+"""Datalog with semi-naive bottom-up evaluation.
+
+Datalog is the paper's canonical example of polynomial-time evaluable
+queries beyond first-order logic (de Rougemont proved the FP^#P upper
+bound for Datalog reliability; Theorem 4.2 subsumes it, and Theorem 5.12's
+estimator applies to it).  The engine here is a classic bottom-up
+semi-naive fixpoint with *semipositive* negation: rule bodies may negate
+EDB (database) predicates and use equality/inequality guards, but not IDB
+predicates — keeping every program PTIME-evaluable.
+
+Syntax, programmatically::
+
+    program = DatalogProgram([
+        Rule(head("T", "x", "y"), [lit("E", "x", "y")]),
+        Rule(head("T", "x", "z"), [lit("T", "x", "y"), lit("E", "y", "z")]),
+    ])
+
+or from text::
+
+    program = DatalogProgram.parse('''
+        T(x, y) :- E(x, y).
+        T(x, z) :- T(x, y), E(y, z).
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.logic.terms import Const, Term, Var
+from repro.relational.structure import Structure
+from repro.util.errors import EvaluationError, QueryError
+
+TupleOf = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class HeadAtom:
+    """The head of a rule: an IDB predicate applied to terms."""
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.args)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class BodyLiteral:
+    """A body literal: possibly negated predicate atom, or a comparison.
+
+    ``predicate`` is ``"="`` for equality guards (with exactly two args);
+    negation of ``"="`` expresses inequality.
+    """
+
+    predicate: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        if self.predicate == "=":
+            op = "!=" if self.negated else "="
+            return f"{self.args[0]} {op} {self.args[1]}"
+        inner = ", ".join(str(t) for t in self.args)
+        sign = "not " if self.negated else ""
+        return f"{sign}{self.predicate}({inner})"
+
+
+def head(predicate: str, *args: Union[str, Term, Any]) -> HeadAtom:
+    """Build a rule head; bare strings become variables."""
+    return HeadAtom(predicate, tuple(_as_term(a) for a in args))
+
+
+def lit(
+    predicate: str, *args: Union[str, Term, Any], negated: bool = False
+) -> BodyLiteral:
+    """Build a body literal; bare strings become variables."""
+    return BodyLiteral(predicate, tuple(_as_term(a) for a in args), negated)
+
+
+def _as_term(value: Union[str, Term, Any]) -> Term:
+    if isinstance(value, (Var, Const)):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Datalog rule ``head :- body``."""
+
+    head: HeadAtom
+    body: Tuple[BodyLiteral, ...]
+
+    def __init__(self, head: HeadAtom, body: Iterable[BodyLiteral]):
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        inner = ", ".join(str(b) for b in self.body)
+        return f"{self.head} :- {inner}."
+
+    def variables(self) -> Set[Var]:
+        result: Set[Var] = set()
+        for term in self.head.args:
+            if isinstance(term, Var):
+                result.add(term)
+        for literal in self.body:
+            for term in literal.args:
+                if isinstance(term, Var):
+                    result.add(term)
+        return result
+
+
+_RULE_RE = re.compile(r"^\s*(.+?)\s*(?::-\s*(.*?))?\s*\.\s*$")
+_ATOM_RE = re.compile(r"^\s*(not\s+)?([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)\s*$")
+_CMP_RE = re.compile(r"^\s*([A-Za-z_0-9']+)\s*(!=|=)\s*([A-Za-z_0-9']+)\s*$")
+
+
+def _parse_term_token(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise QueryError("empty term in Datalog rule")
+    if token.startswith("'") and token.endswith("'"):
+        return Const(token[1:-1])
+    try:
+        return Const(int(token))
+    except ValueError:
+        pass
+    if token[0].isalpha() or token[0] == "_":
+        return Var(token)
+    raise QueryError(f"cannot parse Datalog term {token!r}")
+
+
+def _parse_literal(text: str) -> BodyLiteral:
+    match = _ATOM_RE.match(text)
+    if match:
+        negated = bool(match.group(1))
+        name = match.group(2)
+        args_text = match.group(3).strip()
+        args: Tuple[Term, ...] = ()
+        if args_text:
+            args = tuple(_parse_term_token(t) for t in args_text.split(","))
+        return BodyLiteral(name, args, negated)
+    match = _CMP_RE.match(text)
+    if match:
+        left = _parse_term_token(match.group(1))
+        right = _parse_term_token(match.group(3))
+        return BodyLiteral("=", (left, right), negated=match.group(2) == "!=")
+    raise QueryError(f"cannot parse Datalog literal {text!r}")
+
+
+def _split_literals(body: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+class DatalogProgram:
+    """A set of rules with semi-naive bottom-up evaluation.
+
+    IDB predicates are those occurring in some head; everything else in a
+    body is EDB and must exist in the structure's vocabulary at evaluation
+    time.  Negation is *stratified*: a rule may negate EDB predicates,
+    ``=`` guards, and IDB predicates defined in strictly lower strata —
+    no recursion through negation.  Stratified programs have a unique
+    perfect model computed stratum by stratum, each stratum by a
+    semi-naive fixpoint, all in polynomial time.
+    """
+
+    def __init__(self, rules: Iterable[Rule]):
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        if not self.rules:
+            raise QueryError("a Datalog program needs at least one rule")
+        self.idb: FrozenSet[str] = frozenset(r.head.predicate for r in self.rules)
+        self._arities: Dict[str, int] = {}
+        for rule in self.rules:
+            self._check_rule(rule)
+        self.strata: Dict[str, int] = self._stratify()
+
+    def _check_rule(self, rule: Rule) -> None:
+        self._record_arity(rule.head.predicate, len(rule.head.args))
+        head_vars = {t for t in rule.head.args if isinstance(t, Var)}
+        positive_vars: Set[Var] = set()
+        for literal in rule.body:
+            if literal.predicate == "=":
+                if len(literal.args) != 2:
+                    raise QueryError(f"bad comparison in rule {rule}")
+                continue
+            self._record_arity(literal.predicate, len(literal.args))
+            if not literal.negated:
+                positive_vars.update(
+                    t for t in literal.args if isinstance(t, Var)
+                )
+        unsafe = head_vars - positive_vars
+        for literal in rule.body:
+            if literal.predicate == "=" and not literal.negated:
+                # An equality can ground a head variable via a constant.
+                left, right = literal.args
+                if isinstance(left, Var) and isinstance(right, Const):
+                    unsafe.discard(left)
+                if isinstance(right, Var) and isinstance(left, Const):
+                    unsafe.discard(right)
+        if unsafe:
+            names = sorted(v.name for v in unsafe)
+            raise QueryError(f"unsafe head variables {names} in rule {rule}")
+
+    def _record_arity(self, predicate: str, arity: int) -> None:
+        known = self._arities.get(predicate)
+        if known is not None and known != arity:
+            raise QueryError(
+                f"predicate {predicate!r} used with arities {known} and {arity}"
+            )
+        self._arities[predicate] = arity
+
+    def _stratify(self) -> Dict[str, int]:
+        """Assign strata so negation never points upward or sideways.
+
+        Iterative relaxation: a positive IDB body literal forces
+        ``stratum(head) >= stratum(body)``, a negated one forces strict
+        inequality.  Failure to stabilise within ``len(idb)`` rounds means
+        a negative cycle — the program is not stratifiable.
+        """
+        strata = {p: 0 for p in self.idb}
+        for _round in range(len(self.idb) + 1):
+            changed = False
+            for rule in self.rules:
+                head = rule.head.predicate
+                for literal in rule.body:
+                    if literal.predicate not in self.idb:
+                        continue
+                    required = strata[literal.predicate] + (
+                        1 if literal.negated else 0
+                    )
+                    if strata[head] < required:
+                        strata[head] = required
+                        changed = True
+            if not changed:
+                return strata
+        raise QueryError(
+            "program is not stratifiable (recursion through negation)"
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, source: str) -> "DatalogProgram":
+        """Parse a newline/period separated rule list."""
+        rules: List[Rule] = []
+        for raw in source.split("\n"):
+            line = raw.split("%")[0].strip()
+            if not line:
+                continue
+            match = _RULE_RE.match(line)
+            if match is None:
+                raise QueryError(f"cannot parse Datalog rule {line!r}")
+            head_text, body_text = match.group(1), match.group(2)
+            head_literal = _parse_literal(head_text)
+            if head_literal.negated or head_literal.predicate == "=":
+                raise QueryError(f"invalid rule head in {line!r}")
+            body: List[BodyLiteral] = []
+            if body_text:
+                for part in _split_literals(body_text):
+                    body.append(_parse_literal(part))
+            rules.append(
+                Rule(HeadAtom(head_literal.predicate, head_literal.args), body)
+            )
+        return cls(rules)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, structure: Structure) -> Dict[str, Set[TupleOf]]:
+        """Compute the perfect model: all IDB relations, fully materialised.
+
+        Strata are evaluated bottom-up; within each stratum a semi-naive
+        fixpoint joins only against the previous round's delta, so total
+        work is polynomial in the output size.
+        """
+        fixed: Dict[str, FrozenSet[TupleOf]] = {}
+        for name in structure.vocabulary.names():
+            fixed[name] = structure.relation(name)
+        for predicate, arity in self._arities.items():
+            if predicate in self.idb or predicate == "=":
+                continue
+            if predicate not in fixed:
+                raise EvaluationError(
+                    f"EDB predicate {predicate!r} missing from the structure"
+                )
+            if structure.vocabulary.arity(predicate) != arity:
+                raise EvaluationError(
+                    f"predicate {predicate!r} has arity "
+                    f"{structure.vocabulary.arity(predicate)} in the "
+                    f"structure but {arity} in the program"
+                )
+
+        result: Dict[str, Set[TupleOf]] = {}
+        for level in sorted(set(self.strata.values())):
+            current = frozenset(
+                p for p, s in self.strata.items() if s == level
+            )
+            rules = [r for r in self.rules if r.head.predicate in current]
+            materialised = self._fixpoint(rules, current, fixed)
+            for predicate in current:
+                result[predicate] = materialised[predicate]
+                fixed[predicate] = frozenset(materialised[predicate])
+        return result
+
+    def _fixpoint(
+        self,
+        rules: List[Rule],
+        current: FrozenSet[str],
+        fixed: Mapping[str, FrozenSet[TupleOf]],
+    ) -> Dict[str, Set[TupleOf]]:
+        idb: Dict[str, Set[TupleOf]] = {p: set() for p in current}
+        delta: Dict[str, Set[TupleOf]] = {p: set() for p in current}
+
+        # Naive first round: fire every rule against fixed + empty IDB.
+        for rule in rules:
+            for row in self._fire(rule, current, fixed, idb, None):
+                if row not in idb[rule.head.predicate]:
+                    idb[rule.head.predicate].add(row)
+                    delta[rule.head.predicate].add(row)
+
+        while any(delta.values()):
+            new_delta: Dict[str, Set[TupleOf]] = {p: set() for p in current}
+            for rule in rules:
+                if not any(
+                    not b.negated
+                    and b.predicate in current
+                    and delta[b.predicate]
+                    for b in rule.body
+                ):
+                    continue
+                for row in self._fire(rule, current, fixed, idb, delta):
+                    if row not in idb[rule.head.predicate]:
+                        idb[rule.head.predicate].add(row)
+                        new_delta[rule.head.predicate].add(row)
+            delta = new_delta
+        return idb
+
+    def _fire(
+        self,
+        rule: Rule,
+        current: FrozenSet[str],
+        fixed: Mapping[str, FrozenSet[TupleOf]],
+        idb: Mapping[str, Set[TupleOf]],
+        delta: Optional[Mapping[str, Set[TupleOf]]],
+    ) -> Set[TupleOf]:
+        """All head tuples derivable by one rule.
+
+        When ``delta`` is given, at least one positive current-stratum
+        literal must be matched against the delta (semi-naive
+        restriction); we implement this by trying each such literal as
+        the "delta position".
+        """
+        results: Set[TupleOf] = set()
+        recursive_positions = [
+            i
+            for i, literal in enumerate(rule.body)
+            if not literal.negated and literal.predicate in current
+        ]
+        if delta is None or not recursive_positions:
+            if delta is not None:
+                return results
+            for env in self._match_body(
+                rule.body, 0, {}, current, fixed, idb, None, -1
+            ):
+                results.add(self._head_tuple(rule.head, env))
+            return results
+        for delta_index in recursive_positions:
+            for env in self._match_body(
+                rule.body, 0, {}, current, fixed, idb, delta, delta_index
+            ):
+                results.add(self._head_tuple(rule.head, env))
+        return results
+
+    def _match_body(
+        self,
+        body: Tuple[BodyLiteral, ...],
+        index: int,
+        env: Dict[Var, Any],
+        current: FrozenSet[str],
+        fixed: Mapping[str, FrozenSet[TupleOf]],
+        idb: Mapping[str, Set[TupleOf]],
+        delta: Optional[Mapping[str, Set[TupleOf]]],
+        delta_index: int,
+    ):
+        if index == len(body):
+            yield dict(env)
+            return
+        literal = body[index]
+        if literal.predicate == "=":
+            yield from self._match_comparison(
+                literal, body, index, env, current, fixed, idb, delta, delta_index
+            )
+            return
+        if literal.negated:
+            # Stratification guarantees the relation is fully known: EDB
+            # or an IDB from a strictly lower stratum.
+            rows = fixed[literal.predicate]
+            grounded = tuple(self._ground(t, env) for t in literal.args)
+            if any(g is None for g in grounded):
+                raise EvaluationError(
+                    f"negated literal {literal} has unbound variables; "
+                    "reorder the rule body so positives come first"
+                )
+            if tuple(grounded) not in rows:
+                yield from self._match_body(
+                    body, index + 1, env, current, fixed, idb, delta, delta_index
+                )
+            return
+        if literal.predicate in current:
+            if delta is not None and index == delta_index:
+                source: Iterable[TupleOf] = delta[literal.predicate]
+            else:
+                source = idb[literal.predicate]
+        else:
+            source = fixed[literal.predicate]
+        for row in source:
+            bound = self._unify(literal.args, row, env)
+            if bound is None:
+                continue
+            yield from self._match_body(
+                body, index + 1, bound, current, fixed, idb, delta, delta_index
+            )
+
+    def _match_comparison(
+        self, literal, body, index, env, current, fixed, idb, delta, delta_index
+    ):
+        left = self._ground(literal.args[0], env)
+        right = self._ground(literal.args[1], env)
+        if left is None and right is None:
+            raise EvaluationError(
+                f"comparison {literal} has two unbound variables"
+            )
+        if left is None or right is None:
+            if literal.negated:
+                raise EvaluationError(
+                    f"inequality {literal} has an unbound variable"
+                )
+            variable = literal.args[0] if left is None else literal.args[1]
+            value = right if left is None else left
+            env2 = dict(env)
+            env2[variable] = value
+            yield from self._match_body(
+                body, index + 1, env2, current, fixed, idb, delta, delta_index
+            )
+            return
+        matches = (left == right) != literal.negated
+        if matches:
+            yield from self._match_body(
+                body, index + 1, env, current, fixed, idb, delta, delta_index
+            )
+
+    @staticmethod
+    def _ground(term: Term, env: Mapping[Var, Any]):
+        if isinstance(term, Const):
+            return term.value
+        return env.get(term)
+
+    @staticmethod
+    def _unify(
+        args: Tuple[Term, ...], row: TupleOf, env: Dict[Var, Any]
+    ) -> Optional[Dict[Var, Any]]:
+        bound = dict(env)
+        for term, value in zip(args, row):
+            if isinstance(term, Const):
+                if term.value != value:
+                    return None
+            else:
+                known = bound.get(term)
+                if known is None:
+                    bound[term] = value
+                elif known != value:
+                    return None
+        return bound
+
+    @staticmethod
+    def _head_tuple(head_atom: HeadAtom, env: Mapping[Var, Any]) -> TupleOf:
+        row = []
+        for term in head_atom.args:
+            if isinstance(term, Const):
+                row.append(term.value)
+            else:
+                row.append(env[term])
+        return tuple(row)
+
+
+class DatalogQuery:
+    """A Datalog program with a distinguished answer predicate.
+
+    Implements the library's query protocol (``arity`` / ``evaluate`` /
+    ``answers``), so it can be passed to the Theorem 5.12 estimator and
+    the exact reliability engine like any first-order query.
+    """
+
+    __slots__ = ("program", "predicate", "_arity")
+
+    def __init__(self, program: Union[DatalogProgram, str], predicate: str):
+        if isinstance(program, str):
+            program = DatalogProgram.parse(program)
+        self.program = program
+        self.predicate = predicate
+        if predicate not in program.idb:
+            raise QueryError(
+                f"answer predicate {predicate!r} is not defined by the program"
+            )
+        self._arity = program._arities[predicate]
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    def answers(self, structure: Structure) -> Set[TupleOf]:
+        return set(self.program.evaluate(structure)[self.predicate])
+
+    def evaluate(self, structure: Structure, args: Sequence[Any] = ()) -> bool:
+        if len(args) != self._arity:
+            raise QueryError(
+                f"query has arity {self._arity}, got {len(args)} arguments"
+            )
+        return tuple(args) in self.answers(structure)
+
+    def __repr__(self) -> str:
+        return f"DatalogQuery({self.predicate}/{self._arity}, {len(self.program.rules)} rules)"
+
+
+def reachability_query(
+    edge: str = "E", answer: str = "Reach"
+) -> DatalogQuery:
+    """Transitive closure of a binary relation — the classic PTIME query.
+
+    Not first-order expressible, so it exercises exactly the gap between
+    Theorem 5.4 (existential queries) and Theorem 5.12 (all PTIME
+    queries).
+    """
+    program = DatalogProgram(
+        [
+            Rule(head(answer, "x", "y"), [lit(edge, "x", "y")]),
+            Rule(
+                head(answer, "x", "z"),
+                [lit(answer, "x", "y"), lit(edge, "y", "z")],
+            ),
+        ]
+    )
+    return DatalogQuery(program, answer)

@@ -1,0 +1,207 @@
+"""Evaluation of first-order formulas on finite structures.
+
+The evaluator is the naive recursive one: quantifiers range over the
+universe.  Its cost is ``O(n ** quantifier_depth)`` — polynomial for a
+fixed query, which is exactly the data-complexity stance of the paper.
+
+:class:`FOQuery` wraps a formula with an explicit free-variable order so
+it can serve as the library-wide ``Query`` protocol: any object with
+``arity``, ``evaluate(structure, args)`` and ``answers(structure)`` can be
+fed to the reliability layer (FO queries, Datalog queries, fixed-point and
+second-order queries all implement it).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple, Union
+
+from repro.logic.fo import (
+    And,
+    AtomF,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    free_variables,
+)
+from repro.logic.parser import parse
+from repro.logic.terms import Term, Var, term_value
+from repro.relational.structure import Structure
+from repro.util.errors import EvaluationError, QueryError
+
+
+def evaluate(
+    structure: Structure,
+    formula: Formula,
+    assignment: Optional[Dict[Var, Any]] = None,
+) -> bool:
+    """Truth value of ``formula`` in ``structure`` under ``assignment``."""
+    env = assignment if assignment is not None else {}
+    return _eval(structure, formula, env)
+
+
+def _eval(structure: Structure, formula: Formula, env: Dict[Var, Any]) -> bool:
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, AtomF):
+        row = tuple(term_value(t, env) for t in formula.args)
+        return row in structure.relation(formula.relation)
+    if isinstance(formula, Eq):
+        return term_value(formula.left, env) == term_value(formula.right, env)
+    if isinstance(formula, Not):
+        return not _eval(structure, formula.sub, env)
+    if isinstance(formula, And):
+        return all(_eval(structure, sub, env) for sub in formula.subs)
+    if isinstance(formula, Or):
+        return any(_eval(structure, sub, env) for sub in formula.subs)
+    if isinstance(formula, Implies):
+        return (not _eval(structure, formula.left, env)) or _eval(
+            structure, formula.right, env
+        )
+    if isinstance(formula, Iff):
+        return _eval(structure, formula.left, env) == _eval(
+            structure, formula.right, env
+        )
+    if isinstance(formula, Exists):
+        return _eval_block(structure, formula.variables, formula.sub, env, True)
+    if isinstance(formula, Forall):
+        return not _eval_block(
+            structure, formula.variables, Not(formula.sub), env, True
+        )
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+def _eval_block(
+    structure: Structure,
+    variables: Tuple[Var, ...],
+    sub: Formula,
+    env: Dict[Var, Any],
+    want: bool,
+) -> bool:
+    saved = {var: env[var] for var in variables if var in env}
+    try:
+        for values in product(structure.universe, repeat=len(variables)):
+            for var, value in zip(variables, values):
+                env[var] = value
+            if _eval(structure, sub, env) == want:
+                return True
+        return False
+    finally:
+        for var in variables:
+            env.pop(var, None)
+        env.update(saved)
+
+
+def answers(
+    structure: Structure,
+    formula: Formula,
+    free_order: Optional[Sequence[Var]] = None,
+) -> Set[Tuple[Any, ...]]:
+    """The answer relation ``psi^A = { a : A |= psi(a) }``.
+
+    ``free_order`` fixes the column order; by default free variables are
+    sorted by name.  For a sentence the result is ``{()}`` or ``set()``.
+    """
+    order = _resolve_order(formula, free_order)
+    result: Set[Tuple[Any, ...]] = set()
+    env: Dict[Var, Any] = {}
+    for values in product(structure.universe, repeat=len(order)):
+        for var, value in zip(order, values):
+            env[var] = value
+        if _eval(structure, formula, env):
+            result.add(values)
+    return result
+
+
+def _resolve_order(
+    formula: Formula, free_order: Optional[Sequence[Var]]
+) -> Tuple[Var, ...]:
+    free = free_variables(formula)
+    if free_order is None:
+        return tuple(sorted(free))
+    order = tuple(Var(v) if isinstance(v, str) else v for v in free_order)
+    if set(order) != set(free):
+        raise QueryError(
+            f"free_order {sorted(v.name for v in order)} does not match "
+            f"free variables {sorted(v.name for v in free)}"
+        )
+    return order
+
+
+class FOQuery:
+    """A first-order query: a formula plus an explicit free-variable order.
+
+    This is the concrete type most of the library passes around.  It
+    implements the query protocol used by the reliability layer:
+
+    * :attr:`arity` — number of free variables (``k`` in the paper);
+    * :meth:`evaluate` — truth of ``psi(a)`` for a single tuple;
+    * :meth:`answers` — the full answer relation ``psi^A``.
+    """
+
+    __slots__ = ("formula", "free_order")
+
+    def __init__(
+        self,
+        formula: Union[Formula, str],
+        free_order: Optional[Sequence[Union[Var, str]]] = None,
+    ):
+        if isinstance(formula, str):
+            formula = parse(formula)
+        self.formula = formula
+        self.free_order = _resolve_order(formula, free_order)
+
+    @property
+    def arity(self) -> int:
+        return len(self.free_order)
+
+    def evaluate(self, structure: Structure, args: Sequence[Any] = ()) -> bool:
+        """Truth of ``psi(args)`` in ``structure``."""
+        if len(args) != self.arity:
+            raise QueryError(
+                f"query has arity {self.arity}, got {len(args)} arguments"
+            )
+        env = dict(zip(self.free_order, args))
+        return _eval(structure, self.formula, env)
+
+    def answers(self, structure: Structure) -> Set[Tuple[Any, ...]]:
+        """The answer relation on ``structure``."""
+        return answers(structure, self.formula, self.free_order)
+
+    def instantiated(self, args: Sequence[Any]) -> Formula:
+        """The Boolean formula ``psi(args)`` with constants plugged in."""
+        from repro.logic.fo import instantiate
+
+        if len(args) != self.arity:
+            raise QueryError(
+                f"query has arity {self.arity}, got {len(args)} arguments"
+            )
+        return instantiate(self.formula, dict(zip(self.free_order, args)))
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.free_order)
+        return f"FOQuery([{names}] -> {self.formula})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FOQuery):
+            return NotImplemented
+        return (
+            self.formula == other.formula and self.free_order == other.free_order
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.formula, self.free_order))
+
+
+def all_tuples(structure: Structure, arity: int) -> Iterator[Tuple[Any, ...]]:
+    """All ``arity``-tuples over the structure's universe."""
+    return product(structure.universe, repeat=arity)

@@ -1,0 +1,100 @@
+"""Inflationary fixed-point queries.
+
+Theorem 4.2's FP^#P upper bound covers "all fixed point queries"; this
+module makes that concrete.  A :class:`FixpointQuery` repeatedly evaluates
+a first-order formula ``phi(X, x1..xk)`` with a free ``k``-ary relation
+variable ``X``, adding every satisfying tuple to ``X`` until nothing
+changes (the inflationary fixed point), then answers from the final
+relation.
+
+The relation variable is threaded through as an ordinary relation symbol
+in an expanded structure, so the plain FO evaluator does the work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Set, Tuple, Union
+
+from repro.logic.evaluator import FOQuery, all_tuples
+from repro.logic.fo import Formula, relations_used
+from repro.logic.parser import parse
+from repro.relational.schema import RelationSymbol, Vocabulary
+from repro.relational.structure import Structure
+from repro.util.errors import QueryError
+
+TupleOf = Tuple[Any, ...]
+
+
+class FixpointQuery:
+    """The inflationary fixed point of a first-order operator.
+
+    ``formula`` must mention the relation name ``fixpoint_relation`` (the
+    recursion variable ``X``) and have exactly ``arity`` free first-order
+    variables, in ``free_order``.  Example — transitive closure::
+
+        FixpointQuery(
+            "E(x, y) | (exists z. X(x, z) & E(z, y))",
+            fixpoint_relation="X",
+            free_order=("x", "y"),
+        )
+
+    Evaluation is polynomial: the relation grows monotonically, so at most
+    ``n**arity`` rounds each costing one FO evaluation pass.  The class
+    implements the query protocol (``arity``/``evaluate``/``answers``).
+    """
+
+    __slots__ = ("query", "fixpoint_relation")
+
+    def __init__(
+        self,
+        formula: Union[Formula, str],
+        fixpoint_relation: str = "X",
+        free_order: Sequence[str] = (),
+    ):
+        if isinstance(formula, str):
+            formula = parse(formula)
+        if fixpoint_relation not in relations_used(formula):
+            raise QueryError(
+                f"formula does not mention the fixpoint relation "
+                f"{fixpoint_relation!r}"
+            )
+        self.query = FOQuery(formula, free_order or None)
+        self.fixpoint_relation = fixpoint_relation
+        if self.query.arity == 0:
+            raise QueryError("fixpoint queries must have arity at least 1")
+
+    @property
+    def arity(self) -> int:
+        return self.query.arity
+
+    def _expanded(self, structure: Structure, current: Set[TupleOf]) -> Structure:
+        extra = Vocabulary([RelationSymbol(self.fixpoint_relation, self.arity)])
+        return structure.expand(extra, relations={self.fixpoint_relation: current})
+
+    def answers(self, structure: Structure) -> Set[TupleOf]:
+        """The inflationary fixed point, fully materialised."""
+        if self.fixpoint_relation in structure.vocabulary:
+            raise QueryError(
+                f"structure already interprets {self.fixpoint_relation!r}"
+            )
+        current: Set[TupleOf] = set()
+        while True:
+            expanded = self._expanded(structure, current)
+            derived = self.query.answers(expanded)
+            merged = current | derived
+            if merged == current:
+                return current
+            current = merged
+
+    def evaluate(self, structure: Structure, args: Sequence[Any] = ()) -> bool:
+        if len(args) != self.arity:
+            raise QueryError(
+                f"query has arity {self.arity}, got {len(args)} arguments"
+            )
+        return tuple(args) in self.answers(structure)
+
+    def __repr__(self) -> str:
+        return (
+            f"FixpointQuery(X={self.fixpoint_relation!r}, "
+            f"{self.query.formula})"
+        )

@@ -1,0 +1,396 @@
+"""First-order formula AST.
+
+Formulas are immutable and hashable.  Connectives: ``Not``, n-ary ``And``
+and ``Or``, ``Implies``, ``Iff``; quantifiers ``Exists`` and ``Forall``
+(each binding a block of variables); atomic formulas ``AtomF`` (a relation
+applied to terms) and ``Eq`` (term equality); constants ``Top`` and
+``Bottom``.
+
+Smart constructors (:func:`conj`, :func:`disj`, :func:`neg`, ...) perform
+light simplification — flattening nested conjunctions, absorbing
+``Top``/``Bottom`` — which keeps grounded formulas small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.logic.terms import Const, Term, Var, substitute_term
+from repro.util.errors import QueryError
+
+
+class Formula:
+    """Base class for first-order formulas."""
+
+    __slots__ = ()
+
+    # Convenience operator sugar so queries read naturally in examples:
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj(self, other)
+
+    def __invert__(self) -> "Formula":
+        return neg(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The true constant."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The false constant."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+@dataclass(frozen=True)
+class AtomF(Formula):
+    """An atomic formula ``R(t1, ..., tk)`` with terms as arguments."""
+
+    relation: str
+    args: Tuple[Term, ...]
+
+    __slots__ = ("relation", "args")
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.args)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Term equality ``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    sub: Formula
+
+    __slots__ = ("sub",)
+
+    def __str__(self) -> str:
+        return f"~{_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction."""
+
+    subs: Tuple[Formula, ...]
+
+    __slots__ = ("subs",)
+
+    def __str__(self) -> str:
+        return " & ".join(_paren(s) for s in self.subs)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction."""
+
+    subs: Tuple[Formula, ...]
+
+    __slots__ = ("subs",)
+
+    def __str__(self) -> str:
+        return " | ".join(_paren(s) for s in self.subs)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``left -> right``."""
+
+    left: Formula
+    right: Formula
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} -> {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Biconditional ``left <-> right``."""
+
+    left: Formula
+    right: Formula
+
+    __slots__ = ("left", "right")
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} <-> {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over a block of variables."""
+
+    variables: Tuple[Var, ...]
+    sub: Formula
+
+    __slots__ = ("variables", "sub")
+
+    def __str__(self) -> str:
+        names = " ".join(v.name for v in self.variables)
+        return f"exists {names}. {_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification over a block of variables."""
+
+    variables: Tuple[Var, ...]
+    sub: Formula
+
+    __slots__ = ("variables", "sub")
+
+    def __str__(self) -> str:
+        names = " ".join(v.name for v in self.variables)
+        return f"forall {names}. {_paren(self.sub)}"
+
+
+def _paren(formula: Formula) -> str:
+    if isinstance(formula, (AtomF, Eq, Not, Top, Bottom)):
+        return str(formula)
+    return f"({formula})"
+
+
+# ---------------------------------------------------------------------- #
+# smart constructors
+# ---------------------------------------------------------------------- #
+
+
+def atom(relation: str, *args: object) -> AtomF:
+    """Atomic formula; bare strings become variables, other values constants.
+
+    ``atom("E", "x", "y")`` is ``E(x, y)`` with variables ``x`` and ``y``;
+    ``atom("E", "x", Const(3))`` mixes a variable with the element ``3``.
+    """
+    terms = []
+    for arg in args:
+        if isinstance(arg, (Var, Const)):
+            terms.append(arg)
+        elif isinstance(arg, str):
+            terms.append(Var(arg))
+        else:
+            terms.append(Const(arg))
+    return AtomF(relation, tuple(terms))
+
+
+def conj(*formulas: Formula) -> Formula:
+    """Flattening conjunction with ``Top``/``Bottom`` absorption."""
+    parts = []
+    for formula in formulas:
+        if isinstance(formula, Bottom):
+            return BOTTOM
+        if isinstance(formula, Top):
+            continue
+        if isinstance(formula, And):
+            parts.extend(formula.subs)
+        else:
+            parts.append(formula)
+    if not parts:
+        return TOP
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def disj(*formulas: Formula) -> Formula:
+    """Flattening disjunction with ``Top``/``Bottom`` absorption."""
+    parts = []
+    for formula in formulas:
+        if isinstance(formula, Top):
+            return TOP
+        if isinstance(formula, Bottom):
+            continue
+        if isinstance(formula, Or):
+            parts.extend(formula.subs)
+        else:
+            parts.append(formula)
+    if not parts:
+        return BOTTOM
+    if len(parts) == 1:
+        return parts[0]
+    return Or(tuple(parts))
+
+
+def neg(formula: Formula) -> Formula:
+    """Negation with double-negation and constant elimination."""
+    if isinstance(formula, Not):
+        return formula.sub
+    if isinstance(formula, Top):
+        return BOTTOM
+    if isinstance(formula, Bottom):
+        return TOP
+    return Not(formula)
+
+
+def exists(variables: Iterable[object], sub: Formula) -> Formula:
+    """Existential block; strings are promoted to variables."""
+    block = tuple(Var(v) if isinstance(v, str) else v for v in variables)
+    if not block:
+        return sub
+    if isinstance(sub, Exists):
+        return Exists(block + sub.variables, sub.sub)
+    return Exists(block, sub)
+
+
+def forall(variables: Iterable[object], sub: Formula) -> Formula:
+    """Universal block; strings are promoted to variables."""
+    block = tuple(Var(v) if isinstance(v, str) else v for v in variables)
+    if not block:
+        return sub
+    if isinstance(sub, Forall):
+        return Forall(block + sub.variables, sub.sub)
+    return Forall(block, sub)
+
+
+# ---------------------------------------------------------------------- #
+# structural queries
+# ---------------------------------------------------------------------- #
+
+
+def free_variables(formula: Formula) -> FrozenSet[Var]:
+    """The free variables of a formula."""
+    if isinstance(formula, (Top, Bottom)):
+        return frozenset()
+    if isinstance(formula, AtomF):
+        return frozenset(t for t in formula.args if isinstance(t, Var))
+    if isinstance(formula, Eq):
+        return frozenset(
+            t for t in (formula.left, formula.right) if isinstance(t, Var)
+        )
+    if isinstance(formula, Not):
+        return free_variables(formula.sub)
+    if isinstance(formula, (And, Or)):
+        result: FrozenSet[Var] = frozenset()
+        for sub in formula.subs:
+            result |= free_variables(sub)
+        return result
+    if isinstance(formula, (Implies, Iff)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.sub) - frozenset(formula.variables)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def relations_used(formula: Formula) -> FrozenSet[str]:
+    """Names of all relation symbols occurring in the formula."""
+    if isinstance(formula, AtomF):
+        return frozenset({formula.relation})
+    if isinstance(formula, (Top, Bottom, Eq)):
+        return frozenset()
+    if isinstance(formula, Not):
+        return relations_used(formula.sub)
+    if isinstance(formula, (And, Or)):
+        result: FrozenSet[str] = frozenset()
+        for sub in formula.subs:
+            result |= relations_used(sub)
+        return result
+    if isinstance(formula, (Implies, Iff)):
+        return relations_used(formula.left) | relations_used(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return relations_used(formula.sub)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def substitute(formula: Formula, binding: Mapping[Var, Term]) -> Formula:
+    """Capture-avoiding substitution of terms for free variables.
+
+    Bindings whose targets are constants can never be captured; bindings to
+    variables are checked against the quantifier blocks they pass through.
+    """
+    if not binding:
+        return formula
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, AtomF):
+        return AtomF(
+            formula.relation,
+            tuple(substitute_term(t, binding) for t in formula.args),
+        )
+    if isinstance(formula, Eq):
+        return Eq(
+            substitute_term(formula.left, binding),
+            substitute_term(formula.right, binding),
+        )
+    if isinstance(formula, Not):
+        return Not(substitute(formula.sub, binding))
+    if isinstance(formula, And):
+        return And(tuple(substitute(s, binding) for s in formula.subs))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(s, binding) for s in formula.subs))
+    if isinstance(formula, Implies):
+        return Implies(
+            substitute(formula.left, binding), substitute(formula.right, binding)
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            substitute(formula.left, binding), substitute(formula.right, binding)
+        )
+    if isinstance(formula, (Exists, Forall)):
+        bound = set(formula.variables)
+        inner: Dict[Var, Term] = {
+            var: term for var, term in binding.items() if var not in bound
+        }
+        for term in inner.values():
+            if isinstance(term, Var) and term in bound:
+                raise QueryError(
+                    f"substitution would capture variable {term.name!r}"
+                )
+        cls = type(formula)
+        return cls(formula.variables, substitute(formula.sub, inner))
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def instantiate(formula: Formula, values: Mapping[Var, object]) -> Formula:
+    """Substitute concrete universe elements for free variables."""
+    binding = {var: Const(value) for var, value in values.items()}
+    return substitute(formula, binding)
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of AST nodes — used when reporting grounded-formula blowup."""
+    if isinstance(formula, (Top, Bottom, AtomF, Eq)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.sub)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(s) for s in formula.subs)
+    if isinstance(formula, (Implies, Iff)):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + formula_size(formula.sub)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")

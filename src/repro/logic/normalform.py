@@ -1,0 +1,257 @@
+"""Normal forms: negation normal form, prenex form, DNF matrices.
+
+Theorem 5.4 assumes the matrix of an existential query is in kDNF; this
+module supplies the transformations that make any first-order query fit
+that shape (NNF, prenex with fresh-variable renaming, distribution to DNF)
+together with :func:`matrix_width`, the ``k`` of the resulting kDNF —
+the quantity that controls the FPTRAS's polynomial degree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.logic.fo import (
+    And,
+    AtomF,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    free_variables,
+    neg,
+    substitute,
+)
+from repro.logic.terms import Var
+from repro.util.errors import QueryError
+
+
+def eliminate_arrows(formula: Formula) -> Formula:
+    """Rewrite ``->`` and ``<->`` in terms of ``~``, ``&``, ``|``."""
+    if isinstance(formula, (Top, Bottom, AtomF, Eq)):
+        return formula
+    if isinstance(formula, Not):
+        return neg(eliminate_arrows(formula.sub))
+    if isinstance(formula, And):
+        return conj(*(eliminate_arrows(s) for s in formula.subs))
+    if isinstance(formula, Or):
+        return disj(*(eliminate_arrows(s) for s in formula.subs))
+    if isinstance(formula, Implies):
+        return disj(
+            neg(eliminate_arrows(formula.left)), eliminate_arrows(formula.right)
+        )
+    if isinstance(formula, Iff):
+        left = eliminate_arrows(formula.left)
+        right = eliminate_arrows(formula.right)
+        return disj(conj(left, right), conj(neg(left), neg(right)))
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, eliminate_arrows(formula.sub))
+    if isinstance(formula, Forall):
+        return Forall(formula.variables, eliminate_arrows(formula.sub))
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed onto atoms.
+
+    Arrows are eliminated first.  Quantifiers dualise under negation.
+    """
+    return _nnf(eliminate_arrows(formula), positive=True)
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, Top):
+        return formula if positive else Bottom()
+    if isinstance(formula, Bottom):
+        return formula if positive else Top()
+    if isinstance(formula, (AtomF, Eq)):
+        return formula if positive else Not(formula)
+    if isinstance(formula, Not):
+        return _nnf(formula.sub, not positive)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(s, positive) for s in formula.subs)
+        return conj(*parts) if positive else disj(*parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(s, positive) for s in formula.subs)
+        return disj(*parts) if positive else conj(*parts)
+    if isinstance(formula, Exists):
+        inner = _nnf(formula.sub, positive)
+        return (
+            Exists(formula.variables, inner)
+            if positive
+            else Forall(formula.variables, inner)
+        )
+    if isinstance(formula, Forall):
+        inner = _nnf(formula.sub, positive)
+        return (
+            Forall(formula.variables, inner)
+            if positive
+            else Exists(formula.variables, inner)
+        )
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+class _FreshNames:
+    """Claims variable names, renaming only on collision.
+
+    Seeded with the formula's *free* variables; each quantifier claims its
+    name when pulled to the prefix, so distinct scopes reusing one name
+    get renamed apart while unambiguous names survive untouched.
+    """
+
+    def __init__(self, reserved: set, avoid: set):
+        self._reserved = {v.name for v in reserved}
+        # Names bound somewhere in the formula: renamed-apart variables
+        # must not collide with them, or a later substitution could
+        # capture.  A quantifier may still claim its own original name.
+        self._avoid = {v.name for v in avoid}
+        self._counter = 0
+
+    def fresh(self, base: str) -> Var:
+        candidate = base
+        while candidate in self._reserved or (
+            candidate != base and candidate in self._avoid
+        ):
+            self._counter += 1
+            candidate = f"{base}_{self._counter}"
+        self._reserved.add(candidate)
+        return Var(candidate)
+
+
+def to_prenex(formula: Formula) -> Tuple[Tuple[Tuple[str, Var], ...], Formula]:
+    """Prenex form of an NNF formula.
+
+    Returns ``(prefix, matrix)`` where ``prefix`` is a tuple of
+    ``("exists" | "forall", variable)`` pairs (outermost first) and
+    ``matrix`` is quantifier-free.  Bound variables are renamed apart so
+    pulling quantifiers out is sound.
+    """
+    nnf = to_nnf(formula)
+    names = _FreshNames(free_variables(nnf), set(_all_variables(nnf)))
+    prefix: List[Tuple[str, Var]] = []
+    matrix = _pull(nnf, prefix, names)
+    return tuple(prefix), matrix
+
+
+def _all_variables(formula: Formula) -> Iterator[Var]:
+    if isinstance(formula, AtomF):
+        for term in formula.args:
+            if isinstance(term, Var):
+                yield term
+    elif isinstance(formula, Eq):
+        for term in (formula.left, formula.right):
+            if isinstance(term, Var):
+                yield term
+    elif isinstance(formula, Not):
+        yield from _all_variables(formula.sub)
+    elif isinstance(formula, (And, Or)):
+        for sub in formula.subs:
+            yield from _all_variables(sub)
+    elif isinstance(formula, (Exists, Forall)):
+        yield from formula.variables
+        yield from _all_variables(formula.sub)
+
+
+def _pull(
+    formula: Formula, prefix: List[Tuple[str, Var]], names: _FreshNames
+) -> Formula:
+    if isinstance(formula, (Top, Bottom, AtomF, Eq)):
+        return formula
+    if isinstance(formula, Not):
+        # NNF: negation sits on an atom.
+        return formula
+    if isinstance(formula, (And, Or)):
+        parts = tuple(_pull(s, prefix, names) for s in formula.subs)
+        return conj(*parts) if isinstance(formula, And) else disj(*parts)
+    if isinstance(formula, (Exists, Forall)):
+        kind = "exists" if isinstance(formula, Exists) else "forall"
+        renaming: Dict[Var, Var] = {}
+        for var in formula.variables:
+            fresh = names.fresh(var.name)
+            renaming[var] = fresh
+            prefix.append((kind, fresh))
+        body = substitute(formula.sub, renaming) if renaming else formula.sub
+        return _pull(body, prefix, names)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def matrix_to_dnf(matrix: Formula) -> Formula:
+    """Distribute a quantifier-free NNF matrix into disjunctive normal form.
+
+    The result is an ``Or`` of ``And``s of literals (or a single
+    conjunction / literal / constant).  Worst-case exponential in the
+    matrix size — but the matrix belongs to the fixed query, not the data,
+    so this is a constant for data-complexity purposes (the paper makes
+    the same move in Theorem 5.4).
+    """
+    if isinstance(matrix, (Top, Bottom, AtomF, Eq, Not)):
+        return matrix
+    if isinstance(matrix, Or):
+        return disj(*(matrix_to_dnf(s) for s in matrix.subs))
+    if isinstance(matrix, And):
+        factor_lists: List[List[Formula]] = []
+        for sub in matrix.subs:
+            dnf_sub = matrix_to_dnf(sub)
+            if isinstance(dnf_sub, Or):
+                factor_lists.append(list(dnf_sub.subs))
+            else:
+                factor_lists.append([dnf_sub])
+        disjuncts: List[Formula] = [Top()]
+        for factors in factor_lists:
+            disjuncts = [
+                conj(existing, factor)
+                for existing in disjuncts
+                for factor in factors
+            ]
+        return disj(*disjuncts)
+    raise QueryError(
+        f"matrix_to_dnf expects a quantifier-free NNF formula, got "
+        f"{type(matrix).__name__}"
+    )
+
+
+def dnf_clauses(dnf: Formula) -> Tuple[Tuple[Formula, ...], ...]:
+    """View a DNF formula as a tuple of clauses, each a tuple of literals."""
+    if isinstance(dnf, Bottom):
+        return ()
+    if isinstance(dnf, Or):
+        return tuple(_clause_literals(sub) for sub in dnf.subs)
+    return (_clause_literals(dnf),)
+
+
+def _clause_literals(clause: Formula) -> Tuple[Formula, ...]:
+    if isinstance(clause, And):
+        return clause.subs
+    return (clause,)
+
+
+def matrix_width(dnf: Formula) -> int:
+    """The ``k`` of a kDNF matrix: the largest clause size."""
+    clauses = dnf_clauses(dnf)
+    if not clauses:
+        return 0
+    return max(len(clause) for clause in clauses)
+
+
+def existential_parts(formula: Formula) -> Tuple[Tuple[Var, ...], Formula]:
+    """Decompose an existential query into its variables and DNF matrix.
+
+    Raises :class:`QueryError` when the prenex prefix contains a universal
+    quantifier — callers use this to enforce Theorem 5.4's precondition.
+    """
+    prefix, matrix = to_prenex(formula)
+    for kind, _var in prefix:
+        if kind != "exists":
+            raise QueryError(
+                "formula is not existential: prenex prefix contains forall"
+            )
+    variables = tuple(var for _kind, var in prefix)
+    return variables, matrix_to_dnf(matrix)

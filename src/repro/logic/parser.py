@@ -1,0 +1,250 @@
+"""Recursive-descent parser for a textual first-order query syntax.
+
+Grammar (lowest to highest precedence)::
+
+    formula     := quantified
+    quantified  := ("exists" | "forall") var+ "." quantified | iff
+    iff         := implies ("<->" implies)*
+    implies     := or ("->" implies)?          (right associative)
+    or          := and ("|" and)*
+    and         := unary ("&" unary)*
+    unary       := "~" unary | "true" | "false" | "(" formula ")" | atom | eq
+    atom        := NAME "(" term ("," term)* ")" | NAME "(" ")"
+    eq          := term "=" term | term "!=" term
+    term        := NAME (a variable)  |  NUMBER or 'quoted' (a constant)
+
+Variable names are lower-case identifiers; relation names may be any
+identifier (the parser distinguishes them by position).  Numbers and
+single-quoted tokens are constants.  Examples::
+
+    parse("exists x y. E(x, y) & S(y)")
+    parse("forall x. P(x) -> exists y. E(x, y)")
+    parse("R(x) & x != 'a'")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.logic.fo import (
+    BOTTOM,
+    TOP,
+    AtomF,
+    Eq,
+    Formula,
+    conj,
+    disj,
+    exists,
+    forall,
+    neg,
+)
+from repro.logic.terms import Const, Term, Var
+from repro.util.errors import QueryError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow2><->)
+  | (?P<arrow>->)
+  | (?P<neq>!=)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<number>-?\d+)
+  | (?P<string>'[^']*')
+  | (?P<punct>[().,&|~=])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false"}
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise QueryError(
+                f"syntax error at position {index}: {source[index:index + 10]!r}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), index))
+        index = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._source = source
+        self._tokens = _tokenize(source)
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------- #
+
+    def _peek(self) -> Optional[_Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self._source!r}")
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> None:
+        token = self._next()
+        if token.text != text:
+            raise QueryError(
+                f"expected {text!r} at position {token.position}, got {token.text!r}"
+            )
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self._pos += 1
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------- #
+
+    def parse(self) -> Formula:
+        formula = self._quantified()
+        leftover = self._peek()
+        if leftover is not None:
+            raise QueryError(
+                f"trailing input at position {leftover.position}: {leftover.text!r}"
+            )
+        return formula
+
+    def _quantified(self) -> Formula:
+        token = self._peek()
+        if token is not None and token.text in ("exists", "forall"):
+            self._next()
+            variables: List[str] = []
+            while True:
+                name = self._peek()
+                if name is None or name.kind != "name" or name.text in _KEYWORDS:
+                    break
+                variables.append(self._next().text)
+            if not variables:
+                raise QueryError(
+                    f"quantifier at position {token.position} binds no variables"
+                )
+            self._expect(".")
+            body = self._quantified()
+            maker = exists if token.text == "exists" else forall
+            return maker(variables, body)
+        return self._iff()
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self._accept("<->"):
+            right = self._implies()
+            from repro.logic.fo import Iff
+
+            left = Iff(left, right)
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self._accept("->"):
+            right = self._implies()
+            from repro.logic.fo import Implies
+
+            return Implies(left, right)
+        return left
+
+    def _or(self) -> Formula:
+        parts = [self._and()]
+        while self._accept("|"):
+            parts.append(self._and())
+        return disj(*parts) if len(parts) > 1 else parts[0]
+
+    def _and(self) -> Formula:
+        parts = [self._unary()]
+        while self._accept("&"):
+            parts.append(self._unary())
+        return conj(*parts) if len(parts) > 1 else parts[0]
+
+    def _unary(self) -> Formula:
+        if self._accept("~"):
+            return neg(self._unary())
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self._source!r}")
+        if token.text == "(":
+            self._next()
+            inner = self._quantified()
+            self._expect(")")
+            return inner
+        if token.text == "true":
+            self._next()
+            return TOP
+        if token.text == "false":
+            self._next()
+            return BOTTOM
+        if token.kind == "name" and token.text in ("exists", "forall"):
+            return self._quantified()
+        # Atom `R(...)` or equality `t = t` / `t != t`.
+        if token.kind == "name" and self._lookahead_is("("):
+            return self._atom()
+        return self._equality()
+
+    def _lookahead_is(self, text: str) -> bool:
+        nxt = self._pos + 1
+        return nxt < len(self._tokens) and self._tokens[nxt].text == text
+
+    def _atom(self) -> Formula:
+        name = self._next().text
+        self._expect("(")
+        args: List[Term] = []
+        if not self._accept(")"):
+            args.append(self._term())
+            while self._accept(","):
+                args.append(self._term())
+            self._expect(")")
+        return AtomF(name, tuple(args))
+
+    def _equality(self) -> Formula:
+        left = self._term()
+        token = self._peek()
+        if token is None or token.text not in ("=", "!="):
+            raise QueryError(
+                f"expected '=' or '!=' in equality near {self._source!r}"
+            )
+        self._next()
+        right = self._term()
+        equality: Formula = Eq(left, right)
+        return equality if token.text == "=" else neg(equality)
+
+    def _term(self) -> Term:
+        token = self._next()
+        if token.kind == "number":
+            return Const(int(token.text))
+        if token.kind == "string":
+            return Const(token.text[1:-1])
+        if token.kind == "name":
+            if token.text in _KEYWORDS:
+                raise QueryError(
+                    f"keyword {token.text!r} cannot be used as a term "
+                    f"(position {token.position})"
+                )
+            return Var(token.text)
+        raise QueryError(
+            f"expected a term at position {token.position}, got {token.text!r}"
+        )
+
+
+def parse(source: str) -> Formula:
+    """Parse a textual first-order query into a :class:`Formula`."""
+    return _Parser(source).parse()

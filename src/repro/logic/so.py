@@ -1,0 +1,157 @@
+"""Second-order quantification by brute force.
+
+Second-order queries capture exactly the polynomial-time hierarchy on
+finite structures (Fagin/Stockmeyer), which is how Theorem 4.2 extends the
+FP^#P upper bound beyond PTIME-evaluable queries.  This module evaluates
+second-order prefixes ``(exists|forall) X^arity ...`` over a first-order
+body by enumerating all ``2 ** (n ** arity)`` interpretations — usable
+only on small universes, which is all the exact FP^#P algorithm of
+Theorem 4.2 needs for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations, product
+from typing import Any, Iterable, Iterator, Sequence, Set, Tuple, Union
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.fo import Formula
+from repro.logic.parser import parse
+from repro.relational.schema import RelationSymbol, Vocabulary
+from repro.relational.structure import Structure
+from repro.util.errors import QueryError
+
+TupleOf = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class SOQuantifier:
+    """One second-order quantifier: kind, relation-variable name, arity."""
+
+    kind: str  # "exists" | "forall"
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("exists", "forall"):
+            raise QueryError(f"bad second-order quantifier kind {self.kind!r}")
+        if self.arity < 0:
+            raise QueryError(f"negative arity for {self.name!r}")
+
+
+def SOExists(name: str, arity: int) -> SOQuantifier:
+    """Existential second-order quantifier over an ``arity``-ary relation."""
+    return SOQuantifier("exists", name, arity)
+
+
+def SOForall(name: str, arity: int) -> SOQuantifier:
+    """Universal second-order quantifier over an ``arity``-ary relation."""
+    return SOQuantifier("forall", name, arity)
+
+
+def _all_relations(
+    universe: Sequence[Any], arity: int
+) -> Iterator[Tuple[TupleOf, ...]]:
+    rows = tuple(product(universe, repeat=arity))
+    return chain.from_iterable(
+        combinations(rows, size) for size in range(len(rows) + 1)
+    )
+
+
+class SOQuery:
+    """A second-order query: an SO prefix over a first-order body.
+
+    Example — 3-colourability (a sigma-1-1 query)::
+
+        SOQuery(
+            [SOExists("C1", 1), SOExists("C2", 1)],
+            "forall x y. E(x, y) -> ~((C1(x) <-> C1(y)) & (C2(x) <-> C2(y)))",
+        )
+
+    Evaluation is exponential in ``n ** arity`` per quantifier; the class
+    implements the query protocol, so the reliability layer treats it
+    uniformly.
+    """
+
+    __slots__ = ("prefix", "body", "_fo")
+
+    def __init__(
+        self,
+        prefix: Iterable[SOQuantifier],
+        body: Union[Formula, str],
+        free_order: Sequence[str] = (),
+    ):
+        self.prefix: Tuple[SOQuantifier, ...] = tuple(prefix)
+        if isinstance(body, str):
+            body = parse(body)
+        self.body = body
+        names = [q.name for q in self.prefix]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate relation variables in prefix: {names}")
+        self._fo = FOQuery(body, free_order or None)
+
+    @property
+    def arity(self) -> int:
+        return self._fo.arity
+
+    def evaluate(self, structure: Structure, args: Sequence[Any] = ()) -> bool:
+        """Truth of the SO query on one tuple."""
+        return self._eval(structure, 0, args)
+
+    def _eval(
+        self, structure: Structure, depth: int, args: Sequence[Any]
+    ) -> bool:
+        if depth == len(self.prefix):
+            return self._fo.evaluate(structure, args)
+        quantifier = self.prefix[depth]
+        if quantifier.name in structure.vocabulary:
+            raise QueryError(
+                f"structure already interprets {quantifier.name!r}"
+            )
+        extra = Vocabulary([RelationSymbol(quantifier.name, quantifier.arity)])
+        want = quantifier.kind == "exists"
+        for rows in _all_relations(structure.universe, quantifier.arity):
+            expanded = structure.expand(extra, relations={quantifier.name: rows})
+            if self._eval(expanded, depth + 1, args) == want:
+                return want
+        return not want
+
+    def answers(self, structure: Structure) -> Set[TupleOf]:
+        """The answer relation (query-protocol method)."""
+        result: Set[TupleOf] = set()
+        for args in product(structure.universe, repeat=self.arity):
+            if self.evaluate(structure, args):
+                result.add(args)
+        return result
+
+    def __repr__(self) -> str:
+        prefix = " ".join(
+            f"{q.kind[0].upper()}{q.name}^{q.arity}" for q in self.prefix
+        )
+        return f"SOQuery({prefix}. {self.body})"
+
+
+def evaluate_so(
+    structure: Structure,
+    prefix: Iterable[SOQuantifier],
+    body: Union[Formula, str],
+    args: Sequence[Any] = (),
+) -> bool:
+    """One-shot evaluation of a second-order query."""
+    return SOQuery(prefix, body).evaluate(structure, args)
+
+
+def three_colourability() -> SOQuery:
+    """NP-complete benchmark query: is the graph 3-colourable?
+
+    Colour classes are encoded by two unary relation variables giving four
+    colour codes, with one code (both false) excluded via a third clause —
+    here we use two existential unary relations and allow 4 colours minus
+    constraints; for exactly three colours we forbid the code (1, 1).
+    """
+    return SOQuery(
+        [SOExists("C1", 1), SOExists("C2", 1)],
+        "(forall x. ~(C1(x) & C2(x))) & "
+        "(forall x y. E(x, y) -> ~((C1(x) <-> C1(y)) & (C2(x) <-> C2(y))))",
+    )

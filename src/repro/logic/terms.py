@@ -1,0 +1,52 @@
+"""First-order terms: variables and constants.
+
+The paper's relational setting has no function symbols, so a term is
+either a variable or a constant denoting a universe element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Union
+
+from repro.util.errors import EvaluationError
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant denoting a fixed universe element."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+
+def term_value(term: Term, assignment: Mapping[Var, Any]) -> Any:
+    """The universe element denoted by ``term`` under ``assignment``."""
+    if isinstance(term, Const):
+        return term.value
+    try:
+        return assignment[term]
+    except KeyError:
+        raise EvaluationError(f"unbound variable {term.name!r}") from None
+
+
+def substitute_term(term: Term, binding: Mapping[Var, Term]) -> Term:
+    """Apply a variable-to-term substitution to a single term."""
+    if isinstance(term, Var):
+        return binding.get(term, term)
+    return term

@@ -1,0 +1,62 @@
+"""Metafinite (functional) databases with aggregates — Section 6.
+
+A functional database over an interpreted numerical structure ``R`` is a
+finite set ``A`` with functions ``f : A^k -> R``; queries are terms built
+from the database functions, the interpreted operations of ``R`` and
+multiset operations (sum, prod, min, max, count, avg) that play the role
+SQL aggregates play — and that generalise quantifiers (max/min of 0-1
+terms are exists/forall).
+
+Unreliability (Definition 6.1): each entry ``f(a)`` carries a
+finite-support probability distribution over values, independent across
+entries, summing to one.  Theorem 6.2's algorithmic content is
+implemented: exact polynomial-time reliability for quantifier-free terms,
+exact FP^#P-style world enumeration for first-order (aggregate) terms,
+and the Monte-Carlo estimators carried over from the relational case.
+"""
+
+from repro.metafinite.database import (
+    FunctionalDatabase,
+    UnreliableFunctionalDatabase,
+    ValueDistribution,
+)
+from repro.metafinite.terms import (
+    FuncTerm,
+    NumConst,
+    Apply,
+    MultisetOp,
+    MetafiniteQuery,
+    func,
+    num,
+    apply_op,
+    aggregate,
+    OPERATIONS,
+)
+from repro.metafinite.evaluator import evaluate_term
+from repro.metafinite.reliability import (
+    metafinite_expected_error,
+    metafinite_reliability,
+    metafinite_reliability_qf,
+    estimate_metafinite_reliability,
+)
+
+__all__ = [
+    "FunctionalDatabase",
+    "UnreliableFunctionalDatabase",
+    "ValueDistribution",
+    "FuncTerm",
+    "NumConst",
+    "Apply",
+    "MultisetOp",
+    "MetafiniteQuery",
+    "func",
+    "num",
+    "apply_op",
+    "aggregate",
+    "OPERATIONS",
+    "evaluate_term",
+    "metafinite_expected_error",
+    "metafinite_reliability",
+    "metafinite_reliability_qf",
+    "estimate_metafinite_reliability",
+]

@@ -1,0 +1,103 @@
+"""Evaluation of metafinite terms on functional databases."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Any, Dict, Mapping
+
+from repro.logic.terms import Const, Var
+from repro.metafinite.database import FunctionalDatabase
+from repro.metafinite.terms import (
+    OPERATIONS,
+    Apply,
+    FuncTerm,
+    MTerm,
+    MultisetOp,
+    NumConst,
+)
+from repro.util.errors import EvaluationError, QueryError
+
+
+def evaluate_term(
+    db: FunctionalDatabase,
+    term: MTerm,
+    env: Mapping[Var, Any],
+) -> Any:
+    """The value of ``term`` on ``db`` under the variable assignment.
+
+    Cost: polynomial in ``n`` for a fixed term — each multiset operation
+    multiplies the work by ``n ** #bound_variables``.
+    """
+    if isinstance(term, NumConst):
+        return term.value
+    if isinstance(term, FuncTerm):
+        args = []
+        for sub in term.args:
+            if isinstance(sub, Const):
+                args.append(sub.value)
+            else:
+                try:
+                    args.append(env[sub])
+                except KeyError:
+                    raise EvaluationError(
+                        f"unbound variable {sub.name!r} in {term}"
+                    ) from None
+        return db.value(term.name, tuple(args))
+    if isinstance(term, Apply):
+        operation = OPERATIONS.get(term.operation)
+        if operation is None:
+            raise QueryError(f"unknown operation {term.operation!r}")
+        values = [evaluate_term(db, sub, env) for sub in term.args]
+        return operation(*values)
+    if isinstance(term, MultisetOp):
+        return _evaluate_multiset(db, term, env)
+    raise QueryError(f"unknown metafinite term {type(term).__name__}")
+
+
+def _evaluate_multiset(
+    db: FunctionalDatabase,
+    term: MultisetOp,
+    env: Mapping[Var, Any],
+) -> Any:
+    values = []
+    inner: Dict[Var, Any] = dict(env)
+    for combo in product(db.universe, repeat=len(term.variables)):
+        for variable, value in zip(term.variables, combo):
+            inner[variable] = value
+        values.append(evaluate_term(db, term.body, inner))
+    if not values:
+        # Empty universe: neutral elements where they exist.
+        if term.operation == "sum":
+            return 0
+        if term.operation == "prod":
+            return 1
+        if term.operation == "count":
+            return 0
+        raise EvaluationError(
+            f"{term.operation} over an empty multiset is undefined"
+        )
+    if term.operation == "sum":
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        return total
+    if term.operation == "prod":
+        total = values[0]
+        for value in values[1:]:
+            total = total * value
+        return total
+    if term.operation == "min":
+        return min(values)
+    if term.operation == "max":
+        return max(values)
+    if term.operation == "count":
+        return sum(1 for value in values if value != 0)
+    if term.operation == "avg":
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        if isinstance(total, int):
+            return Fraction(total, len(values))
+        return total / len(values)
+    raise QueryError(f"unknown multiset operation {term.operation!r}")

@@ -1,0 +1,208 @@
+"""Second-order metafinite terms — the FP^CH fragment of Theorem 6.2(iii).
+
+Section 6 defines second-order metafinite queries by allowing multiset
+operations over *relations* rather than tuples: from a term
+``F(S, x)`` with a free second-order variable ``S`` one builds
+``sum_S F(S, x)``, ranging over all 0/1-valued functions
+``S : A^arity -> {0, 1}``.
+
+Evaluation enumerates all ``2 ** (n ** arity)`` interpretations — the
+same brute force the relational :mod:`repro.logic.so` uses, which is all
+the Theorem 6.2(iii) upper-bound argument needs ("guess one of the
+finitely many databases, ... evaluate").  The reliability of such
+queries is computed by the generic engine in
+:mod:`repro.metafinite.reliability`, since :class:`SOMetafiniteQuery`
+implements the same query protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
+
+from repro.logic.terms import Var
+from repro.metafinite.database import FunctionalDatabase
+from repro.metafinite.evaluator import evaluate_term
+from repro.metafinite.terms import MTerm, term_free_variables
+from repro.util.errors import QueryError
+
+SO_OPERATIONS = ("sum", "prod", "min", "max")
+
+
+@dataclass(frozen=True)
+class SOAggregate(MTerm):
+    """A multiset operation over a second-order function variable.
+
+    ``operation`` ranges over the body's values as ``relation_variable``
+    runs through every 0/1 function of the given arity.  The body may
+    mention the relation variable as an ordinary database function.
+    """
+
+    operation: str
+    relation_variable: str
+    arity: int
+    body: MTerm
+
+    __slots__ = ("operation", "relation_variable", "arity", "body")
+
+    def __post_init__(self) -> None:
+        if self.operation not in SO_OPERATIONS:
+            raise QueryError(
+                f"unknown second-order operation {self.operation!r}"
+            )
+        if self.arity < 1:
+            raise QueryError("second-order variables need arity >= 1")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.operation}_{{{self.relation_variable}^{self.arity}}}"
+            f"({self.body})"
+        )
+
+
+def so_aggregate(
+    operation: str, relation_variable: str, arity: int, body: MTerm
+) -> SOAggregate:
+    """Constructor mirroring :func:`repro.metafinite.terms.aggregate`."""
+    return SOAggregate(operation, relation_variable, arity, body)
+
+
+def _expand_database(
+    db: FunctionalDatabase, name: str, arity: int, bits: Sequence[int]
+) -> FunctionalDatabase:
+    rows = tuple(product(db.universe, repeat=arity))
+    functions: Dict[str, Dict[Tuple, Any]] = {
+        fname: dict(
+            (args, db.value(fname, args))
+            for args in product(db.universe, repeat=db.arity(fname))
+        )
+        for fname in db.function_names()
+    }
+    if name in functions:
+        raise QueryError(f"database already defines {name!r}")
+    functions[name] = {row: bit for row, bit in zip(rows, bits)}
+    return FunctionalDatabase(db.universe, functions)
+
+
+def evaluate_so_term(
+    db: FunctionalDatabase,
+    term: MTerm,
+    env: Mapping[Var, Any],
+) -> Any:
+    """Evaluate a term that may contain :class:`SOAggregate` nodes.
+
+    First-order parts delegate to the standard evaluator; each
+    second-order node enumerates all 0/1 functions for its variable.
+    """
+    if isinstance(term, SOAggregate):
+        rows = len(db.universe) ** term.arity
+        values = []
+        for pattern in product((0, 1), repeat=rows):
+            expanded = _expand_database(
+                db, term.relation_variable, term.arity, pattern
+            )
+            values.append(evaluate_so_term(expanded, term.body, env))
+        if term.operation == "sum":
+            total = values[0]
+            for value in values[1:]:
+                total = total + value
+            return total
+        if term.operation == "prod":
+            total = values[0]
+            for value in values[1:]:
+                total = total * value
+            return total
+        if term.operation == "min":
+            return min(values)
+        return max(values)
+    # No SO nodes below?  Fall back to the fast evaluator.
+    if not _contains_so(term):
+        return evaluate_term(db, term, env)
+    # Mixed node: recurse through the first-order structure.
+    from repro.metafinite.terms import Apply, FuncTerm, MultisetOp, NumConst
+
+    if isinstance(term, (NumConst, FuncTerm)):
+        return evaluate_term(db, term, env)
+    if isinstance(term, Apply):
+        from repro.metafinite.terms import OPERATIONS
+
+        values = [evaluate_so_term(db, sub, env) for sub in term.args]
+        return OPERATIONS[term.operation](*values)
+    if isinstance(term, MultisetOp):
+        inner: Dict[Var, Any] = dict(env)
+        values = []
+        for combo in product(db.universe, repeat=len(term.variables)):
+            for variable, value in zip(term.variables, combo):
+                inner[variable] = value
+            values.append(evaluate_so_term(db, term.body, inner))
+        if term.operation == "sum":
+            return sum(values)
+        if term.operation == "prod":
+            result = values[0]
+            for value in values[1:]:
+                result = result * value
+            return result
+        if term.operation == "min":
+            return min(values)
+        if term.operation == "max":
+            return max(values)
+        if term.operation == "count":
+            return sum(1 for v in values if v != 0)
+        total = sum(values)
+        from fractions import Fraction
+
+        return (
+            Fraction(total, len(values)) if isinstance(total, int)
+            else total / len(values)
+        )
+    raise QueryError(f"unknown metafinite term {type(term).__name__}")
+
+
+def _contains_so(term: MTerm) -> bool:
+    from repro.metafinite.terms import Apply, MultisetOp
+
+    if isinstance(term, SOAggregate):
+        return True
+    if isinstance(term, Apply):
+        return any(_contains_so(sub) for sub in term.args)
+    if isinstance(term, MultisetOp):
+        return _contains_so(term.body)
+    return False
+
+
+class SOMetafiniteQuery:
+    """A second-order metafinite query implementing the query protocol."""
+
+    __slots__ = ("term", "free_order")
+
+    def __init__(
+        self,
+        term: MTerm,
+        free_order: Sequence[Union[str, Var]] = (),
+    ):
+        self.term = term
+        order = tuple(Var(v) if isinstance(v, str) else v for v in free_order)
+        self.free_order = order
+
+    @property
+    def arity(self) -> int:
+        return len(self.free_order)
+
+    def evaluate(self, db: FunctionalDatabase, args: Sequence[Any] = ()):
+        if len(args) != self.arity:
+            raise QueryError(
+                f"query has arity {self.arity}, got {len(args)} arguments"
+            )
+        env = dict(zip(self.free_order, args))
+        return evaluate_so_term(db, self.term, env)
+
+    def answers(self, db: FunctionalDatabase) -> Dict[Tuple[Any, ...], Any]:
+        result: Dict[Tuple[Any, ...], Any] = {}
+        for args in product(db.universe, repeat=self.arity):
+            result[args] = self.evaluate(db, args)
+        return result
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.free_order)
+        return f"SOMetafiniteQuery([{names}] -> {self.term})"

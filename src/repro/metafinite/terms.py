@@ -1,0 +1,278 @@
+"""The term language for metafinite queries.
+
+Terms (Section 6):
+
+* :class:`FuncTerm` — a database function applied to first-order terms;
+* :class:`NumConst` — a constant of the interpreted structure ``R``;
+* :class:`Apply` — an interpreted operation of ``R`` applied to terms
+  (arithmetic, comparisons and Boolean operations coded as 0/1, matching
+  the paper's stipulation that ``R`` contains 0, 1 and the Boolean
+  functions);
+* :class:`MultisetOp` — a multiset operation binding first-order
+  variables: ``sum_y F(x, y)`` etc.  ``max``/``min`` of 0/1 terms are the
+  metafinite forms of exists/forall, as the paper points out.
+
+Variables range over the finite set ``A`` only — never over ``R`` — which
+is the restriction metafinite model theory uses to stay effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Sequence, Tuple, Union
+
+from repro.logic.terms import Const, Term, Var
+from repro.util.errors import EvaluationError, QueryError
+
+NumberLike = Union[int, float, Fraction]
+
+
+class MTerm:
+    """Base class for metafinite terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NumConst(MTerm):
+    """A constant of the interpreted numerical structure."""
+
+    value: NumberLike
+
+    __slots__ = ("value",)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class FuncTerm(MTerm):
+    """A database function applied to first-order terms: ``f(x, y)``."""
+
+    name: str
+    args: Tuple[Term, ...]
+
+    __slots__ = ("name", "args")
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Apply(MTerm):
+    """An interpreted operation applied to sub-terms: ``add(t1, t2)``."""
+
+    operation: str
+    args: Tuple[MTerm, ...]
+
+    __slots__ = ("operation", "args")
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.args)
+        return f"{self.operation}({inner})"
+
+
+@dataclass(frozen=True)
+class MultisetOp(MTerm):
+    """A multiset operation binding variables: ``sum_{y in A} body``."""
+
+    operation: str  # "sum" | "prod" | "min" | "max" | "count" | "avg"
+    variables: Tuple[Var, ...]
+    body: MTerm
+
+    __slots__ = ("operation", "variables", "body")
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"{self.operation}_{{{names}}}({self.body})"
+
+
+def _as_bool(value: NumberLike) -> bool:
+    return value != 0
+
+
+def _from_bool(value: bool) -> int:
+    return 1 if value else 0
+
+
+def _safe_div(a: NumberLike, b: NumberLike) -> NumberLike:
+    if b == 0:
+        raise EvaluationError("division by zero in metafinite term")
+    if isinstance(a, int) and isinstance(b, int):
+        return Fraction(a, b)
+    return a / b
+
+
+# The interpreted operations of R.  All are efficiently computable, as
+# Section 6 requires.  Comparisons and Boolean connectives return 0/1.
+OPERATIONS: Dict[str, Callable[..., NumberLike]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _safe_div,
+    "neg": lambda a: -a,
+    "abs": lambda a: abs(a),
+    "min2": lambda a, b: min(a, b),
+    "max2": lambda a, b: max(a, b),
+    "eq": lambda a, b: _from_bool(a == b),
+    "neq": lambda a, b: _from_bool(a != b),
+    "lt": lambda a, b: _from_bool(a < b),
+    "leq": lambda a, b: _from_bool(a <= b),
+    "gt": lambda a, b: _from_bool(a > b),
+    "geq": lambda a, b: _from_bool(a >= b),
+    "not": lambda a: _from_bool(not _as_bool(a)),
+    "and": lambda *xs: _from_bool(all(_as_bool(x) for x in xs)),
+    "or": lambda *xs: _from_bool(any(_as_bool(x) for x in xs)),
+    "ite": lambda c, t, e: t if _as_bool(c) else e,
+}
+
+MULTISET_OPERATIONS = ("sum", "prod", "min", "max", "count", "avg")
+
+
+# ---------------------------------------------------------------------- #
+# constructors
+# ---------------------------------------------------------------------- #
+
+
+def num(value: NumberLike) -> NumConst:
+    """A numeric constant term."""
+    return NumConst(value)
+
+
+def func(name: str, *args: Union[str, Term, Any]) -> FuncTerm:
+    """A database-function term; bare strings become variables."""
+    terms = []
+    for arg in args:
+        if isinstance(arg, (Var, Const)):
+            terms.append(arg)
+        elif isinstance(arg, str):
+            terms.append(Var(arg))
+        else:
+            terms.append(Const(arg))
+    return FuncTerm(name, tuple(terms))
+
+
+def apply_op(operation: str, *args: Union[MTerm, NumberLike]) -> Apply:
+    """An interpreted-operation term; bare numbers become constants."""
+    if operation not in OPERATIONS:
+        raise QueryError(f"unknown interpreted operation {operation!r}")
+    terms = tuple(
+        arg if isinstance(arg, MTerm) else NumConst(arg) for arg in args
+    )
+    return Apply(operation, terms)
+
+
+def aggregate(
+    operation: str, variables: Sequence[Union[str, Var]], body: MTerm
+) -> MultisetOp:
+    """A multiset-operation term: ``aggregate("sum", ["y"], body)``."""
+    if operation not in MULTISET_OPERATIONS:
+        raise QueryError(f"unknown multiset operation {operation!r}")
+    block = tuple(Var(v) if isinstance(v, str) else v for v in variables)
+    if not block:
+        raise QueryError("a multiset operation must bind at least one variable")
+    return MultisetOp(operation, block, body)
+
+
+# ---------------------------------------------------------------------- #
+# structural queries
+# ---------------------------------------------------------------------- #
+
+
+def term_free_variables(term: MTerm) -> FrozenSet[Var]:
+    """Free first-order variables of a metafinite term."""
+    if isinstance(term, NumConst):
+        return frozenset()
+    if isinstance(term, FuncTerm):
+        return frozenset(t for t in term.args if isinstance(t, Var))
+    if isinstance(term, Apply):
+        result: FrozenSet[Var] = frozenset()
+        for sub in term.args:
+            result |= term_free_variables(sub)
+        return result
+    if isinstance(term, MultisetOp):
+        return term_free_variables(term.body) - frozenset(term.variables)
+    raise QueryError(f"unknown metafinite term {type(term).__name__}")
+
+
+def is_aggregate_free(term: MTerm) -> bool:
+    """True for quantifier-free terms (Theorem 6.2(i)'s fragment)."""
+    if isinstance(term, (NumConst, FuncTerm)):
+        return True
+    if isinstance(term, Apply):
+        return all(is_aggregate_free(sub) for sub in term.args)
+    if isinstance(term, MultisetOp):
+        return False
+    raise QueryError(f"unknown metafinite term {type(term).__name__}")
+
+
+def functions_used(term: MTerm) -> FrozenSet[str]:
+    """Database-function names occurring in a term."""
+    if isinstance(term, NumConst):
+        return frozenset()
+    if isinstance(term, FuncTerm):
+        return frozenset({term.name})
+    if isinstance(term, Apply):
+        result: FrozenSet[str] = frozenset()
+        for sub in term.args:
+            result |= functions_used(sub)
+        return result
+    if isinstance(term, MultisetOp):
+        return functions_used(term.body)
+    raise QueryError(f"unknown metafinite term {type(term).__name__}")
+
+
+class MetafiniteQuery:
+    """A metafinite query: a term plus an explicit free-variable order.
+
+    Associates with a functional database ``A`` the function
+    ``F^A : A^k -> R`` (for ``k = 0``, a single numeric value).
+    """
+
+    __slots__ = ("term", "free_order")
+
+    def __init__(
+        self,
+        term: MTerm,
+        free_order: Sequence[Union[str, Var]] = (),
+    ):
+        self.term = term
+        order = tuple(Var(v) if isinstance(v, str) else v for v in free_order)
+        free = term_free_variables(term)
+        if not order:
+            order = tuple(sorted(free))
+        if set(order) != set(free):
+            raise QueryError(
+                f"free_order {[v.name for v in order]} does not match free "
+                f"variables {sorted(v.name for v in free)}"
+            )
+        self.free_order = order
+
+    @property
+    def arity(self) -> int:
+        return len(self.free_order)
+
+    def evaluate(self, db, args: Sequence[Any] = ()):
+        """``F^A(args)`` — the term value on one argument tuple."""
+        from repro.metafinite.evaluator import evaluate_term
+
+        if len(args) != self.arity:
+            raise QueryError(
+                f"query has arity {self.arity}, got {len(args)} arguments"
+            )
+        env = dict(zip(self.free_order, args))
+        return evaluate_term(db, self.term, env)
+
+    def answers(self, db) -> Dict[Tuple[Any, ...], Any]:
+        """The full function ``F^A`` as a dict (query-protocol analogue)."""
+        result: Dict[Tuple[Any, ...], Any] = {}
+        for args in product(db.universe, repeat=self.arity):
+            result[args] = self.evaluate(db, args)
+        return result
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.free_order)
+        return f"MetafiniteQuery([{names}] -> {self.term})"

@@ -1,0 +1,82 @@
+"""Propositional formulas, model counting, and the Karp–Luby FPTRAS.
+
+Section 5 of the paper reduces query-probability computation to
+propositional problems: ``#C`` (count satisfying assignments of formulas
+in class ``C``) and ``Prob-C`` (probability of truth under independent
+variable probabilities).  This subpackage supplies:
+
+* :mod:`~repro.propositional.formula` — literals, clauses, and DNF/CNF
+  containers over arbitrary hashable variable labels (the reliability
+  layer uses ground :class:`~repro.relational.atoms.Atom` objects as
+  variables);
+* :mod:`~repro.propositional.counting` — exact weighted model counting by
+  Shannon expansion with memoisation and independent-component factoring,
+  plus brute-force enumeration as the test oracle;
+* :mod:`~repro.propositional.karp_luby` — the Karp–Luby fully
+  polynomial-time randomized approximation scheme for weighted DNF
+  probability (Theorem 5.2 / 5.3), in both the coverage ("self-adjusting")
+  and canonical-clause variants;
+* :mod:`~repro.propositional.bitvector` — the paper's Theorem 5.3
+  reduction from Prob-kDNF to #DNF via binary counters.
+"""
+
+from repro.propositional.formula import Literal, Clause, DNF, CNF, pos, neg_lit
+from repro.propositional.counting import (
+    count_models,
+    probability_exact,
+    probability_enumerate,
+)
+from repro.propositional.karp_luby import (
+    KarpLubyEstimate,
+    karp_luby,
+    karp_luby_samples,
+    sample_count,
+    naive_probability_estimate,
+)
+from repro.propositional.bitvector import (
+    BitvectorInstance,
+    bitvector_reduction,
+    dnf_less_than,
+    dnf_geq,
+    probability_via_bitvector,
+)
+from repro.propositional.bdd import (
+    BDD,
+    compile_dnf,
+    probability_via_bdd,
+    influences_via_bdd,
+)
+from repro.propositional.stopping_rule import (
+    StoppingRuleEstimate,
+    karp_luby_stopping_rule,
+    stopping_rule_threshold,
+)
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "DNF",
+    "CNF",
+    "pos",
+    "neg_lit",
+    "count_models",
+    "probability_exact",
+    "probability_enumerate",
+    "KarpLubyEstimate",
+    "karp_luby",
+    "karp_luby_samples",
+    "sample_count",
+    "naive_probability_estimate",
+    "BitvectorInstance",
+    "bitvector_reduction",
+    "dnf_less_than",
+    "dnf_geq",
+    "probability_via_bitvector",
+    "BDD",
+    "compile_dnf",
+    "probability_via_bdd",
+    "influences_via_bdd",
+    "StoppingRuleEstimate",
+    "karp_luby_stopping_rule",
+    "stopping_rule_threshold",
+]

@@ -1,0 +1,220 @@
+"""The Theorem 5.3 reduction: Prob-kDNF to #DNF via binary counters.
+
+Given a kDNF ``phi`` with rational variable probabilities ``nu(X) = p/q``,
+the paper replaces each variable ``X`` by a block of ``len(q)`` fresh bit
+variables ``Y`` and each literal by a DNF expressing ``val(Y) < p`` (for
+``X``) or ``val(Y) >= p`` (for ``~X``).  Assignments with ``val(Y) >= q``
+are *illegal*; adding, for every block, the clause set "``val(Y) >= q``"
+yields ``phi''`` whose model count determines ``nu(phi)``:
+
+    nu(phi) = (#phi'' - #illegal) / prod(q_X)
+
+Counting ``phi''`` with the Karp–Luby FPTRAS yields an FPTRAS for
+``nu(phi)`` — because ``#phi'' >= #illegal`` and the subtraction is exact,
+relative error on ``#phi''`` translates to bounded relative error on the
+numerator only when ``#illegal`` is not dominant; the paper sidesteps this
+by approximating ``#phi''`` directly and subtracting the exactly-known
+``#illegal``.  :func:`probability_via_bitvector` implements both the exact
+pipeline (for tests) and the sampled pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.propositional.counting import count_models
+from repro.propositional.formula import DNF, Clause, Literal, Variable
+from repro.propositional.karp_luby import karp_luby
+from repro.util.errors import ProbabilityError
+
+
+def _bit_length(value: int) -> int:
+    """len(q): length of the shortest binary representation of q."""
+    if value <= 0:
+        raise ProbabilityError(f"bit_length of nonpositive {value}")
+    return value.bit_length()
+
+
+def dnf_less_than(bits: Sequence[Variable], bound: int) -> DNF:
+    """A DNF over ``bits`` (most significant first) true iff value < bound.
+
+    The paper's formula: one clause per 1-bit ``i`` of ``bound``, asserting
+    ``~Y_i`` together with ``~Y_j`` for every more significant 0-bit ``j``.
+    Length ``O(len(bits)^2)``.
+    """
+    width = len(bits)
+    if bound >= (1 << width):
+        return DNF.true()
+    if bound <= 0:
+        return DNF.false()
+    clauses: List[Clause] = []
+    # bits[0] is the most significant; bit position i counts from the least.
+    for position in range(width):
+        if not (bound >> position) & 1:
+            continue
+        literals = [Literal(bits[width - 1 - position], False)]
+        for higher in range(position + 1, width):
+            if not (bound >> higher) & 1:
+                literals.append(Literal(bits[width - 1 - higher], False))
+        clauses.append(Clause(literals))
+    return DNF(clauses)
+
+
+def dnf_geq(bits: Sequence[Variable], bound: int) -> DNF:
+    """A DNF over ``bits`` true iff value >= bound.
+
+    Dual construction: the "equality-or-above on the ones" clause plus one
+    clause per 0-bit of ``bound`` asserting that bit together with every
+    more significant 1-bit.
+    """
+    width = len(bits)
+    if bound <= 0:
+        return DNF.true()
+    if bound >= (1 << width):
+        return DNF.false()
+    clauses: List[Clause] = []
+    ones = [
+        Literal(bits[width - 1 - position], True)
+        for position in range(width)
+        if (bound >> position) & 1
+    ]
+    clauses.append(Clause(ones))
+    for position in range(width):
+        if (bound >> position) & 1:
+            continue
+        literals = [Literal(bits[width - 1 - position], True)]
+        for higher in range(position + 1, width):
+            if (bound >> higher) & 1:
+                literals.append(Literal(bits[width - 1 - higher], True))
+        clauses.append(Clause(literals))
+    return DNF(clauses)
+
+
+@dataclass(frozen=True)
+class BitvectorInstance:
+    """Output of the Theorem 5.3 reduction.
+
+    Attributes:
+        phi_double_prime: the #DNF instance over the bit variables.
+        bit_variables: all bit variables, in a fixed order.
+        legal_total: ``prod(q_X)`` — the number of legal assignments.
+        total: ``2 ** len(bit_variables)`` — all assignments.
+        blocks: per original variable, its bit block and its ``q``.
+    """
+
+    phi_double_prime: DNF
+    bit_variables: Tuple[Variable, ...]
+    legal_total: int
+    total: int
+    blocks: Tuple[Tuple[Variable, Tuple[Variable, ...], int], ...]
+
+    @property
+    def illegal_total(self) -> int:
+        return self.total - self.legal_total
+
+
+def bitvector_reduction(
+    dnf: DNF, probs: Mapping[Variable, Fraction]
+) -> BitvectorInstance:
+    """Transform a weighted kDNF into the paper's #DNF instance.
+
+    Blowup: each literal becomes a DNF with ``O(len(q))`` clauses, and the
+    clause-product distribution multiplies sizes within one clause —
+    ``O(len(q) ** k)`` per original clause, polynomial for fixed ``k``,
+    exactly the paper's accounting.
+    """
+    blocks: List[Tuple[Variable, Tuple[Variable, ...], int]] = []
+    lt_dnf: Dict[Variable, DNF] = {}
+    geq_dnf: Dict[Variable, DNF] = {}
+    illegal_dnf: List[DNF] = []
+    bit_variables: List[Variable] = []
+    for variable in sorted(dnf.variables, key=repr):
+        probability = probs[variable]
+        if not isinstance(probability, Fraction):
+            raise ProbabilityError(
+                f"bitvector reduction needs exact Fractions, got "
+                f"{type(probability).__name__} for {variable!r}"
+            )
+        if probability < 0 or probability > 1:
+            raise ProbabilityError(
+                f"probability {probability} for {variable!r} not in [0,1]"
+            )
+        p, q = probability.numerator, probability.denominator
+        width = _bit_length(q)
+        bits: Tuple[Variable, ...] = tuple(
+            ("bit", variable, index) for index in range(width)
+        )
+        bit_variables.extend(bits)
+        blocks.append((variable, bits, q))
+        lt_dnf[variable] = dnf_less_than(bits, p)
+        geq_dnf[variable] = dnf_geq(bits, p)
+        illegal_dnf.append(dnf_geq(bits, q))
+
+    transformed_clauses: List[Clause] = []
+    for clause in dnf.clauses:
+        replaced = DNF.true()
+        for literal in clause:
+            piece = (
+                lt_dnf[literal.variable]
+                if literal.positive
+                else geq_dnf[literal.variable]
+            )
+            replaced = replaced.and_with(piece)
+        transformed_clauses.extend(replaced.clauses)
+    phi_prime = DNF(transformed_clauses)
+
+    phi_double_prime = phi_prime
+    for piece in illegal_dnf:
+        phi_double_prime = phi_double_prime.or_with(piece)
+
+    legal_total = 1
+    total = 1
+    for _variable, bits, q in blocks:
+        legal_total *= q
+        total *= 1 << len(bits)
+    return BitvectorInstance(
+        phi_double_prime=phi_double_prime,
+        bit_variables=tuple(bit_variables),
+        legal_total=legal_total,
+        total=total,
+        blocks=tuple(blocks),
+    )
+
+
+def probability_via_bitvector(
+    dnf: DNF,
+    probs: Mapping[Variable, Fraction],
+    epsilon: Optional[float] = None,
+    delta: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+) -> Fraction:
+    """``nu(dnf)`` through the Theorem 5.3 pipeline.
+
+    With ``epsilon``/``delta``/``rng`` omitted, the #DNF instance is
+    counted exactly (test oracle for the reduction).  With them given, the
+    count is approximated by Karp–Luby, matching the paper's FPTRAS
+    construction end to end; the return value is then a float-backed
+    Fraction.
+    """
+    if dnf.is_true():
+        return Fraction(1)
+    if dnf.is_false():
+        return Fraction(0)
+    instance = bitvector_reduction(dnf, probs)
+    width = len(instance.bit_variables)
+    if epsilon is None:
+        model_count = count_models(instance.phi_double_prime, width)
+    else:
+        if delta is None or rng is None:
+            raise ProbabilityError(
+                "sampled pipeline needs epsilon, delta and rng together"
+            )
+        half = Fraction(1, 2)
+        uniform = {v: half for v in instance.phi_double_prime.variables}
+        run = karp_luby(instance.phi_double_prime, uniform, epsilon, delta, rng)
+        model_count = round(run.estimate * instance.total)
+    legal_models = model_count - instance.illegal_total
+    return Fraction(legal_models, instance.legal_total)

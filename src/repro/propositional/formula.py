@@ -1,0 +1,316 @@
+"""Propositional literals, clauses, and DNF/CNF containers.
+
+Variables are arbitrary hashable labels.  The reliability layer uses
+ground :class:`~repro.relational.atoms.Atom` objects as variables, so a
+grounded query formula talks directly about the database's atomic
+statements — mirroring the paper's proof of Theorem 5.4, where atomic
+statements *are* the propositional variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.util.errors import QueryError
+
+Variable = Hashable
+
+
+@dataclass(frozen=True, order=False)
+class Literal:
+    """A propositional literal: a variable with a polarity."""
+
+    variable: Variable
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, assignment: Mapping[Variable, bool]) -> bool:
+        return assignment[self.variable] == self.positive
+
+    def __str__(self) -> str:
+        sign = "" if self.positive else "~"
+        return f"{sign}{self.variable}"
+
+
+def pos(variable: Variable) -> Literal:
+    """Positive literal."""
+    return Literal(variable, True)
+
+
+def neg_lit(variable: Variable) -> Literal:
+    """Negative literal."""
+    return Literal(variable, False)
+
+
+class Clause:
+    """A conjunction (in DNF) or disjunction (in CNF) of literals.
+
+    Stored as a mapping variable → polarity; constructing a clause that
+    contains both polarities of one variable yields a *contradictory*
+    clause (for DNF) — callers check :attr:`contradictory` and usually
+    drop such clauses.
+    """
+
+    __slots__ = ("_polarity", "contradictory", "_hash")
+
+    def __init__(self, literals: Iterable[Literal]):
+        polarity: Dict[Variable, bool] = {}
+        contradictory = False
+        for literal in literals:
+            known = polarity.get(literal.variable)
+            if known is None:
+                polarity[literal.variable] = literal.positive
+            elif known != literal.positive:
+                contradictory = True
+        self._polarity: Mapping[Variable, bool] = polarity
+        self.contradictory = contradictory
+        self._hash: Optional[int] = None
+
+    def __iter__(self) -> Iterator[Literal]:
+        for variable, positive in self._polarity.items():
+            yield Literal(variable, positive)
+
+    def __len__(self) -> int:
+        return len(self._polarity)
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._polarity
+
+    def polarity(self, variable: Variable) -> bool:
+        """Polarity of ``variable`` in this clause."""
+        try:
+            return self._polarity[variable]
+        except KeyError:
+            raise QueryError(f"variable {variable!r} not in clause") from None
+
+    @property
+    def variables(self) -> AbstractSet[Variable]:
+        return self._polarity.keys()
+
+    def satisfied_by(self, assignment: Mapping[Variable, bool]) -> bool:
+        """Conjunctive reading: every literal holds."""
+        if self.contradictory:
+            return False
+        return all(
+            assignment[var] == positive
+            for var, positive in self._polarity.items()
+        )
+
+    def restrict(self, variable: Variable, value: bool) -> Optional["Clause"]:
+        """Condition on ``variable = value`` (conjunctive reading).
+
+        Returns ``None`` when the clause becomes false, otherwise the
+        clause with the variable removed.
+        """
+        if self.contradictory:
+            return None
+        known = self._polarity.get(variable)
+        if known is None:
+            return self
+        if known != value:
+            return None
+        remaining = [
+            Literal(var, positive)
+            for var, positive in self._polarity.items()
+            if var != variable
+        ]
+        return Clause(remaining)
+
+    def key(self) -> FrozenSet[Tuple[Variable, bool]]:
+        """Canonical hashable form."""
+        return frozenset(self._polarity.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self.key() == other.key() and self.contradictory == other.contradictory
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.key(), self.contradictory))
+        return self._hash
+
+    def __str__(self) -> str:
+        if not self._polarity:
+            return "()"
+        return " & ".join(str(l) for l in sorted(self, key=repr))
+
+
+class DNF:
+    """A disjunction of conjunctive clauses.
+
+    Contradictory clauses are dropped and duplicates merged on
+    construction.  An empty DNF is identically false; a DNF containing an
+    empty clause is identically true.
+    """
+
+    __slots__ = ("clauses", "_variables")
+
+    def __init__(self, clauses: Iterable[Clause]):
+        seen = {}
+        for clause in clauses:
+            if clause.contradictory:
+                continue
+            seen.setdefault(clause.key(), clause)
+        self.clauses: Tuple[Clause, ...] = tuple(seen.values())
+        self._variables: Optional[FrozenSet[Variable]] = None
+
+    @classmethod
+    def of(cls, *clause_literals: Iterable[Literal]) -> "DNF":
+        """Build from iterables of literals: ``DNF.of([a, ~b], [c])``."""
+        return cls(Clause(lits) for lits in clause_literals)
+
+    @classmethod
+    def false(cls) -> "DNF":
+        return cls(())
+
+    @classmethod
+    def true(cls) -> "DNF":
+        return cls((Clause(()),))
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        if self._variables is None:
+            result = set()
+            for clause in self.clauses:
+                result.update(clause.variables)
+            self._variables = frozenset(result)
+        return self._variables
+
+    @property
+    def width(self) -> int:
+        """The ``k`` of kDNF: the largest clause size."""
+        return max((len(c) for c in self.clauses), default=0)
+
+    def is_false(self) -> bool:
+        return not self.clauses
+
+    def is_true(self) -> bool:
+        return any(len(clause) == 0 for clause in self.clauses)
+
+    def satisfied_by(self, assignment: Mapping[Variable, bool]) -> bool:
+        return any(clause.satisfied_by(assignment) for clause in self.clauses)
+
+    def satisfied_count(self, assignment: Mapping[Variable, bool]) -> int:
+        """Number of clauses the assignment satisfies (Karp–Luby coverage)."""
+        return sum(
+            1 for clause in self.clauses if clause.satisfied_by(assignment)
+        )
+
+    def restrict(self, variable: Variable, value: bool) -> "DNF":
+        """Condition the whole DNF on ``variable = value``."""
+        restricted = []
+        for clause in self.clauses:
+            outcome = clause.restrict(variable, value)
+            if outcome is not None:
+                restricted.append(outcome)
+        return DNF(restricted)
+
+    def or_with(self, other: "DNF") -> "DNF":
+        """Disjunction of two DNFs (clause union)."""
+        return DNF(self.clauses + other.clauses)
+
+    def and_with(self, other: "DNF") -> "DNF":
+        """Conjunction of two DNFs by clause-product distribution."""
+        combined = []
+        for left in self.clauses:
+            for right in other.clauses:
+                combined.append(Clause(list(left) + list(right)))
+        return DNF(combined)
+
+    def key(self) -> FrozenSet[FrozenSet[Tuple[Variable, bool]]]:
+        """Canonical hashable form (used as a memo key)."""
+        return frozenset(clause.key() for clause in self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DNF):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __str__(self) -> str:
+        if self.is_false():
+            return "false"
+        return " | ".join(f"({c})" for c in self.clauses)
+
+    def __repr__(self) -> str:
+        return (
+            f"DNF({len(self.clauses)} clauses, {len(self.variables)} vars, "
+            f"width {self.width})"
+        )
+
+
+class CNF:
+    """A conjunction of disjunctive clauses (used by workload generators).
+
+    Mainly a carrier for 2-CNF instances of the Proposition 3.2 reduction;
+    :meth:`negation_dnf` produces the DNF of the negation (clause-wise De
+    Morgan), and :meth:`to_dnf` distributes into an equivalent DNF.
+    """
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Iterable[Clause]):
+        self.clauses: Tuple[Clause, ...] = tuple(clauses)
+
+    @classmethod
+    def of(cls, *clause_literals: Iterable[Literal]) -> "CNF":
+        return cls(Clause(lits) for lits in clause_literals)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        result = set()
+        for clause in self.clauses:
+            result.update(clause.variables)
+        return frozenset(result)
+
+    def satisfied_by(self, assignment: Mapping[Variable, bool]) -> bool:
+        # Disjunctive reading of each clause.
+        for clause in self.clauses:
+            if not any(lit.satisfied_by(assignment) for lit in clause):
+                return False
+        return True
+
+    def negation_dnf(self) -> DNF:
+        """DNF of the negation: one conjunctive clause per CNF clause."""
+        return DNF(
+            Clause([lit.negate() for lit in clause]) for clause in self.clauses
+        )
+
+    def to_dnf(self) -> DNF:
+        """Distribute into an equivalent DNF (exponential in general)."""
+        result = DNF.true()
+        for clause in self.clauses:
+            step = DNF(Clause([lit]) for lit in clause)
+            result = result.and_with(step)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:
+        if not self.clauses:
+            return "true"
+        parts = []
+        for clause in self.clauses:
+            inner = " | ".join(str(l) for l in sorted(clause, key=repr))
+            parts.append(f"({inner})")
+        return " & ".join(parts)

@@ -1,0 +1,37 @@
+"""Executable hardness reductions from the paper's lower-bound proofs.
+
+* :mod:`~repro.reductions.monotone2sat` — Proposition 3.2: counting
+  satisfying assignments of a monotone 2-CNF reduces to computing the
+  expected error of a fixed conjunctive query;
+* :mod:`~repro.reductions.fourcolouring` — Lemma 5.9: graph
+  4-colourability reduces to the complement of the absolute-reliability
+  problem of a fixed existential query.
+
+Each module provides the encoding, the fixed query, and a brute-force
+solver for the source problem, so tests can verify the reduction's
+correctness end to end on small instances.
+"""
+
+from repro.reductions.monotone2sat import (
+    Monotone2CNF,
+    encode_monotone_2cnf,
+    count_satisfying_assignments,
+    sat_count_via_expected_error,
+)
+from repro.reductions.fourcolouring import (
+    encode_four_colouring,
+    non_four_colouring_query,
+    is_four_colourable,
+    four_colourable_via_absolute_reliability,
+)
+
+__all__ = [
+    "Monotone2CNF",
+    "encode_monotone_2cnf",
+    "count_satisfying_assignments",
+    "sat_count_via_expected_error",
+    "encode_four_colouring",
+    "non_four_colouring_query",
+    "is_four_colourable",
+    "four_colourable_via_absolute_reliability",
+]

@@ -1,0 +1,119 @@
+"""Lemma 5.9: 4-colourability reduces to (the complement of) AR_psi.
+
+Vocabulary: edge relation ``E`` plus two unary colour-bit relations
+``R1, R2`` — together the four colour codes.  The query
+
+    psi = exists x y. E(x, y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))
+
+says some edge is monochromatic, i.e. ``(R1, R2)`` is *not* a proper
+4-colouring.  Encoding a graph with ``R1 = R2 = empty`` (all vertices the
+same colour) and error probability 1/2 on every colour atom makes the
+possible worlds the uniform distribution over colourings; the observed
+database satisfies ``psi`` (the paper's footnote: provided ``E`` is
+nonempty), and
+
+    G is 4-colourable  <=>  D not in AR_psi
+
+because a reliability below 1 means some world falsifies ``psi`` — a
+proper colouring.  Since 4-colourability restricted to the graphs where
+it is NP-hard (e.g. via planarity-free constructions) is NP-complete,
+``AR_psi`` is coNP-hard for this fixed existential query.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.parser import parse
+from repro.relational.atoms import Atom
+from repro.relational.builder import graph_structure
+from repro.reliability.absolute import is_absolutely_reliable
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import QueryError
+
+
+def non_four_colouring_query() -> FOQuery:
+    """The fixed existential query of Lemma 5.9."""
+    return FOQuery(
+        parse(
+            "exists x y. E(x, y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))"
+        )
+    )
+
+
+def encode_four_colouring(
+    nodes: Sequence[Any], edges: Iterable[Tuple[Any, Any]]
+) -> UnreliableDatabase:
+    """The Lemma 5.9 encoding of a graph as an unreliable database.
+
+    Edges are certain (``mu = 0``); each colour atom ``R_i(v)`` has error
+    probability 1/2, so worlds are uniform over the ``4 ** n`` colourings.
+    """
+    edges = list(edges)
+    if not edges:
+        raise QueryError(
+            "the Lemma 5.9 reduction needs at least one edge "
+            "(the paper's footnote 2 quietly ignores empty graphs)"
+        )
+    structure = graph_structure(
+        nodes, edges, symmetric=True, extra_unary=("R1", "R2")
+    )
+    mu: Dict[Atom, Fraction] = {}
+    for relation in ("R1", "R2"):
+        for node in nodes:
+            mu[Atom(relation, (node,))] = Fraction(1, 2)
+    return UnreliableDatabase(structure, mu)
+
+
+def is_four_colourable(
+    nodes: Sequence[Any], edges: Iterable[Tuple[Any, Any]], colours: int = 4
+) -> bool:
+    """Brute-force graph colouring by backtracking (the test oracle)."""
+    nodes = list(nodes)
+    adjacency: Dict[Any, List[Any]] = {node: [] for node in nodes}
+    for u, v in edges:
+        if u == v:
+            return False
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    # Order by degree (descending) to fail fast.
+    order = sorted(nodes, key=lambda n: -len(adjacency[n]))
+    assignment: Dict[Any, int] = {}
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        node = order[index]
+        used = {
+            assignment[other]
+            for other in adjacency[node]
+            if other in assignment
+        }
+        for colour in range(colours):
+            if colour in used:
+                continue
+            assignment[node] = colour
+            if backtrack(index + 1):
+                return True
+            del assignment[node]
+        return False
+
+    return backtrack(0)
+
+
+def four_colourable_via_absolute_reliability(
+    nodes: Sequence[Any],
+    edges: Iterable[Tuple[Any, Any]],
+    method: str = "auto",
+) -> bool:
+    """Decide 4-colourability through the reliability reduction.
+
+    ``G`` is 4-colourable iff the encoded database is *not* absolutely
+    reliable for the non-4-colouring query — the equivalence the lemma's
+    proof establishes, and which the tests verify against
+    :func:`is_four_colourable`.
+    """
+    db = encode_four_colouring(nodes, list(edges))
+    return not is_absolutely_reliable(db, non_four_colouring_query(), method)

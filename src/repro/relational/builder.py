@@ -1,0 +1,94 @@
+"""A fluent builder for relational structures.
+
+Structures are immutable; assembling one tuple-by-tuple through
+``with_atom`` would be quadratic.  The builder accumulates mutable state
+and produces the structure once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.relational.schema import RelationSymbol, Vocabulary
+from repro.relational.structure import Structure
+from repro.util.errors import VocabularyError
+
+
+class StructureBuilder:
+    """Accumulate relations and produce an immutable :class:`Structure`.
+
+    Example::
+
+        builder = StructureBuilder(["a", "b", "c"])
+        builder.relation("E", 2)
+        builder.add("E", ("a", "b"))
+        builder.add("E", ("b", "c"))
+        graph = builder.build()
+    """
+
+    def __init__(self, universe: Sequence[Any]):
+        self._universe: Tuple[Any, ...] = tuple(universe)
+        self._symbols: List[RelationSymbol] = []
+        self._rows: Dict[str, Set[Tuple[Any, ...]]] = {}
+
+    def relation(self, name: str, arity: int) -> "StructureBuilder":
+        """Declare a relation symbol; returns self for chaining."""
+        symbol = RelationSymbol(name, arity)
+        for existing in self._symbols:
+            if existing.name == name:
+                if existing != symbol:
+                    raise VocabularyError(
+                        f"conflicting declarations for {name!r}"
+                    )
+                return self
+        self._symbols.append(symbol)
+        self._rows[name] = set()
+        return self
+
+    def add(self, name: str, row: Sequence[Any]) -> "StructureBuilder":
+        """Add one tuple to a declared relation; returns self."""
+        if name not in self._rows:
+            raise VocabularyError(f"relation {name!r} not declared")
+        self._rows[name].add(tuple(row))
+        return self
+
+    def add_all(
+        self, name: str, rows: Iterable[Sequence[Any]]
+    ) -> "StructureBuilder":
+        """Add many tuples to a declared relation; returns self."""
+        for row in rows:
+            self.add(name, row)
+        return self
+
+    def fact(self, name: str) -> "StructureBuilder":
+        """Declare and assert a 0-ary (propositional) relation."""
+        self.relation(name, 0)
+        return self.add(name, ())
+
+    def build(self) -> Structure:
+        """Produce the immutable structure."""
+        return Structure(Vocabulary(self._symbols), self._universe, self._rows)
+
+
+def graph_structure(
+    nodes: Sequence[Any],
+    edges: Iterable[Tuple[Any, Any]],
+    symmetric: bool = False,
+    extra_unary: Sequence[str] = (),
+) -> Structure:
+    """Convenience: a structure ``(V, E, ...)`` encoding a (di)graph.
+
+    ``symmetric=True`` closes the edge set under reversal, giving an
+    undirected graph in the usual relational encoding.  ``extra_unary``
+    declares additional empty unary relations (e.g. the colour predicates
+    ``R1``, ``R2`` of Lemma 5.9).
+    """
+    builder = StructureBuilder(nodes)
+    builder.relation("E", 2)
+    for u, v in edges:
+        builder.add("E", (u, v))
+        if symmetric:
+            builder.add("E", (v, u))
+    for name in extra_unary:
+        builder.relation(name, 1)
+    return builder.build()

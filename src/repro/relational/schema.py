@@ -1,0 +1,117 @@
+"""Relational schemas: relation symbols and vocabularies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+from repro.util.errors import VocabularyError
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A relation symbol: a name and an arity.
+
+    Arity 0 is allowed and models a propositional fact (a Boolean flag on
+    the database); its single "tuple" is the empty tuple.
+    """
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise VocabularyError(f"invalid relation name {self.name!r}")
+        if self.arity < 0:
+            raise VocabularyError(
+                f"relation {self.name!r} has negative arity {self.arity}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+SymbolLike = Union[RelationSymbol, Tuple[str, int]]
+
+
+def _as_symbol(spec: SymbolLike) -> RelationSymbol:
+    if isinstance(spec, RelationSymbol):
+        return spec
+    name, arity = spec
+    return RelationSymbol(name, arity)
+
+
+class Vocabulary:
+    """An immutable set of relation symbols with unique names.
+
+    The vocabulary determines the *format* of a database in the paper's
+    sense: two databases are comparable (and a possible-world space makes
+    sense) only when they share a vocabulary and a universe.
+    """
+
+    __slots__ = ("_symbols",)
+
+    def __init__(self, symbols: Iterable[SymbolLike]):
+        table: Dict[str, RelationSymbol] = {}
+        for spec in symbols:
+            symbol = _as_symbol(spec)
+            existing = table.get(symbol.name)
+            if existing is not None and existing != symbol:
+                raise VocabularyError(
+                    f"conflicting declarations for {symbol.name!r}: "
+                    f"{existing} vs {symbol}"
+                )
+            table[symbol.name] = symbol
+        self._symbols: Mapping[str, RelationSymbol] = dict(
+            sorted(table.items())
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._symbols.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(symbol) for symbol in self)
+        return f"Vocabulary({inner})"
+
+    def symbol(self, name: str) -> RelationSymbol:
+        """Look up a relation symbol by name."""
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise VocabularyError(f"unknown relation {name!r}") from None
+
+    def arity(self, name: str) -> int:
+        """Arity of the named relation."""
+        return self.symbol(name).arity
+
+    def names(self) -> Tuple[str, ...]:
+        """All relation names, sorted."""
+        return tuple(self._symbols)
+
+    def extend(self, symbols: Iterable[SymbolLike]) -> "Vocabulary":
+        """A new vocabulary with additional symbols (names must be fresh).
+
+        Used by the padding construction of Theorem 5.12, which adjoins a
+        fresh unary relation ``R`` and two fresh constants to the database.
+        """
+        additions = [_as_symbol(spec) for spec in symbols]
+        for symbol in additions:
+            if symbol.name in self._symbols:
+                raise VocabularyError(
+                    f"cannot extend: {symbol.name!r} already declared"
+                )
+        return Vocabulary(list(self) + additions)

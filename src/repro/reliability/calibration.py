@@ -1,0 +1,139 @@
+"""Calibrating the error model from audited ground truth.
+
+The paper takes ``mu`` as given; in practice it must come from data.
+The standard source is an *audit sample*: facts whose actual value was
+established by hand.  Under the model, each audited atom of relation
+``R`` is an independent Bernoulli draw with unknown error rate
+``mu_R`` (one rate per relation is the usual coarseness; refine by
+splitting relations upstream if needed).
+
+:func:`calibrate_error_rates` estimates per-relation rates from audit
+records, either by maximum likelihood or with a Beta(1, 1) (Laplace)
+prior — the smoothed posterior mean ``(wrong + 1) / (audited + 2)``
+never returns the degenerate 0/1 rates a small sample would, which
+matters because downstream engines treat ``mu = 0`` atoms as certain.
+:func:`calibrated_database` applies the estimated rates to every
+unaudited atom and pins the audited atoms themselves to their verified
+values (they are now known).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.relational.atoms import Atom
+from repro.relational.structure import Structure
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import ProbabilityError, VocabularyError
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audited fact: the atom and its verified actual value."""
+
+    atom: Atom
+    actual: bool
+
+
+@dataclass(frozen=True)
+class RelationCalibration:
+    """Estimated error rate for one relation."""
+
+    relation: str
+    audited: int
+    wrong: int
+    rate: Fraction
+
+    def __str__(self) -> str:
+        return (
+            f"{self.relation}: {self.wrong}/{self.audited} wrong, "
+            f"mu = {self.rate}"
+        )
+
+
+def calibrate_error_rates(
+    structure: Structure,
+    audits: Iterable[AuditRecord],
+    smoothing: bool = True,
+) -> Dict[str, RelationCalibration]:
+    """Per-relation error-rate estimates from audit records.
+
+    ``smoothing=True`` (default) uses the Beta(1, 1) posterior mean
+    ``(wrong + 1) / (n + 2)``; ``False`` gives the raw MLE ``wrong / n``.
+    Relations without any audit are absent from the result — the caller
+    decides a default.
+    """
+    audited: Dict[str, int] = {}
+    wrong: Dict[str, int] = {}
+    seen = set()
+    for record in audits:
+        atom = record.atom
+        structure.vocabulary.symbol(atom.relation)  # validates
+        if atom in seen:
+            raise ProbabilityError(f"atom {atom} audited twice")
+        seen.add(atom)
+        audited[atom.relation] = audited.get(atom.relation, 0) + 1
+        if structure.holds(atom) != bool(record.actual):
+            wrong[atom.relation] = wrong.get(atom.relation, 0) + 1
+    result: Dict[str, RelationCalibration] = {}
+    for relation, count in audited.items():
+        bad = wrong.get(relation, 0)
+        if smoothing:
+            rate = Fraction(bad + 1, count + 2)
+        else:
+            rate = Fraction(bad, count)
+        result[relation] = RelationCalibration(relation, count, bad, rate)
+    return result
+
+
+def calibrated_database(
+    structure: Structure,
+    audits: Iterable[AuditRecord],
+    smoothing: bool = True,
+    default_rate: Optional[Fraction] = None,
+    relations: Optional[Iterable[str]] = None,
+) -> UnreliableDatabase:
+    """Build an unreliable database whose ``mu`` comes from an audit.
+
+    * every *unaudited* atom of an audited relation gets that relation's
+      estimated rate;
+    * relations never audited get ``default_rate`` (required if any such
+      relation is in scope; restrict scope with ``relations``);
+    * every *audited* atom is corrected to its verified value and pinned
+      (``mu = 0``) — the audit told us the truth, keep it.
+    """
+    audits = list(audits)
+    calibrations = calibrate_error_rates(structure, audits, smoothing)
+    scope = (
+        tuple(relations)
+        if relations is not None
+        else structure.vocabulary.names()
+    )
+    for name in scope:
+        structure.vocabulary.symbol(name)
+    audited_atoms = {record.atom: bool(record.actual) for record in audits}
+
+    corrected = structure
+    for atom, actual in audited_atoms.items():
+        corrected = corrected.with_atom(atom, actual)
+
+    mu: Dict[Atom, Fraction] = {}
+    for atom in corrected.atoms():
+        if atom.relation not in scope:
+            continue
+        if atom in audited_atoms:
+            mu[atom] = Fraction(0)
+            continue
+        calibration = calibrations.get(atom.relation)
+        if calibration is not None:
+            mu[atom] = calibration.rate
+        elif default_rate is not None:
+            mu[atom] = default_rate
+        else:
+            raise ProbabilityError(
+                f"relation {atom.relation!r} has no audits and no "
+                "default_rate was given"
+            )
+    return UnreliableDatabase(corrected, mu)

@@ -1,0 +1,173 @@
+"""Grounding queries to propositional formulas over ground atoms.
+
+Theorem 5.4's proof replaces the quantifiers of an existential sentence by
+disjunctions over all universe values, reads atomic statements as
+propositional variables, and lands in kDNF whose size is polynomial in
+``n``.  :func:`ground_existential_to_dnf` is that transformation, with
+one practically-essential refinement the proof can afford to skip:
+deterministic atoms (``mu`` 0 or 1) are *folded to constants*, so the
+resulting DNF mentions only uncertain atoms.  Without folding, the
+2-CNF-reduction databases of Proposition 3.2 would drag thousands of
+fixed ``L``/``R`` atoms into every clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.fo import (
+    AtomF,
+    Bottom,
+    Eq,
+    Formula,
+    Not,
+    Top,
+)
+from repro.logic.normalform import dnf_clauses, existential_parts
+from repro.logic.terms import Const, Term, Var
+from repro.propositional.formula import DNF, Clause, Literal
+from repro.relational.atoms import Atom
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import QueryError
+
+
+@dataclass(frozen=True)
+class GroundingResult:
+    """A grounded existential sentence.
+
+    Attributes:
+        dnf: propositional DNF over uncertain :class:`Atom` variables;
+        width: the ``k`` of the source kDNF matrix (clause width bound);
+        clauses_before_folding: grounded clause count before
+            deterministic-atom simplification, for blowup reporting.
+    """
+
+    dnf: DNF
+    width: int
+    clauses_before_folding: int
+
+
+def ground_existential_to_dnf(
+    db: UnreliableDatabase, sentence: Formula
+) -> GroundingResult:
+    """Ground a Boolean existential sentence to a DNF over uncertain atoms.
+
+    Implements the proof of Theorem 5.4: prenex the sentence, put the
+    matrix in DNF (constant cost — it depends only on the query), then for
+    every clause and every valuation of the existential variables emit a
+    propositional clause.  Equalities are evaluated away; deterministic
+    atoms fold to constants (a clause containing a false deterministic
+    literal is dropped; true literals vanish).
+
+    Raises :class:`QueryError` if the sentence is not existential (the
+    caller handles universal sentences by negating).
+    """
+    variables, matrix = existential_parts(sentence)
+    clause_templates = dnf_clauses(matrix)
+    width = max((len(c) for c in clause_templates), default=0)
+    universe = db.structure.universe
+    grounded: List[Clause] = []
+    raw_count = 0
+    for template in clause_templates:
+        for values in product(universe, repeat=len(variables)):
+            env = dict(zip(variables, values))
+            raw_count += 1
+            clause = _ground_clause(db, template, env)
+            if clause is None:
+                continue
+            grounded.append(clause)
+            if len(clause) == 0:
+                # The sentence is certainly true; short-circuit.
+                return GroundingResult(DNF.true(), width, raw_count)
+    return GroundingResult(DNF(grounded), width, raw_count)
+
+
+def _ground_clause(
+    db: UnreliableDatabase,
+    template: Tuple[Formula, ...],
+    env: Dict[Var, object],
+) -> Optional[Clause]:
+    """One grounded clause, or ``None`` when it is certainly false."""
+    literals: List[Literal] = []
+    for part in template:
+        positive = True
+        core = part
+        if isinstance(core, Not):
+            positive = False
+            core = core.sub
+        if isinstance(core, Top):
+            if not positive:
+                return None
+            continue
+        if isinstance(core, Bottom):
+            if positive:
+                return None
+            continue
+        if isinstance(core, Eq):
+            left = _value(core.left, env)
+            right = _value(core.right, env)
+            if (left == right) != positive:
+                return None
+            continue
+        if isinstance(core, AtomF):
+            atom = Atom(core.relation, tuple(_value(t, env) for t in core.args))
+            error = db.mu(atom)
+            if error == 0:
+                # Actual value equals the observed value, deterministically.
+                if db.structure.holds(atom) != positive:
+                    return None
+                continue
+            if error == 1:
+                # Actual value is the flip of the observed one.
+                if db.structure.holds(atom) == positive:
+                    return None
+                continue
+            literals.append(Literal(atom, positive))
+            continue
+        raise QueryError(
+            f"unexpected literal {type(core).__name__} in grounded clause"
+        )
+    clause = Clause(literals)
+    if clause.contradictory:
+        return None
+    return clause
+
+
+def _value(term: Term, env: Dict[Var, object]) -> object:
+    if isinstance(term, Const):
+        return term.value
+    try:
+        return env[term]
+    except KeyError:
+        raise QueryError(
+            f"variable {term.name!r} is free in a sentence being grounded"
+        ) from None
+
+
+def grounding_probabilities(db: UnreliableDatabase, dnf: DNF):
+    """The ``nu`` map restricted to the atoms of a grounded DNF."""
+    return {atom: db.nu(atom) for atom in dnf.variables}
+
+
+def relevant_atoms(db: UnreliableDatabase, query) -> Tuple[Atom, ...]:
+    """Uncertain atoms that could influence a query's answer.
+
+    For first-order queries this is the uncertain atoms of the relations
+    the formula mentions; for opaque queries (Datalog, second-order, ...)
+    it is every uncertain atom.  Used by the exact engine to shrink the
+    enumeration space from ``2 ** #uncertain`` to ``2 ** #relevant``.
+    """
+    formula = None
+    if isinstance(query, FOQuery):
+        formula = query.formula
+    elif isinstance(query, Formula):
+        formula = query
+    if formula is None:
+        return db.uncertain_atoms()
+    from repro.logic.fo import relations_used
+
+    used = relations_used(formula)
+    return tuple(a for a in db.uncertain_atoms() if a.relation in used)

@@ -1,0 +1,102 @@
+"""Plain Monte-Carlo estimators over the possible-world space.
+
+These are the baselines the paper's refined estimators are measured
+against:
+
+* :func:`estimate_truth_probability` — sample worlds, evaluate the query,
+  average; Hoeffding gives an additive (epsilon, delta) bound.
+* :func:`estimate_reliability_hamming` — estimate ``H_psi`` directly by
+  sampling worlds and measuring the Hamming distance ``|psi^A Δ psi^B|``;
+  one world sample prices *all* ``n ** k`` tuples at once, which makes it
+  the practical work-horse for k-ary queries (and a baseline for E7).
+
+Both require only that the query is polynomial-time evaluable, like
+Theorem 5.12 — but unlike Theorem 5.12 they offer no lower bound on the
+estimated quantity, which is what the xi-padding construction adds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Sequence, Union
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.fo import Formula
+from repro.reliability.exact import as_query
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import ProbabilityError, QueryError
+
+QueryLike = Union[str, Formula, FOQuery, Any]
+
+
+def hoeffding_samples(epsilon: float, delta: float) -> int:
+    """Samples for an additive (epsilon, delta) bound on a [0,1] mean.
+
+    ``t >= ln(2/delta) / (2 epsilon^2)`` by Hoeffding's inequality.
+    """
+    if epsilon <= 0 or delta <= 0 or delta >= 1:
+        raise ProbabilityError(
+            f"need epsilon > 0 and 0 < delta < 1, got {epsilon}, {delta}"
+        )
+    return max(1, math.ceil(math.log(2.0 / delta) / (2.0 * epsilon**2)))
+
+
+def estimate_truth_probability(
+    db: UnreliableDatabase,
+    query: QueryLike,
+    rng: random.Random,
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+    samples: int = 0,
+    args: Sequence[Any] = (),
+) -> float:
+    """Estimate ``Pr[B |= psi(args)]`` by direct world sampling.
+
+    ``samples`` overrides the Hoeffding count when positive (benchmark
+    sweeps fix budgets explicitly).
+    """
+    query = as_query(query)
+    args = tuple(args)
+    if len(args) != query.arity:
+        raise QueryError(
+            f"query has arity {query.arity}, got {len(args)} arguments"
+        )
+    budget = samples if samples > 0 else hoeffding_samples(epsilon, delta)
+    hits = 0
+    for _ in range(budget):
+        world = db.sample(rng)
+        if query.evaluate(world, args):
+            hits += 1
+    return hits / budget
+
+
+def estimate_reliability_hamming(
+    db: UnreliableDatabase,
+    query: QueryLike,
+    rng: random.Random,
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+    samples: int = 0,
+) -> float:
+    """Estimate ``R_psi`` by sampling worlds and averaging Hamming distance.
+
+    The normalised distance ``|psi^A Δ psi^B| / n**k`` lies in ``[0, 1]``,
+    so Hoeffding's bound applies to the mean and the returned value is
+    within ``epsilon`` of ``R_psi`` with probability at least
+    ``1 - delta``.
+    """
+    query = as_query(query)
+    n = db.universe_size
+    cells = n**query.arity
+    if cells == 0:
+        raise QueryError("reliability undefined on an empty universe")
+    observed_answers = query.answers(db.structure)
+    budget = samples if samples > 0 else hoeffding_samples(epsilon, delta)
+    total = 0.0
+    for _ in range(budget):
+        world = db.sample(rng)
+        actual_answers = query.answers(world)
+        distance = len(observed_answers.symmetric_difference(actual_answers))
+        total += distance / cells
+    return 1.0 - total / budget

@@ -1,0 +1,144 @@
+"""Verification planning: spend a re-checking budget where it matters.
+
+The operational loop around an unreliable database is *verify and
+correct*: an auditor re-checks a fact against ground truth, corrects the
+observed database when it was wrong, and the query is re-evaluated on
+the corrected observation.  :func:`verify_and_correct` is that update;
+:func:`expected_post_verification_wrong` is the expected wrong
+probability after verifying one atom (expectation over the atom's two
+possible actual values, each branch conditioning the space *and*
+correcting the observation).
+
+**A finding this module documents and tests:** the expected gain of a
+verification can be *negative*.  The observed database acts as a
+predictor of the actual answer; correcting a single coordinate of a
+nonlinear predictor can move the recomputed answer *away* from the
+majority of the remaining probability mass (e.g. the corrected database
+stops satisfying an existential witness that the actual database most
+likely still has).  Verification helps on average only when the atom's
+correction tends to flip the answer toward the majority — so a planner
+must look ahead.  :func:`greedy_verification_plan` does exact lookahead
+and schedules only verifications with strictly positive expected gain.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.fo import Formula
+from repro.relational.atoms import Atom
+from repro.reliability.exact import as_query, wrong_probability
+from repro.reliability.grounding import relevant_atoms
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import QueryError
+
+QueryLike = Union[str, Formula, FOQuery]
+
+
+def verify_and_correct(
+    db: UnreliableDatabase, atom: Atom, actual_value: bool
+) -> UnreliableDatabase:
+    """The database after an auditor learned ``atom``'s actual value.
+
+    The observed structure is corrected to the actual value and the atom
+    becomes certain (``mu = 0``).  By independence no other atom's
+    distribution changes.
+    """
+    corrected = db.structure.with_atom(atom, bool(actual_value))
+    return db.with_structure(corrected).with_errors({atom: 0})
+
+
+def expected_post_verification_wrong(
+    db: UnreliableDatabase, query: QueryLike, atom: Atom
+) -> Fraction:
+    """Expected ``Pr[Wrong(psi)]`` after verifying (and correcting) ``atom``.
+
+    Expectation over the atom's actual value: with probability ``nu``
+    the fact turns out true, else false; each branch both conditions the
+    world distribution and corrects the observation.
+    """
+    query = as_query(query)
+    if query.arity != 0:
+        raise QueryError(
+            "expected_post_verification_wrong expects a Boolean query"
+        )
+    nu = db.nu(atom)
+    total = Fraction(0)
+    for value, probability in ((True, nu), (False, 1 - nu)):
+        if probability == 0:
+            continue
+        branch = verify_and_correct(db, atom, value)
+        total += probability * wrong_probability(branch, query)
+    return total
+
+
+def verification_gain(
+    db: UnreliableDatabase, query: QueryLike, atom: Atom
+) -> Fraction:
+    """Expected drop in ``Pr[Wrong(psi)]`` from verifying ``atom``.
+
+    **May be negative** — see the module docstring; the planner below
+    only ever schedules positive-gain verifications.
+    """
+    query = as_query(query)
+    if query.arity != 0:
+        raise QueryError("verification_gain expects a Boolean query")
+    before = wrong_probability(db, query)
+    return before - expected_post_verification_wrong(db, query, atom)
+
+
+def greedy_verification_plan(
+    db: UnreliableDatabase,
+    query: QueryLike,
+    budget: int,
+    candidates: Optional[Sequence[Atom]] = None,
+) -> List[Tuple[Atom, Fraction]]:
+    """A budgeted verification plan, greedy with exact lookahead.
+
+    Returns up to ``budget`` pairs ``(atom, expected_gain)`` in the
+    order chosen.  Because later verifications' gains depend on earlier
+    *outcomes* (which are unknown at planning time), the plan is
+    myopic-in-expectation: each step picks the atom with the best
+    one-step expected gain against the current database, then commits to
+    the *expected* database for look-ahead purposes by conditioning is
+    impossible — instead the next step re-plans against the original
+    database restricted to the not-yet-verified atoms, using the same
+    one-step criterion.  Stops when no remaining atom has positive gain.
+    """
+    query = as_query(query)
+    if query.arity != 0:
+        raise QueryError("greedy_verification_plan expects a Boolean query")
+    if budget < 0:
+        raise QueryError(f"negative budget {budget}")
+    pool = list(
+        candidates if candidates is not None else relevant_atoms(db, query)
+    )
+    plan: List[Tuple[Atom, Fraction]] = []
+    for _ in range(budget):
+        best_atom: Optional[Atom] = None
+        best_gain = Fraction(0)
+        for atom in pool:
+            if db.mu(atom) == 0:
+                continue
+            gain = verification_gain(db, query, atom)
+            if gain > best_gain or (
+                gain == best_gain
+                and gain > 0
+                and best_atom is not None
+                and repr(atom) < repr(best_atom)
+            ):
+                best_atom = atom
+                best_gain = gain
+        if best_atom is None or best_gain <= 0:
+            break
+        plan.append((best_atom, best_gain))
+        pool.remove(best_atom)
+    return plan
+
+
+def plan_total_gain(plan: List[Tuple[Atom, Fraction]]) -> Fraction:
+    """Sum of the planned one-step expected gains (an upper-level proxy;
+    realised gains depend on verification outcomes)."""
+    return sum((gain for _atom, gain in plan), Fraction(0))

@@ -1,0 +1,105 @@
+"""The possible-world space ``Omega(D)`` and the granularity ``g``.
+
+``Omega(D)`` is the probability space of databases of the same format as
+the observed one, with ``nu(B)`` the product of per-literal probabilities
+(Section 2).  Enumeration is exponential in the number of uncertain atoms
+— it is the test oracle and the literal implementation of Theorem 4.2's
+computation tree, not a production path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Iterator, Tuple
+
+from repro.relational.structure import Structure
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import VocabularyError
+from repro.util.rationals import granularity
+
+
+def support_size(db: UnreliableDatabase) -> int:
+    """Number of worlds with positive probability: ``2 ** #uncertain``."""
+    return 1 << len(db.uncertain_atoms())
+
+
+def worlds(db: UnreliableDatabase) -> Iterator[Tuple[Structure, Fraction]]:
+    """Enumerate ``(B, nu(B))`` over the support of ``Omega(D)``.
+
+    Every atom outside the uncertain set keeps its deterministic actual
+    value (observed, or flipped when ``mu == 1``).  Probabilities are
+    exact and sum to one — a property the tests assert.
+    """
+    base = db.observed_world()
+    uncertain = db.uncertain_atoms()
+    for pattern in product((False, True), repeat=len(uncertain)):
+        probability = Fraction(1)
+        flips = []
+        for atom, flipped in zip(uncertain, pattern):
+            error = db.mu(atom)
+            if flipped:
+                probability *= error
+                flips.append(atom)
+            else:
+                probability *= 1 - error
+        world = base.flip_all(flips) if flips else base
+        yield world, probability
+
+
+def world_probability(db: UnreliableDatabase, world: Structure) -> Fraction:
+    """``nu(B)`` for a specific world ``B`` — the Section 2 product formula.
+
+    Computable in polynomial time given ``(A, mu)`` and ``B``, as the
+    paper remarks.  Worlds that contradict a deterministic atom get
+    probability zero.
+    """
+    if not db.structure.same_format(world):
+        raise VocabularyError("world has a different format than the database")
+    probability = Fraction(1)
+    for atom in db.structure.atoms():
+        nu = db.nu(atom)
+        probability *= nu if world.holds(atom) else 1 - nu
+        if probability == 0:
+            return probability
+    return probability
+
+
+def world_granularity(db: UnreliableDatabase) -> int:
+    """An integer ``g`` with ``nu(B) * g`` integral for every world ``B``.
+
+    Theorem 4.2's proof computes "the least natural number g such that
+    nu(B) * g in N for all B" with a gcd loop over the probability
+    denominators — i.e. their lcm.  Reproduction note: the lcm is the
+    right granularity for *single* probabilities, but ``nu(B)`` is a
+    product over atoms, so the minimal valid ``g`` generally needs the
+    *product* of denominators (e.g. two atoms at 1/2 give worlds at 1/4;
+    lcm 2 does not clear the denominator).  We therefore return the
+    product of the per-atom denominators after reducing each ``nu`` —
+    always valid, and the tests verify ``nu(B) * g`` is integral on the
+    whole space.  :func:`paper_granularity` exposes the paper's literal
+    lcm subroutine for comparison.
+    """
+    g = 1
+    for atom in db.uncertain_atoms():
+        g *= db.nu(atom).denominator
+    return g
+
+
+def paper_granularity(db: UnreliableDatabase) -> int:
+    """The paper's literal gcd-loop (the lcm of the ``nu`` denominators)."""
+    return granularity(db.nu(atom) for atom in db.uncertain_atoms())
+
+
+def scaled_world_counts(db: UnreliableDatabase) -> Iterator[Tuple[Structure, int]]:
+    """Worlds with integer multiplicities ``nu(B) * g`` — Theorem 4.2's tree.
+
+    This is the computation-tree view of the FP^#P algorithm: each leaf
+    (world) is split into ``nu(B) * g`` accepting branches, so that
+    counting accepting paths of the machine computes ``g * Pr[B |= psi]``.
+    """
+    g = world_granularity(db)
+    for world, probability in worlds(db):
+        multiplicity = probability * g
+        assert multiplicity.denominator == 1
+        yield world, multiplicity.numerator

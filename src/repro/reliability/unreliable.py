@@ -1,0 +1,229 @@
+"""Unreliable databases: Definition 2.1 of the paper.
+
+An :class:`UnreliableDatabase` is an observed structure ``A`` plus an
+error-probability function ``mu`` on ground atoms.  ``mu(R a)`` is the
+probability that the truth value of ``R a`` in ``A`` is *wrong*; error
+events are independent across atoms.  From ``mu`` we derive ``nu``:
+
+    nu(R a) = 1 - mu(R a)   if A |= R a
+    nu(R a) = mu(R a)       otherwise
+
+the probability that ``R a`` holds in the *actual* database.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.relational.atoms import Atom
+from repro.relational.structure import Structure
+from repro.util.errors import ProbabilityError, VocabularyError
+from repro.util.rationals import RationalLike, parse_probability
+
+
+class UnreliableDatabase:
+    """A pair ``(A, mu)`` — the paper's unreliable database.
+
+    ``mu`` maps atoms to error probabilities; atoms not mentioned get
+    ``default_error`` (zero unless stated).  Probabilities are stored as
+    exact :class:`~fractions.Fraction` values.
+
+    Terminology used throughout the library:
+
+    * *uncertain* atom — ``0 < mu < 1``: its actual truth value is random;
+    * *deterministic* atom — ``mu`` is 0 (observed value certain) or 1
+      (observed value certainly wrong, so the actual value is its flip).
+    """
+
+    __slots__ = ("_structure", "_mu", "_default", "_uncertain")
+
+    def __init__(
+        self,
+        structure: Structure,
+        mu: Optional[Mapping[Atom, RationalLike]] = None,
+        default_error: RationalLike = 0,
+    ):
+        self._structure = structure
+        self._default = parse_probability(default_error)
+        table: Dict[Atom, Fraction] = {}
+        if mu:
+            for atom, value in mu.items():
+                symbol = structure.vocabulary.symbol(atom.relation)
+                if symbol.arity != atom.arity:
+                    raise VocabularyError(
+                        f"atom {atom} has arity {atom.arity}, relation has "
+                        f"{symbol.arity}"
+                    )
+                for element in atom.args:
+                    if element not in structure.universe:
+                        raise VocabularyError(
+                            f"atom {atom} mentions {element!r}, not in universe"
+                        )
+                table[atom] = parse_probability(value)
+        self._mu = table
+        uncertain = []
+        if 0 < self._default < 1:
+            for atom in structure.atoms():
+                probability = table.get(atom, self._default)
+                if 0 < probability < 1:
+                    uncertain.append(atom)
+        else:
+            for atom, probability in table.items():
+                if 0 < probability < 1:
+                    uncertain.append(atom)
+        self._uncertain: Tuple[Atom, ...] = tuple(sorted(uncertain, key=repr))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def structure(self) -> Structure:
+        """The observed database ``A``."""
+        return self._structure
+
+    @property
+    def universe_size(self) -> int:
+        """``n``, the cardinality of the universe."""
+        return len(self._structure)
+
+    def mu(self, atom: Atom) -> Fraction:
+        """Error probability of one atom."""
+        return self._mu.get(atom, self._default)
+
+    def nu(self, atom: Atom) -> Fraction:
+        """Probability that ``atom`` holds in the actual database."""
+        error = self.mu(atom)
+        return 1 - error if self._structure.holds(atom) else error
+
+    def uncertain_atoms(self) -> Tuple[Atom, ...]:
+        """Atoms with ``0 < mu < 1``, in a fixed sorted order."""
+        return self._uncertain
+
+    def certain_flips(self) -> Tuple[Atom, ...]:
+        """Atoms with ``mu == 1`` — deterministically wrong observations."""
+        flips = [atom for atom, p in self._mu.items() if p == 1]
+        if self._default == 1:
+            raise ProbabilityError(
+                "default_error == 1 flips every atom; enumerate explicitly"
+            )
+        return tuple(sorted(flips, key=repr))
+
+    def is_positive_only(self) -> bool:
+        """True in de Rougemont's restricted model: errors only on facts.
+
+        De Rougemont [9] only allows ``mu(R a) > 0`` when ``A |= R a``.
+        The paper notes its hardness results survive this restriction;
+        tests use this predicate to verify the reduction of Prop 3.2 does.
+        """
+        if self._default > 0:
+            return False
+        return all(
+            self._structure.holds(atom)
+            for atom, p in self._mu.items()
+            if p > 0
+        )
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+
+    def sample(self, rng: random.Random) -> Structure:
+        """Draw one possible world ``B ~ nu``."""
+        flips = [
+            atom
+            for atom in self._uncertain
+            if rng.random() < float(self._mu.get(atom, self._default))
+        ]
+        flips.extend(self.certain_flips())
+        return self._structure.flip_all(flips) if flips else self._structure
+
+    def observed_world(self) -> Structure:
+        """The world with every error event false (certain flips applied)."""
+        flips = self.certain_flips()
+        return self._structure.flip_all(flips) if flips else self._structure
+
+    # ------------------------------------------------------------------ #
+    # derived databases
+    # ------------------------------------------------------------------ #
+
+    def with_structure(self, structure: Structure) -> "UnreliableDatabase":
+        """Same error function, different observed structure."""
+        return UnreliableDatabase(structure, self._mu, self._default)
+
+    def with_errors(
+        self, extra: Mapping[Atom, RationalLike]
+    ) -> "UnreliableDatabase":
+        """A copy with additional/overridden error probabilities."""
+        merged: Dict[Atom, RationalLike] = dict(self._mu)
+        merged.update(extra)
+        return UnreliableDatabase(self._structure, merged, self._default)
+
+    def given(self, evidence: Mapping[Atom, bool]) -> "UnreliableDatabase":
+        """Condition on evidence about the *actual* database.
+
+        Learning the actual truth value of an atom collapses its error
+        distribution: ``mu`` becomes 0 when the observed value matches
+        the evidence and 1 when it contradicts it.  Because atoms are
+        independent, conditioning the product distribution is exactly
+        this per-atom update — no renormalisation across atoms needed.
+
+        Raises :class:`ProbabilityError` when the evidence contradicts a
+        deterministic atom (a zero-probability event).
+        """
+        updates: Dict[Atom, Fraction] = {}
+        for atom, value in evidence.items():
+            current = self.mu(atom)
+            observed = self._structure.holds(atom)
+            matches = observed == bool(value)
+            if (matches and current == 1) or (not matches and current == 0):
+                raise ProbabilityError(
+                    f"evidence {atom}={bool(value)} has probability zero"
+                )
+            updates[atom] = Fraction(0) if matches else Fraction(1)
+        return self.with_errors(updates)
+
+    def error_table(self) -> Dict[Atom, Fraction]:
+        """The explicit part of ``mu`` (a copy)."""
+        return dict(self._mu)
+
+    @property
+    def default_error(self) -> Fraction:
+        return self._default
+
+    def __repr__(self) -> str:
+        return (
+            f"UnreliableDatabase({self._structure!r}, "
+            f"{len(self._uncertain)} uncertain atoms)"
+        )
+
+
+def uniform_error(
+    structure: Structure,
+    probability: RationalLike,
+    relations: Optional[Iterable[str]] = None,
+    positive_only: bool = False,
+) -> UnreliableDatabase:
+    """An unreliable database with one error rate across chosen relations.
+
+    ``relations=None`` covers every relation.  ``positive_only=True``
+    builds a database in de Rougemont's restricted model: only atoms that
+    hold in the observed structure can be wrong.
+    """
+    probability = parse_probability(probability)
+    names = (
+        tuple(relations)
+        if relations is not None
+        else structure.vocabulary.names()
+    )
+    for name in names:
+        structure.vocabulary.symbol(name)  # validates
+    table: Dict[Atom, Fraction] = {}
+    chosen = set(names)
+    for atom in structure.atoms():
+        if atom.relation not in chosen:
+            continue
+        if positive_only and not structure.holds(atom):
+            continue
+        table[atom] = probability
+    return UnreliableDatabase(structure, table)

@@ -1,0 +1,35 @@
+"""Shared utilities: deterministic RNG plumbing, rational helpers, errors.
+
+Everything in :mod:`repro` that involves randomness takes an explicit
+``random.Random`` instance so that experiments are reproducible; the helpers
+here make that convention cheap to follow.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    VocabularyError,
+    QueryError,
+    ProbabilityError,
+    EvaluationError,
+)
+from repro.util.rng import make_rng, spawn
+from repro.util.rationals import (
+    as_fraction,
+    parse_probability,
+    granularity,
+    dyadic_approximation,
+)
+
+__all__ = [
+    "ReproError",
+    "VocabularyError",
+    "QueryError",
+    "ProbabilityError",
+    "EvaluationError",
+    "make_rng",
+    "spawn",
+    "as_fraction",
+    "parse_probability",
+    "granularity",
+    "dyadic_approximation",
+]

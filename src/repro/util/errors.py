@@ -1,0 +1,44 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single base class.  Each subclass marks the layer that raised it; nothing in
+the library raises bare ``ValueError``/``KeyError`` for user-facing misuse.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class VocabularyError(ReproError):
+    """A relation symbol, arity, or structure component is inconsistent.
+
+    Raised e.g. when a tuple's length does not match the relation's arity,
+    when two symbols with the same name but different arities are declared,
+    or when a structure refers to a symbol missing from its vocabulary.
+    """
+
+
+class QueryError(ReproError):
+    """A query expression is malformed or used outside its fragment.
+
+    Raised e.g. when a conjunctive-query constructor receives a disjunction,
+    when an algorithm requiring an existential query is handed a universal
+    one, or when the parser encounters a syntax error.
+    """
+
+
+class ProbabilityError(ReproError):
+    """A probability value or distribution is invalid.
+
+    Raised e.g. for error probabilities outside ``[0, 1]`` or metafinite
+    value distributions that do not sum to one.
+    """
+
+
+class EvaluationError(ReproError):
+    """Evaluation of a query or term failed.
+
+    Raised e.g. when a free variable has no binding or a Datalog program
+    uses an undefined predicate.
+    """

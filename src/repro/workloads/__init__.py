@@ -1,0 +1,39 @@
+"""Seeded workload generators for tests, examples and benchmarks.
+
+Everything takes an explicit ``random.Random``; the same seed always
+produces the same workload, so every experiment in EXPERIMENTS.md is
+reproducible bit for bit.
+"""
+
+from repro.workloads.random_db import (
+    random_structure,
+    random_unreliable_database,
+)
+from repro.workloads.random_cnf import random_monotone_2cnf
+from repro.workloads.graphs import (
+    gnp_graph,
+    cycle_graph,
+    grid_graph,
+    random_colourable_graph,
+)
+from repro.workloads.random_dnf import random_kdnf, random_probabilities
+from repro.workloads.scenarios import (
+    network_monitoring_scenario,
+    dirty_orders_scenario,
+    sensor_scenario,
+)
+
+__all__ = [
+    "random_structure",
+    "random_unreliable_database",
+    "random_monotone_2cnf",
+    "gnp_graph",
+    "cycle_graph",
+    "grid_graph",
+    "random_colourable_graph",
+    "random_kdnf",
+    "random_probabilities",
+    "network_monitoring_scenario",
+    "dirty_orders_scenario",
+    "sensor_scenario",
+]

@@ -1,0 +1,82 @@
+"""Graph generators for the Lemma 5.9 and Datalog experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+
+def gnp_graph(
+    rng: random.Random, nodes: int, probability: float
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """An Erdős–Rényi G(n, p) undirected graph (no self loops)."""
+    vertex_list = list(range(nodes))
+    edges = [
+        (u, v)
+        for u in vertex_list
+        for v in vertex_list
+        if u < v and rng.random() < probability
+    ]
+    return vertex_list, edges
+
+
+def cycle_graph(nodes: int) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """The n-cycle — 2-colourable iff even, handy known ground truth."""
+    vertex_list = list(range(nodes))
+    edges = [(i, (i + 1) % nodes) for i in range(nodes)]
+    return vertex_list, edges
+
+
+def grid_graph(
+    rows: int, columns: int
+) -> Tuple[List[Tuple[int, int]], List[Tuple[Tuple[int, int], Tuple[int, int]]]]:
+    """A rows x columns grid graph (always 2-colourable)."""
+    vertex_list = [(r, c) for r in range(rows) for c in range(columns)]
+    edges = []
+    for r in range(rows):
+        for c in range(columns):
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+            if c + 1 < columns:
+                edges.append(((r, c), (r, c + 1)))
+    return vertex_list, edges
+
+
+def complete_graph(nodes: int) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """K_n — 4-colourable iff n <= 4, the sharp ground truth for E6."""
+    vertex_list = list(range(nodes))
+    edges = [(u, v) for u in vertex_list for v in vertex_list if u < v]
+    return vertex_list, edges
+
+
+def random_colourable_graph(
+    rng: random.Random, nodes: int, colours: int, probability: float
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """A random graph guaranteed ``colours``-colourable by construction.
+
+    Vertices are pre-partitioned into colour classes; edges are drawn only
+    between classes with probability ``probability``.
+    """
+    vertex_list = list(range(nodes))
+    classes = {v: rng.randrange(colours) for v in vertex_list}
+    edges = [
+        (u, v)
+        for u in vertex_list
+        for v in vertex_list
+        if u < v and classes[u] != classes[v] and rng.random() < probability
+    ]
+    return vertex_list, edges
+
+
+def random_digraph(
+    rng: random.Random, nodes: int, probability: float
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """A random directed graph (for reachability workloads)."""
+    vertex_list = list(range(nodes))
+    edges = [
+        (u, v)
+        for u in vertex_list
+        for v in vertex_list
+        if u != v and rng.random() < probability
+    ]
+    return vertex_list, edges

@@ -1,0 +1,42 @@
+"""Random monotone 2-CNF instances for the Proposition 3.2 experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.reductions.monotone2sat import Monotone2CNF
+from repro.util.errors import QueryError
+
+
+def random_monotone_2cnf(
+    rng: random.Random,
+    variables: int,
+    clauses: int,
+    allow_duplicates: bool = False,
+) -> Monotone2CNF:
+    """A random monotone 2-CNF over ``x0 .. x{variables-1}``.
+
+    Clauses are unordered pairs of *distinct* variables; with
+    ``allow_duplicates=False`` (default) the clause set is duplicate-free
+    when enough distinct pairs exist.
+    """
+    if variables < 2:
+        raise QueryError("need at least two variables for binary clauses")
+    names = [f"x{i}" for i in range(variables)]
+    max_pairs = variables * (variables - 1) // 2
+    if not allow_duplicates and clauses > max_pairs:
+        raise QueryError(
+            f"cannot draw {clauses} distinct clauses from {max_pairs} pairs"
+        )
+    chosen: List[Tuple[str, str]] = []
+    seen = set()
+    while len(chosen) < clauses:
+        left, right = rng.sample(names, 2)
+        key = (min(left, right), max(left, right))
+        if not allow_duplicates:
+            if key in seen:
+                continue
+            seen.add(key)
+        chosen.append(key)
+    return Monotone2CNF(tuple(chosen))

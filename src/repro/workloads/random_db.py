@@ -1,0 +1,68 @@
+"""Random relational structures and unreliable databases."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.atoms import Atom
+from repro.relational.schema import RelationSymbol, Vocabulary
+from repro.relational.structure import Structure
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import ProbabilityError
+from repro.util.rationals import RationalLike, parse_probability
+
+
+def random_structure(
+    rng: random.Random,
+    size: int,
+    relations: Mapping[str, int],
+    density: float = 0.3,
+) -> Structure:
+    """A random structure: each possible tuple is present with ``density``.
+
+    ``relations`` maps names to arities; the universe is ``0..size-1``.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ProbabilityError(f"density {density} outside [0, 1]")
+    vocabulary = Vocabulary(
+        [RelationSymbol(name, arity) for name, arity in sorted(relations.items())]
+    )
+    universe = tuple(range(size))
+    structure = Structure(vocabulary, universe)
+    rows: Dict[str, list] = {}
+    for atom in structure.atoms():
+        if rng.random() < density:
+            rows.setdefault(atom.relation, []).append(atom.args)
+    for name, tuples in rows.items():
+        structure = structure.with_relation(name, tuples)
+    return structure
+
+
+def random_unreliable_database(
+    rng: random.Random,
+    size: int,
+    relations: Mapping[str, int],
+    density: float = 0.3,
+    error: RationalLike = Fraction(1, 10),
+    uncertain_fraction: float = 1.0,
+    error_choices: Optional[Sequence[RationalLike]] = None,
+) -> UnreliableDatabase:
+    """A random structure with random error probabilities.
+
+    ``uncertain_fraction`` of the atoms get a positive error — drawn from
+    ``error_choices`` when given, else the fixed ``error``.  Remaining
+    atoms are certain, exercising the constant-folding paths.
+    """
+    structure = random_structure(rng, size, relations, density)
+    mu: Dict[Atom, Fraction] = {}
+    choices = (
+        [parse_probability(p) for p in error_choices]
+        if error_choices is not None
+        else [parse_probability(error)]
+    )
+    for atom in structure.atoms():
+        if rng.random() < uncertain_fraction:
+            mu[atom] = rng.choice(choices)
+    return UnreliableDatabase(structure, mu)

@@ -1,0 +1,49 @@
+"""Random kDNF formulas with random rational probabilities (E4/E9)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, List
+
+from repro.propositional.formula import DNF, Clause, Literal
+from repro.util.errors import QueryError
+
+
+def random_kdnf(
+    rng: random.Random,
+    variables: int,
+    clauses: int,
+    width: int,
+    negative_fraction: float = 0.5,
+) -> DNF:
+    """A random DNF: ``clauses`` clauses of exactly ``width`` distinct
+    variables each, literals negated with ``negative_fraction``."""
+    if width > variables:
+        raise QueryError(f"clause width {width} exceeds {variables} variables")
+    names = [f"v{i}" for i in range(variables)]
+    built: List[Clause] = []
+    for _ in range(clauses):
+        chosen = rng.sample(names, width)
+        built.append(
+            Clause(
+                Literal(name, rng.random() >= negative_fraction)
+                for name in chosen
+            )
+        )
+    return DNF(built)
+
+
+def random_probabilities(
+    rng: random.Random,
+    dnf: DNF,
+    denominator: int = 16,
+) -> Dict[object, Fraction]:
+    """Random rational probabilities ``1/d .. (d-1)/d`` for a DNF's
+    variables — strictly inside (0, 1) so every clause stays possible."""
+    if denominator < 2:
+        raise QueryError("denominator must be at least 2")
+    return {
+        variable: Fraction(rng.randrange(1, denominator), denominator)
+        for variable in sorted(dnf.variables, key=repr)
+    }

@@ -1,0 +1,212 @@
+"""Realistic end-to-end scenarios used by the examples and benchmarks.
+
+Three applications of unreliable databases, chosen to match the settings
+the paper's introduction motivates — a user evaluates a query on an
+*observed* database and wants to know how much to trust the answer:
+
+* **network monitoring** — link-state tables collected by unreliable
+  probes; the query asks about connectivity (Datalog reachability) and
+  local redundancy (an existential query);
+* **dirty customer/order data** — an integrated sales database where
+  provenance determines per-fact error rates; conjunctive join queries;
+* **sensor readings** — a metafinite database of numeric measurements
+  with aggregate (SQL-style) queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.logic.datalog import DatalogQuery, reachability_query
+from repro.logic.evaluator import FOQuery
+from repro.metafinite.database import (
+    FunctionalDatabase,
+    UnreliableFunctionalDatabase,
+    ValueDistribution,
+)
+from repro.metafinite.terms import MetafiniteQuery, aggregate, apply_op, func
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder
+from repro.reliability.unreliable import UnreliableDatabase
+
+
+@dataclass(frozen=True)
+class RelationalScenario:
+    """A ready-made unreliable database with named queries."""
+
+    db: UnreliableDatabase
+    queries: Dict[str, object]
+    description: str
+
+
+def network_monitoring_scenario(
+    rng: random.Random,
+    routers: int = 12,
+    link_probability: float = 0.28,
+    probe_error: Fraction = Fraction(1, 20),
+) -> RelationalScenario:
+    """Routers with probed links; link reports are wrong with 5% chance.
+
+    Queries:
+
+    * ``"redundant"`` — existential: some router has two distinct
+      neighbours (local redundancy exists);
+    * ``"reach"`` — Datalog reachability (binary; the Theorem 5.12 case);
+    * ``"isolated"`` — universal: no router is fully cut off.
+    """
+    names = [f"r{i}" for i in range(routers)]
+    builder = StructureBuilder(names)
+    builder.relation("Link", 2)
+    mu: Dict[Atom, Fraction] = {}
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            present = rng.random() < link_probability
+            if present:
+                builder.add("Link", (u, v))
+                builder.add("Link", (v, u))
+            mu[Atom("Link", (u, v))] = probe_error
+            mu[Atom("Link", (v, u))] = probe_error
+    structure = builder.build()
+    db = UnreliableDatabase(structure, mu)
+    queries = {
+        "redundant": FOQuery(
+            "exists x y z. Link(x, y) & Link(x, z) & y != z"
+        ),
+        "reach": reachability_query(edge="Link"),
+        "isolated": FOQuery("forall x. exists y. Link(x, y)"),
+    }
+    return RelationalScenario(
+        db=db,
+        queries=queries,
+        description=(
+            f"{routers} routers, probed links with error {probe_error}"
+        ),
+    )
+
+
+def dirty_orders_scenario(
+    rng: random.Random,
+    customers: int = 8,
+    products: int = 6,
+    order_probability: float = 0.3,
+    vip_fraction: float = 0.3,
+) -> RelationalScenario:
+    """An integrated sales database with provenance-dependent error rates.
+
+    ``Ordered(c, p)`` facts come from two source systems: the modern one
+    (error 1/50) and a legacy import (error 1/8); ``Vip(c)`` flags come
+    from a hand-maintained spreadsheet (error 1/10).
+
+    Queries:
+
+    * ``"vip_order"`` — conjunctive Boolean: some VIP ordered something;
+    * ``"who_vip"`` — unary conjunctive: the VIPs with at least one order;
+    * ``"pairs"`` — binary quantifier-free: the order table itself
+      (Proposition 3.1's fragment, exercised on a realistic schema).
+    """
+    customer_names = [f"c{i}" for i in range(customers)]
+    product_names = [f"p{i}" for i in range(products)]
+    builder = StructureBuilder(customer_names + product_names)
+    builder.relation("Ordered", 2)
+    builder.relation("Vip", 1)
+    builder.relation("Customer", 1)
+    builder.relation("Product", 1)
+    mu: Dict[Atom, Fraction] = {}
+    for c in customer_names:
+        builder.add("Customer", (c,))
+        if rng.random() < vip_fraction:
+            builder.add("Vip", (c,))
+        mu[Atom("Vip", (c,))] = Fraction(1, 10)
+    for p in product_names:
+        builder.add("Product", (p,))
+    for c in customer_names:
+        for p in product_names:
+            if rng.random() < order_probability:
+                builder.add("Ordered", (c, p))
+            legacy = rng.random() < 0.5
+            mu[Atom("Ordered", (c, p))] = (
+                Fraction(1, 8) if legacy else Fraction(1, 50)
+            )
+    structure = builder.build()
+    db = UnreliableDatabase(structure, mu)
+    queries = {
+        "vip_order": FOQuery("exists c p. Vip(c) & Ordered(c, p)"),
+        "who_vip": FOQuery("exists p. Vip(c) & Ordered(c, p)", ["c"]),
+        "pairs": FOQuery("Ordered(c, p)", ["c", "p"]),
+    }
+    return RelationalScenario(
+        db=db,
+        queries=queries,
+        description=(
+            f"{customers} customers x {products} products, "
+            "provenance-dependent error rates"
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class MetafiniteScenario:
+    """A ready-made unreliable functional database with named queries."""
+
+    db: UnreliableFunctionalDatabase
+    queries: Dict[str, MetafiniteQuery]
+    description: str
+
+
+def sensor_scenario(
+    rng: random.Random,
+    sensors: int = 6,
+    jitter: Fraction = Fraction(1, 10),
+) -> MetafiniteScenario:
+    """Temperature sensors whose readings may be off by one unit.
+
+    Each sensor reports an integer reading; with probability ``jitter``
+    (split evenly) the actual value is one above or below the report.
+
+    Queries:
+
+    * ``"total"`` — ``sum_s reading(s)`` (Boolean arity 0, numeric value);
+    * ``"hottest"`` — ``max_s reading(s)``;
+    * ``"alarms"`` — ``count_s [reading(s) >= threshold(s)]``;
+    * ``"local"`` — aggregate-free unary: reading minus threshold
+      (Theorem 6.2(i)'s fragment).
+    """
+    names = tuple(f"s{i}" for i in range(sensors))
+    readings = {(s,): rng.randrange(15, 30) for s in names}
+    thresholds = {(s,): 25 for s in names}
+    observed = FunctionalDatabase(
+        names, {"reading": readings, "threshold": thresholds}
+    )
+    half = jitter / 2
+    distributions = {}
+    for s in names:
+        value = readings[(s,)]
+        distributions[("reading", (s,))] = ValueDistribution(
+            {value: 1 - jitter, value - 1: half, value + 1: half}
+        )
+    db = UnreliableFunctionalDatabase(observed, distributions)
+    queries = {
+        "total": MetafiniteQuery(aggregate("sum", ["s"], func("reading", "s"))),
+        "hottest": MetafiniteQuery(
+            aggregate("max", ["s"], func("reading", "s"))
+        ),
+        "alarms": MetafiniteQuery(
+            aggregate(
+                "count",
+                ["s"],
+                apply_op("geq", func("reading", "s"), func("threshold", "s")),
+            )
+        ),
+        "local": MetafiniteQuery(
+            apply_op("sub", func("reading", "s"), func("threshold", "s")),
+            ["s"],
+        ),
+    }
+    return MetafiniteScenario(
+        db=db,
+        queries=queries,
+        description=f"{sensors} sensors with +/-1 jitter at rate {jitter}",
+    )

@@ -1,0 +1,45 @@
+"""Shared fixtures: small structures and databases used across the suite."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def rng():
+    return make_rng(12345)
+
+
+@pytest.fixture
+def triangle():
+    """A 3-node graph a->b->c with an S flag on b."""
+    builder = StructureBuilder(["a", "b", "c"])
+    builder.relation("E", 2)
+    builder.relation("S", 1)
+    builder.add("E", ("a", "b"))
+    builder.add("E", ("b", "c"))
+    builder.add("S", ("b",))
+    return builder.build()
+
+
+@pytest.fixture
+def triangle_db(triangle):
+    """The triangle with a few uncertain atoms at mixed rates."""
+    mu = {
+        Atom("E", ("a", "c")): Fraction(1, 10),
+        Atom("E", ("a", "b")): Fraction(1, 4),
+        Atom("S", ("a",)): Fraction(1, 3),
+        Atom("S", ("b",)): Fraction(1, 5),
+    }
+    return UnreliableDatabase(triangle, mu)
+
+
+@pytest.fixture
+def certain_db(triangle):
+    """The triangle with no uncertainty at all."""
+    return UnreliableDatabase(triangle)

@@ -1,0 +1,88 @@
+"""Tests for syntactic fragment classification."""
+
+import pytest
+
+from repro.logic.classify import (
+    classify,
+    is_conjunctive,
+    is_existential,
+    is_quantifier_free,
+    is_universal,
+)
+from repro.logic.parser import parse
+
+
+class TestQuantifierFree:
+    @pytest.mark.parametrize(
+        "source", ["E(x, y)", "E(x, y) & ~S(x)", "x = y -> S(x)", "true"]
+    )
+    def test_positive(self, source):
+        assert is_quantifier_free(parse(source))
+
+    @pytest.mark.parametrize(
+        "source", ["exists x. S(x)", "S(x) & forall y. E(x, y)"]
+    )
+    def test_negative(self, source):
+        assert not is_quantifier_free(parse(source))
+
+
+class TestExistentialUniversal:
+    def test_plain_existential(self):
+        assert is_existential(parse("exists x y. E(x, y)"))
+
+    def test_negated_universal_is_existential(self):
+        assert is_existential(parse("~forall x. S(x)"))
+
+    def test_plain_universal(self):
+        assert is_universal(parse("forall x. S(x)"))
+
+    def test_negated_existential_is_universal(self):
+        assert is_universal(parse("~exists x. S(x)"))
+
+    def test_quantifier_free_is_both(self):
+        formula = parse("E(x, y)")
+        assert is_existential(formula)
+        assert is_universal(formula)
+
+    def test_alternation_is_neither(self):
+        formula = parse("forall x. exists y. E(x, y)")
+        assert not is_existential(formula)
+        assert not is_universal(formula)
+
+    def test_hidden_alternation_through_implication(self):
+        # (exists x. A(x)) -> B(y): the antecedent dualises to forall.
+        formula = parse("(exists x. S(x)) -> S(y)")
+        assert is_universal(formula)
+        assert not is_existential(formula)
+
+
+class TestConjunctive:
+    def test_positive(self):
+        assert is_conjunctive(parse("exists x y z. L(x, y) & R(x, z) & S(y)"))
+
+    def test_single_atom(self):
+        assert is_conjunctive(parse("exists x. S(x)"))
+
+    def test_equality_allowed(self):
+        assert is_conjunctive(parse("exists x. S(x) & x = 'a'"))
+
+    def test_disjunction_rejected(self):
+        assert not is_conjunctive(parse("exists x. S(x) | E(x, x)"))
+
+    def test_negation_rejected(self):
+        assert not is_conjunctive(parse("exists x. ~S(x)"))
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("E(x, y) & S(x)", "quantifier-free"),
+            ("exists x. E(x, x) & S(x)", "conjunctive"),
+            ("exists x. E(x, x) | S(x)", "existential"),
+            ("forall x. S(x)", "universal"),
+            ("forall x. exists y. E(x, y)", "first-order"),
+        ],
+    )
+    def test_labels(self, source, expected):
+        assert classify(parse(source)) == expected

@@ -1,0 +1,80 @@
+"""Tests for the conjunctive-query type."""
+
+import pytest
+
+from repro.logic.conjunctive import ConjunctiveQuery, hardness_query
+from repro.logic.fo import atom
+from repro.logic.parser import parse
+from repro.relational.builder import StructureBuilder
+from repro.util.errors import QueryError
+
+
+@pytest.fixture
+def db():
+    builder = StructureBuilder(["a", "b", "c"])
+    builder.relation("E", 2).relation("S", 1)
+    builder.add("E", ("a", "b")).add("E", ("b", "c")).add("S", ("b",))
+    return builder.build()
+
+
+class TestConstruction:
+    def test_direct(self):
+        cq = ConjunctiveQuery(["x"], [atom("E", "x", "y"), atom("S", "y")])
+        assert cq.arity == 1
+        assert [v.name for v in cq.existential_variables] == ["y"]
+
+    def test_from_text(self):
+        cq = ConjunctiveQuery.from_text("exists y. E(x, y) & S(y)", ["x"])
+        assert cq.arity == 1
+
+    def test_rejects_disjunction_body(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery.from_formula(parse("exists x. S(x) | E(x, x)"))
+
+    def test_rejects_non_atomic_parts(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([], [parse("~S(x)")])
+
+    def test_head_variable_must_occur(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(["z"], [atom("S", "x")])
+
+    def test_equality_and_hash(self):
+        cq1 = ConjunctiveQuery(["x"], [atom("S", "x")])
+        cq2 = ConjunctiveQuery(["x"], [atom("S", "x")])
+        assert cq1 == cq2
+        assert hash(cq1) == hash(cq2)
+
+
+class TestEvaluation:
+    def test_boolean(self, db):
+        cq = ConjunctiveQuery.from_text("exists x y. E(x, y) & S(y)")
+        assert cq.evaluate(db, ())
+
+    def test_unary_answers(self, db):
+        cq = ConjunctiveQuery.from_text("exists y. E(x, y) & S(y)", ["x"])
+        assert cq.answers(db) == {("a",)}
+
+    def test_matches_fo_query(self, db):
+        cq = ConjunctiveQuery.from_text("exists y. E(x, y)", ["x"])
+        assert cq.answers(db) == cq.to_fo_query().answers(db)
+
+
+class TestHardnessQuery:
+    def test_shape(self):
+        cq = hardness_query()
+        assert cq.arity == 0
+        assert len(cq.body) == 4
+        assert str(cq.to_formula()).startswith("exists")
+
+    def test_detects_falsified_clause(self):
+        # Structure encoding (y0 | y1) with both variables false.
+        builder = StructureBuilder(["c", "y0", "y1"])
+        builder.relation("L", 2).relation("R", 2).relation("S", 1)
+        builder.add("L", ("c", "y0")).add("R", ("c", "y1"))
+        builder.add("S", ("y0",)).add("S", ("y1",))
+        db = builder.build()
+        assert hardness_query().evaluate(db, ())
+        # Make y0 true (drop it from S): clause satisfied.
+        satisfied = db.with_relation("S", [("y1",)])
+        assert not hardness_query().evaluate(satisfied, ())

@@ -1,0 +1,238 @@
+"""Tests for the Datalog engine: parsing, safety, semi-naive evaluation."""
+
+import pytest
+
+from repro.logic.datalog import (
+    DatalogProgram,
+    DatalogQuery,
+    Rule,
+    head,
+    lit,
+    reachability_query,
+)
+from repro.relational.builder import StructureBuilder, graph_structure
+from repro.util.errors import EvaluationError, QueryError
+
+
+@pytest.fixture
+def chain():
+    """Directed path 0 -> 1 -> 2 -> 3."""
+    return graph_structure([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+
+
+class TestParsing:
+    def test_parse_two_rules(self):
+        program = DatalogProgram.parse(
+            """
+            T(x, y) :- E(x, y).
+            T(x, z) :- T(x, y), E(y, z).
+            """
+        )
+        assert len(program.rules) == 2
+        assert program.idb == {"T"}
+
+    def test_parse_negation_and_comparison(self):
+        program = DatalogProgram.parse(
+            "Lonely(x) :- V(x), not E(x, x), x != x."
+        )
+        body = program.rules[0].body
+        assert body[1].negated
+        assert body[2].predicate == "="
+        assert body[2].negated
+
+    def test_parse_constants(self):
+        program = DatalogProgram.parse("Root(x) :- E('r', x).\nN(x) :- E(3, x).")
+        assert len(program.rules) == 2
+
+    def test_comments_stripped(self):
+        program = DatalogProgram.parse("T(x) :- S(x). % trailing comment")
+        assert len(program.rules) == 1
+
+    def test_bad_rule_rejected(self):
+        with pytest.raises(QueryError):
+            DatalogProgram.parse("this is not datalog")
+
+    def test_str_of_rule(self):
+        rule = Rule(head("T", "x"), [lit("S", "x"), lit("E", "x", "x", negated=True)])
+        assert str(rule) == "T(x) :- S(x), not E(x, x)."
+
+
+class TestValidation:
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError):
+            DatalogProgram([Rule(head("T", "x", "y"), [lit("S", "x")])])
+
+    def test_equality_with_constant_makes_safe(self):
+        program = DatalogProgram.parse("T(x, y) :- S(x), y = 3.")
+        assert program.idb == {"T"}
+
+    def test_stratified_negated_idb_allowed(self):
+        program = DatalogProgram.parse("T(x) :- S(x).\nU(x) :- S(x), not T(x).")
+        assert program.strata["T"] == 0
+        assert program.strata["U"] == 1
+
+    def test_recursion_through_negation_rejected(self):
+        with pytest.raises(QueryError):
+            DatalogProgram.parse("T(x) :- S(x), not U(x).\nU(x) :- S(x), not T(x).")
+
+    def test_self_negation_rejected(self):
+        with pytest.raises(QueryError):
+            DatalogProgram.parse("Win(x) :- E(x, y), not Win(y).")
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(QueryError):
+            DatalogProgram.parse("T(x) :- S(x).\nT(x, y) :- E(x, y).")
+
+    def test_answer_predicate_must_be_idb(self):
+        program = DatalogProgram.parse("T(x) :- S(x).")
+        with pytest.raises(QueryError):
+            DatalogQuery(program, "S")
+
+
+class TestEvaluation:
+    def test_transitive_closure(self, chain):
+        query = reachability_query()
+        expected = {(i, j) for i in range(4) for j in range(4) if i < j}
+        assert query.answers(chain) == expected
+
+    def test_evaluate_single_tuple(self, chain):
+        query = reachability_query()
+        assert query.evaluate(chain, (0, 3))
+        assert not query.evaluate(chain, (3, 0))
+
+    def test_cycle_reaches_everything(self):
+        cycle = graph_structure([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+        query = reachability_query()
+        assert query.answers(cycle) == {(i, j) for i in range(3) for j in range(3)}
+
+    def test_matches_networkx_on_random_digraph(self):
+        import networkx as nx
+        import random
+
+        rng = random.Random(7)
+        nodes = list(range(8))
+        edges = [
+            (u, v)
+            for u in nodes
+            for v in nodes
+            if u != v and rng.random() < 0.2
+        ]
+        structure = graph_structure(nodes, edges)
+        digraph = nx.DiGraph(edges)
+        digraph.add_nodes_from(nodes)
+        # transitive_closure edges are exactly the length >= 1 paths,
+        # including (u, u) when u lies on a cycle — same semantics as the
+        # Datalog program.
+        expected = set(nx.transitive_closure(digraph).edges())
+        assert reachability_query().answers(structure) == expected
+
+    def test_negation_on_edb(self, chain):
+        program = DatalogProgram.parse("Sink(x) :- E(y, x), not E(x, y).")
+        query = DatalogQuery(program, "Sink")
+        assert query.answers(chain) == {(1,), (2,), (3,)}
+
+    def test_constants_in_rules(self, chain):
+        program = DatalogProgram.parse("FromZero(x) :- E(0, x).")
+        query = DatalogQuery(program, "FromZero")
+        assert query.answers(chain) == {(1,)}
+
+    def test_facts_via_constant_rule(self, chain):
+        program = DatalogProgram.parse(
+            "Seed(x) :- E(x, y), x = 0.\nT(x) :- Seed(x).\nT(y) :- T(x), E(x, y)."
+        )
+        query = DatalogQuery(program, "T")
+        assert query.answers(chain) == {(0,), (1,), (2,), (3,)}
+
+    def test_missing_edb_predicate_raises(self, chain):
+        program = DatalogProgram.parse("T(x) :- Missing(x).")
+        with pytest.raises(EvaluationError):
+            DatalogQuery(program, "T").answers(chain)
+
+    def test_mutual_recursion(self):
+        # Even/odd distance from node 0 along a path.
+        structure = graph_structure([0, 1, 2, 3, 4], [(0, 1), (1, 2), (2, 3), (3, 4)])
+        program = DatalogProgram.parse(
+            """
+            Even(x) :- E(x, y), x = 0.
+            Odd(y) :- Even(x), E(x, y).
+            Even(y) :- Odd(x), E(x, y).
+            """
+        )
+        even = DatalogQuery(program, "Even").answers(structure)
+        odd = DatalogQuery(program, "Odd").answers(structure)
+        assert even == {(0,), (2,), (4,)}
+        assert odd == {(1,), (3,)}
+
+    def test_semi_naive_agrees_with_naive_fixpoint(self, chain):
+        # A brute-force naive fixpoint as oracle.
+        program = DatalogProgram.parse(
+            "T(x, y) :- E(x, y).\nT(x, z) :- T(x, y), T(y, z)."
+        )
+        result = DatalogQuery(program, "T").answers(chain)
+        edges = chain.relation("E")
+        oracle = set(edges)
+        changed = True
+        while changed:
+            changed = False
+            for (a, b) in list(oracle):
+                for (c, d) in list(oracle):
+                    if b == c and (a, d) not in oracle:
+                        oracle.add((a, d))
+                        changed = True
+        assert result == oracle
+
+
+class TestStratifiedNegation:
+    def test_unreachable_via_negated_reachability(self, chain):
+        program = DatalogProgram.parse(
+            """
+            Reach(x, y) :- E(x, y).
+            Reach(x, z) :- Reach(x, y), E(y, z).
+            V(x) :- E(x, y).
+            V(y) :- E(x, y).
+            Unreach(x, y) :- V(x), V(y), not Reach(x, y).
+            """
+        )
+        unreach = DatalogQuery(program, "Unreach").answers(chain)
+        reach = DatalogQuery(program, "Reach").answers(chain)
+        nodes = {0, 1, 2, 3}
+        assert unreach == {
+            (u, v) for u in nodes for v in nodes if (u, v) not in reach
+        }
+
+    def test_three_strata(self, chain):
+        program = DatalogProgram.parse(
+            """
+            A(x) :- E(x, y).
+            B(x) :- E(x, y), not A(y).
+            C(x) :- A(x), not B(x).
+            """
+        )
+        assert program.strata == {"A": 0, "B": 1, "C": 2}
+        # A = nodes with out-edges = {0,1,2}; A(y) fails only for y=3, so
+        # B = {x : E(x, 3)} = {2}; C = A \ B = {0, 1}.
+        assert DatalogQuery(program, "A").answers(chain) == {(0,), (1,), (2,)}
+        assert DatalogQuery(program, "B").answers(chain) == {(2,)}
+        assert DatalogQuery(program, "C").answers(chain) == {(0,), (1,)}
+
+    def test_stratified_program_in_reliability_engine(self, chain):
+        from fractions import Fraction
+
+        from repro.relational.atoms import Atom
+        from repro.reliability.exact import wrong_probability
+        from repro.reliability.unreliable import UnreliableDatabase
+
+        program = DatalogProgram.parse(
+            """
+            Reach(x, y) :- E(x, y).
+            Reach(x, z) :- Reach(x, y), E(y, z).
+            V(x) :- E(x, y).
+            V(y) :- E(x, y).
+            Cut(x, y) :- V(x), V(y), not Reach(x, y).
+            """
+        )
+        query = DatalogQuery(program, "Cut")
+        db = UnreliableDatabase(chain, {Atom("E", (1, 2)): Fraction(1, 4)})
+        # Cut(0, 3) holds iff the world breaks the only path, i.e. drops
+        # E(1, 2): probability 1/4; observed Cut(0, 3) is false.
+        assert wrong_probability(db, query, (0, 3)) == Fraction(1, 4)

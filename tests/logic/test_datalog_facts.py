@@ -1,0 +1,72 @@
+"""Tests for Datalog fact rules and module-entry smoke checks."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.logic.datalog import DatalogProgram, DatalogQuery
+from repro.relational.builder import graph_structure
+from repro.util.errors import QueryError
+
+
+@pytest.fixture
+def chain():
+    return graph_structure([0, 1, 2], [(0, 1), (1, 2)])
+
+
+class TestFactRules:
+    def test_ground_fact(self, chain):
+        program = DatalogProgram.parse("Seed(0).\nT(x) :- Seed(x).\nT(y) :- T(x), E(x, y).")
+        assert DatalogQuery(program, "T").answers(chain) == {(0,), (1,), (2,)}
+
+    def test_multiple_facts(self, chain):
+        program = DatalogProgram.parse("P(0).\nP(2).")
+        assert DatalogQuery(program, "P").answers(chain) == {(0,), (2,)}
+
+    def test_fact_with_variable_is_unsafe(self):
+        with pytest.raises(QueryError):
+            DatalogProgram.parse("P(x).")
+
+    def test_facts_feed_negation_strata(self, chain):
+        program = DatalogProgram.parse(
+            """
+            Special(1).
+            Plain(x) :- E(x, y), not Special(x).
+            Plain(y) :- E(x, y), not Special(y).
+            """
+        )
+        assert DatalogQuery(program, "Plain").answers(chain) == {(0,), (2,)}
+
+
+class TestModuleEntry:
+    def test_python_dash_m_repro_help(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 0
+        assert "compute" in completed.stdout
+        assert "analyze" in completed.stdout
+
+    def test_python_dash_m_repro_compute(self, tmp_path):
+        from repro.relational.encoding import encode_unreliable_database
+        from repro.reliability.unreliable import UnreliableDatabase
+        from repro.relational.builder import StructureBuilder
+        from repro.relational.atoms import Atom
+
+        builder = StructureBuilder([1, 2])
+        builder.relation("P", 1).add("P", (1,))
+        db = UnreliableDatabase(builder.build(), {Atom("P", (1,)): "1/4"})
+        path = tmp_path / "db.txt"
+        path.write_text(encode_unreliable_database(db))
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "compute", str(path), "exists x. P(x)"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "3/4" in completed.stdout

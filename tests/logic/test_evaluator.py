@@ -1,0 +1,118 @@
+"""Tests for first-order evaluation and the FOQuery protocol object."""
+
+import pytest
+
+from repro.logic.evaluator import FOQuery, answers, evaluate
+from repro.logic.parser import parse
+from repro.logic.terms import Var
+from repro.relational.builder import StructureBuilder, graph_structure
+from repro.util.errors import EvaluationError, QueryError
+
+
+@pytest.fixture
+def path():
+    """a -> b -> c directed path with S = {b}."""
+    builder = StructureBuilder(["a", "b", "c"])
+    builder.relation("E", 2).relation("S", 1)
+    builder.add("E", ("a", "b")).add("E", ("b", "c")).add("S", ("b",))
+    return builder.build()
+
+
+class TestEvaluate:
+    def test_atoms(self, path):
+        assert evaluate(path, parse("E('a', 'b')"))
+        assert not evaluate(path, parse("E('b', 'a')"))
+
+    def test_equality(self, path):
+        assert evaluate(path, parse("'a' = 'a'"))
+        assert not evaluate(path, parse("'a' = 'b'"))
+
+    def test_connectives(self, path):
+        assert evaluate(path, parse("E('a', 'b') & S('b')"))
+        assert evaluate(path, parse("E('b', 'a') | S('b')"))
+        assert evaluate(path, parse("E('b', 'a') -> S('a')"))
+        assert evaluate(path, parse("S('a') <-> S('c')"))
+
+    def test_exists(self, path):
+        assert evaluate(path, parse("exists x. S(x)"))
+        assert not evaluate(path, parse("exists x. E(x, x)"))
+
+    def test_forall(self, path):
+        assert evaluate(path, parse("forall x. ~E(x, x)"))
+        assert not evaluate(path, parse("forall x. S(x)"))
+
+    def test_nested_alternation(self, path):
+        # Every S-element has an outgoing edge.
+        assert evaluate(path, parse("forall x. S(x) -> exists y. E(x, y)"))
+
+    def test_unbound_variable_raises(self, path):
+        with pytest.raises(EvaluationError):
+            evaluate(path, parse("S(x)"))
+
+    def test_assignment_env(self, path):
+        assert evaluate(path, parse("S(x)"), {Var("x"): "b"})
+
+    def test_env_not_mutated_by_quantifiers(self, path):
+        env = {Var("x"): "b"}
+        evaluate(path, parse("exists x. E(x, x)"), env)
+        assert env == {Var("x"): "b"}
+
+
+class TestAnswers:
+    def test_binary_answers(self, path):
+        result = answers(path, parse("E(x, y)"))
+        assert result == {("a", "b"), ("b", "c")}
+
+    def test_free_order_controls_columns(self, path):
+        default = answers(path, parse("E(x, y)"))
+        reordered = answers(path, parse("E(x, y)"), [Var("y"), Var("x")])
+        assert reordered == {(b, a) for a, b in default}
+
+    def test_sentence_answers(self, path):
+        assert answers(path, parse("exists x. S(x)")) == {()}
+        assert answers(path, parse("exists x. E(x, x)")) == set()
+
+    def test_mismatched_free_order_rejected(self, path):
+        with pytest.raises(QueryError):
+            answers(path, parse("E(x, y)"), [Var("x")])
+
+
+class TestFOQuery:
+    def test_from_string(self, path):
+        query = FOQuery("exists y. E(x, y)")
+        assert query.arity == 1
+        assert query.answers(path) == {("a",), ("b",)}
+
+    def test_evaluate_tuple(self, path):
+        query = FOQuery("E(x, y)", ["x", "y"])
+        assert query.evaluate(path, ("a", "b"))
+        assert not query.evaluate(path, ("a", "c"))
+
+    def test_arity_mismatch_rejected(self, path):
+        query = FOQuery("E(x, y)")
+        with pytest.raises(QueryError):
+            query.evaluate(path, ("a",))
+
+    def test_instantiated_produces_sentence(self, path):
+        query = FOQuery("E(x, y)", ["x", "y"])
+        sentence = query.instantiated(("a", "b"))
+        assert evaluate(path, sentence)
+
+    def test_equality_and_hash(self):
+        q1 = FOQuery("E(x, y)", ["x", "y"])
+        q2 = FOQuery("E(x, y)", ["x", "y"])
+        q3 = FOQuery("E(x, y)", ["y", "x"])
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+        assert q1 != q3
+
+    def test_boolean_on_graph(self):
+        graph = graph_structure([1, 2, 3], [(1, 2), (2, 3)], symmetric=True)
+        triangle_query = FOQuery(
+            "exists x y z. E(x, y) & E(y, z) & E(z, x)"
+        )
+        assert not triangle_query.evaluate(graph, ())
+        with_triangle = graph_structure(
+            [1, 2, 3], [(1, 2), (2, 3), (3, 1)], symmetric=True
+        )
+        assert triangle_query.evaluate(with_triangle, ())

@@ -1,0 +1,102 @@
+"""Tests for fixed-point queries and brute-force second-order evaluation."""
+
+import pytest
+
+from repro.logic.datalog import reachability_query
+from repro.logic.fixpoint import FixpointQuery
+from repro.logic.so import SOExists, SOForall, SOQuery, three_colourability
+from repro.relational.builder import graph_structure
+from repro.util.errors import QueryError
+
+
+@pytest.fixture
+def chain():
+    return graph_structure([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+
+
+class TestFixpoint:
+    def test_transitive_closure_matches_datalog(self, chain):
+        fixpoint = FixpointQuery(
+            "E(x, y) | (exists z. X(x, z) & E(z, y))",
+            fixpoint_relation="X",
+            free_order=("x", "y"),
+        )
+        assert fixpoint.answers(chain) == reachability_query().answers(chain)
+
+    def test_evaluate_tuple(self, chain):
+        fixpoint = FixpointQuery(
+            "E(x, y) | (exists z. X(x, z) & E(z, y))",
+            fixpoint_relation="X",
+            free_order=("x", "y"),
+        )
+        assert fixpoint.evaluate(chain, (0, 3))
+        assert not fixpoint.evaluate(chain, (1, 0))
+
+    def test_must_mention_fixpoint_relation(self):
+        with pytest.raises(QueryError):
+            FixpointQuery("E(x, y)", fixpoint_relation="X", free_order=("x", "y"))
+
+    def test_nullary_rejected(self):
+        with pytest.raises(QueryError):
+            FixpointQuery("exists x y. X(x, y) | E(x, y)", "X")
+
+    def test_clash_with_existing_relation(self, chain):
+        from repro.relational.schema import Vocabulary
+
+        fixpoint = FixpointQuery(
+            "E(x, y) | X(x, y)", fixpoint_relation="X", free_order=("x", "y")
+        )
+        expanded = chain.expand(Vocabulary([("X", 2)]))
+        with pytest.raises(QueryError):
+            fixpoint.answers(expanded)
+
+
+class TestSecondOrder:
+    def test_exists_relation_trivial(self, chain):
+        # There exists a unary relation containing node 0: always true.
+        query = SOQuery([SOExists("P", 1)], "P(x)", free_order=("x",))
+        assert query.evaluate(chain, (0,))
+
+    def test_forall_relation(self, chain):
+        # For all unary P: P(0) — false (the empty P fails).
+        query = SOQuery([SOForall("P", 1)], "exists x. P(x) & x = 0")
+        assert not query.evaluate(chain, ())
+
+    def test_three_colourability_on_paths_and_cliques(self):
+        path = graph_structure([0, 1, 2], [(0, 1), (1, 2)], symmetric=True)
+        assert three_colourability().evaluate(path, ())
+        k4 = graph_structure(
+            [0, 1, 2, 3],
+            [(i, j) for i in range(4) for j in range(4) if i < j],
+            symmetric=True,
+        )
+        assert not three_colourability().evaluate(k4, ())
+
+    def test_two_colourability_even_vs_odd_cycle(self):
+        # Sigma-1-1: exists C. edges go between C and its complement.
+        bipartite = SOQuery(
+            [SOExists("C", 1)],
+            "forall x y. E(x, y) -> ~(C(x) <-> C(y))",
+        )
+        even = graph_structure(
+            [0, 1, 2, 3], [(0, 1), (1, 2), (2, 3), (3, 0)], symmetric=True
+        )
+        odd = graph_structure(
+            [0, 1, 2], [(0, 1), (1, 2), (2, 0)], symmetric=True
+        )
+        assert bipartite.evaluate(even, ())
+        assert not bipartite.evaluate(odd, ())
+
+    def test_duplicate_relation_variables_rejected(self):
+        with pytest.raises(QueryError):
+            SOQuery([SOExists("P", 1), SOForall("P", 1)], "P(x)", ("x",))
+
+    def test_answers(self, chain):
+        # Nodes x such that every unary P containing all E-successors of x
+        # is nonempty — i.e. x has a successor.
+        query = SOQuery(
+            [SOExists("P", 1)],
+            "exists y. E(x, y) & P(y)",
+            free_order=("x",),
+        )
+        assert query.answers(chain) == {(0,), (1,), (2,)}

@@ -1,0 +1,157 @@
+"""Tests for the first-order AST and smart constructors."""
+
+import pytest
+
+from repro.logic.fo import (
+    BOTTOM,
+    TOP,
+    And,
+    AtomF,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    atom,
+    conj,
+    disj,
+    exists,
+    forall,
+    formula_size,
+    free_variables,
+    instantiate,
+    neg,
+    relations_used,
+    substitute,
+)
+from repro.logic.terms import Const, Var
+from repro.util.errors import QueryError
+
+
+class TestSmartConstructors:
+    def test_atom_promotes_strings_to_vars(self):
+        a = atom("E", "x", "y")
+        assert a.args == (Var("x"), Var("y"))
+
+    def test_atom_wraps_values_as_constants(self):
+        a = atom("E", "x", 3)
+        assert a.args == (Var("x"), Const(3))
+
+    def test_conj_flattens(self):
+        a, b, c = atom("A", "x"), atom("B", "x"), atom("C", "x")
+        combined = conj(conj(a, b), c)
+        assert isinstance(combined, And)
+        assert combined.subs == (a, b, c)
+
+    def test_conj_absorbs_constants(self):
+        a = atom("A", "x")
+        assert conj(a, TOP) == a
+        assert conj(a, BOTTOM) == BOTTOM
+        assert conj() == TOP
+
+    def test_disj_flattens_and_absorbs(self):
+        a, b = atom("A", "x"), atom("B", "x")
+        combined = disj(disj(a, b), BOTTOM)
+        assert isinstance(combined, Or)
+        assert combined.subs == (a, b)
+        assert disj(a, TOP) == TOP
+        assert disj() == BOTTOM
+
+    def test_neg_double_negation(self):
+        a = atom("A", "x")
+        assert neg(neg(a)) == a
+        assert neg(TOP) == BOTTOM
+        assert neg(BOTTOM) == TOP
+
+    def test_exists_merges_blocks(self):
+        a = atom("E", "x", "y")
+        nested = exists(["x"], exists(["y"], a))
+        assert isinstance(nested, Exists)
+        assert nested.variables == (Var("x"), Var("y"))
+
+    def test_forall_merges_blocks(self):
+        a = atom("E", "x", "y")
+        nested = forall(["x"], forall(["y"], a))
+        assert isinstance(nested, Forall)
+        assert nested.variables == (Var("x"), Var("y"))
+
+    def test_empty_quantifier_block_is_identity(self):
+        a = atom("A", "x")
+        assert exists([], a) == a
+
+    def test_operator_sugar(self):
+        a, b = atom("A", "x"), atom("B", "x")
+        assert (a & b) == conj(a, b)
+        assert (a | b) == disj(a, b)
+        assert (~a) == neg(a)
+        assert (a >> b) == Implies(a, b)
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert free_variables(atom("E", "x", "y")) == {Var("x"), Var("y")}
+
+    def test_quantifier_binds(self):
+        formula = exists(["x"], atom("E", "x", "y"))
+        assert free_variables(formula) == {Var("y")}
+
+    def test_eq_and_constants(self):
+        formula = Eq(Var("x"), Const(3))
+        assert free_variables(formula) == {Var("x")}
+
+    def test_sentence_has_no_free_variables(self):
+        formula = exists(["x", "y"], atom("E", "x", "y"))
+        assert free_variables(formula) == frozenset()
+
+    def test_connectives_union(self):
+        formula = Iff(atom("A", "x"), Implies(atom("B", "y"), atom("C", "z")))
+        assert free_variables(formula) == {Var("x"), Var("y"), Var("z")}
+
+
+class TestRelationsUsed:
+    def test_collects_all(self):
+        formula = exists(["x"], conj(atom("A", "x"), neg(atom("B", "x"))))
+        assert relations_used(formula) == {"A", "B"}
+
+    def test_eq_contributes_nothing(self):
+        assert relations_used(Eq(Var("x"), Var("y"))) == frozenset()
+
+
+class TestSubstitution:
+    def test_instantiate_free_variable(self):
+        formula = atom("E", "x", "y")
+        result = instantiate(formula, {Var("x"): "a"})
+        assert result == AtomF("E", (Const("a"), Var("y")))
+
+    def test_bound_variables_untouched(self):
+        formula = exists(["x"], atom("E", "x", "y"))
+        result = instantiate(formula, {Var("x"): "a", Var("y"): "b"})
+        assert result == exists(["x"], AtomF("E", (Var("x"), Const("b"))))
+
+    def test_capture_detected(self):
+        formula = exists(["x"], atom("E", "x", "y"))
+        with pytest.raises(QueryError):
+            substitute(formula, {Var("y"): Var("x")})
+
+    def test_substitute_in_eq(self):
+        formula = Eq(Var("x"), Var("y"))
+        result = substitute(formula, {Var("x"): Const(1)})
+        assert result == Eq(Const(1), Var("y"))
+
+
+class TestFormulaSize:
+    def test_counts_nodes(self):
+        a = atom("A", "x")
+        assert formula_size(a) == 1
+        assert formula_size(conj(a, atom("B", "x"))) == 3
+        assert formula_size(exists(["x"], a)) == 2
+
+    def test_hashable_and_equal(self):
+        f1 = exists(["x"], conj(atom("A", "x"), atom("B", "x")))
+        f2 = exists(["x"], conj(atom("A", "x"), atom("B", "x")))
+        assert f1 == f2
+        assert hash(f1) == hash(f2)

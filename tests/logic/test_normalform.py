@@ -1,0 +1,173 @@
+"""Tests for NNF, prenex form and DNF matrices.
+
+Semantic preservation is checked by evaluating original and transformed
+formulas on concrete structures across all assignments.
+"""
+
+from itertools import product as iproduct
+
+import pytest
+
+from repro.logic.evaluator import evaluate
+from repro.logic.fo import (
+    And,
+    AtomF,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    exists,
+    forall,
+    free_variables,
+)
+from repro.logic.normalform import (
+    dnf_clauses,
+    eliminate_arrows,
+    existential_parts,
+    matrix_to_dnf,
+    matrix_width,
+    to_nnf,
+    to_prenex,
+)
+from repro.logic.parser import parse
+from repro.logic.terms import Var
+from repro.relational.builder import StructureBuilder
+from repro.util.errors import QueryError
+
+
+@pytest.fixture
+def world():
+    builder = StructureBuilder([0, 1, 2])
+    builder.relation("E", 2).relation("S", 1)
+    builder.add("E", (0, 1)).add("E", (1, 2)).add("E", (2, 0)).add("S", (1,))
+    return builder.build()
+
+
+def assert_equivalent(world, original, transformed):
+    """Check semantic equivalence over all assignments to free variables."""
+    free = sorted(free_variables(original))
+    assert free == sorted(free_variables(transformed))
+    for values in iproduct(world.universe, repeat=len(free)):
+        env = dict(zip(free, values))
+        assert evaluate(world, original, dict(env)) == evaluate(
+            world, transformed, dict(env)
+        ), f"disagree at {env}"
+
+
+SAMPLES = [
+    "A := E(x, y) -> S(x)",
+    "A := E(x, y) <-> S(y)",
+    "A := ~(E(x, y) & ~S(x))",
+    "A := ~exists z. E(x, z)",
+    "A := forall z. E(z, z) | S(z)",
+    "A := exists z. ~forall w. E(z, w) -> S(w)",
+    "A := (exists z. E(x, z)) & (forall z. S(z) -> E(z, x))",
+    "A := ~(~S(x) | ~S(y))",
+]
+
+
+def _formula(sample):
+    return parse(sample.split(":=", 1)[1].strip())
+
+
+class TestNNF:
+    @pytest.mark.parametrize("sample", SAMPLES)
+    def test_preserves_semantics(self, world, sample):
+        original = _formula(sample)
+        assert_equivalent(world, original, to_nnf(original))
+
+    @pytest.mark.parametrize("sample", SAMPLES)
+    def test_negations_only_on_atoms(self, sample):
+        def check(node):
+            if isinstance(node, Not):
+                assert isinstance(node.sub, AtomF) or node.sub.__class__.__name__ == "Eq"
+                return
+            for attr in ("subs",):
+                for sub in getattr(node, attr, ()):
+                    check(sub)
+            if hasattr(node, "sub") and not isinstance(node, Not):
+                check(node.sub)
+            for attr in ("left", "right"):
+                if hasattr(node, attr):
+                    check(getattr(node, attr))
+
+        check(to_nnf(_formula(sample)))
+
+
+class TestPrenex:
+    @pytest.mark.parametrize("sample", SAMPLES)
+    def test_preserves_semantics(self, world, sample):
+        original = _formula(sample)
+        prefix, matrix = to_prenex(original)
+        rebuilt = matrix
+        for kind, var in reversed(prefix):
+            rebuilt = (
+                Exists((var,), rebuilt)
+                if kind == "exists"
+                else Forall((var,), rebuilt)
+            )
+        assert_equivalent(world, original, rebuilt)
+
+    def test_matrix_is_quantifier_free(self):
+        _prefix, matrix = to_prenex(
+            parse("exists x. (forall y. E(x, y)) & S(x)")
+        )
+
+        def no_quantifiers(node):
+            assert not isinstance(node, (Exists, Forall))
+            for sub in getattr(node, "subs", ()):
+                no_quantifiers(sub)
+            if isinstance(node, Not):
+                no_quantifiers(node.sub)
+
+        no_quantifiers(matrix)
+
+    def test_shadowed_variables_renamed_apart(self, world):
+        # The same bound name in two scopes must not collide.
+        original = parse("(exists x. S(x)) & (exists x. E(x, x))")
+        prefix, _matrix = to_prenex(original)
+        names = [var.name for _kind, var in prefix]
+        assert len(names) == len(set(names))
+
+
+class TestDNF:
+    @pytest.mark.parametrize("sample", SAMPLES)
+    def test_matrix_dnf_equivalent(self, world, sample):
+        original = _formula(sample)
+        prefix, matrix = to_prenex(original)
+        dnf = matrix_to_dnf(matrix)
+        rebuilt = dnf
+        for kind, var in reversed(prefix):
+            rebuilt = (
+                Exists((var,), rebuilt)
+                if kind == "exists"
+                else Forall((var,), rebuilt)
+            )
+        assert_equivalent(world, original, rebuilt)
+
+    def test_dnf_shape(self):
+        matrix = to_nnf(parse("(A(x) | B(x)) & (C(x) | D(x))"))
+        dnf = matrix_to_dnf(matrix)
+        clauses = dnf_clauses(dnf)
+        assert len(clauses) == 4
+        assert matrix_width(dnf) == 2
+
+    def test_width_of_single_literal(self):
+        assert matrix_width(parse("A(x)")) == 1
+
+
+class TestExistentialParts:
+    def test_decomposes(self):
+        variables, dnf = existential_parts(
+            parse("exists x y. E(x, y) & S(y)")
+        )
+        assert [v.name for v in variables] == ["x", "y"]
+        assert matrix_width(dnf) == 2
+
+    def test_negated_forall_is_existential(self):
+        variables, _dnf = existential_parts(parse("~forall x. S(x)"))
+        assert len(variables) == 1
+
+    def test_universal_rejected(self):
+        with pytest.raises(QueryError):
+            existential_parts(parse("forall x. S(x)"))

@@ -1,0 +1,139 @@
+"""Tests for the textual query parser."""
+
+import pytest
+
+from repro.logic.fo import (
+    AtomF,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Top,
+    Bottom,
+    atom,
+    conj,
+    disj,
+    exists,
+    forall,
+    neg,
+)
+from repro.logic.parser import parse
+from repro.logic.terms import Const, Var
+from repro.util.errors import QueryError
+
+
+class TestAtomsAndTerms:
+    def test_simple_atom(self):
+        assert parse("E(x, y)") == atom("E", "x", "y")
+
+    def test_nullary_atom(self):
+        assert parse("Flag()") == AtomF("Flag", ())
+
+    def test_numeric_constant(self):
+        assert parse("S(3)") == AtomF("S", (Const(3),))
+
+    def test_negative_number(self):
+        assert parse("S(-2)") == AtomF("S", (Const(-2),))
+
+    def test_string_constant(self):
+        assert parse("S('alice')") == AtomF("S", (Const("alice"),))
+
+    def test_equality(self):
+        assert parse("x = y") == Eq(Var("x"), Var("y"))
+
+    def test_inequality_desugars_to_negated_eq(self):
+        assert parse("x != y") == neg(Eq(Var("x"), Var("y")))
+
+    def test_constants_true_false(self):
+        assert parse("true") == Top()
+        assert parse("false") == Bottom()
+
+
+class TestConnectives:
+    def test_precedence_and_over_or(self):
+        parsed = parse("A(x) | B(x) & C(x)")
+        expected = disj(atom("A", "x"), conj(atom("B", "x"), atom("C", "x")))
+        assert parsed == expected
+
+    def test_negation_binds_tightest(self):
+        parsed = parse("~A(x) & B(x)")
+        assert parsed == conj(neg(atom("A", "x")), atom("B", "x"))
+
+    def test_parentheses(self):
+        parsed = parse("(A(x) | B(x)) & C(x)")
+        assert parsed == conj(
+            disj(atom("A", "x"), atom("B", "x")), atom("C", "x")
+        )
+
+    def test_implies_right_associative(self):
+        parsed = parse("A(x) -> B(x) -> C(x)")
+        assert parsed == Implies(
+            atom("A", "x"), Implies(atom("B", "x"), atom("C", "x"))
+        )
+
+    def test_iff(self):
+        parsed = parse("A(x) <-> B(x)")
+        assert parsed == Iff(atom("A", "x"), atom("B", "x"))
+
+
+class TestQuantifiers:
+    def test_exists_block(self):
+        parsed = parse("exists x y. E(x, y)")
+        assert parsed == exists(["x", "y"], atom("E", "x", "y"))
+
+    def test_forall(self):
+        parsed = parse("forall x. S(x)")
+        assert parsed == forall(["x"], atom("S", "x"))
+
+    def test_nested_quantifiers(self):
+        parsed = parse("forall x. exists y. E(x, y)")
+        assert parsed == forall(["x"], exists(["y"], atom("E", "x", "y")))
+
+    def test_quantifier_scopes_to_end(self):
+        parsed = parse("exists x. A(x) & B(x)")
+        assert parsed == exists(["x"], conj(atom("A", "x"), atom("B", "x")))
+
+    def test_quantifier_in_parentheses(self):
+        parsed = parse("(exists x. A(x)) & B(y)")
+        assert parsed == conj(exists(["x"], atom("A", "x")), atom("B", "y"))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "E(x",
+            "exists . E(x)",
+            "E(x,, y)",
+            "A(x) &",
+            "A(x) B(y)",
+            "exists x E(x)",
+            "@bogus",
+            "x =",
+        ],
+    )
+    def test_syntax_errors_raise(self, bad):
+        with pytest.raises(QueryError):
+            parse(bad)
+
+    def test_keyword_as_term_rejected(self):
+        with pytest.raises(QueryError):
+            parse("S(exists)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "exists x y. E(x, y) & S(y)",
+            "forall x. S(x) -> exists y. E(x, y)",
+            "~(A(x) | B(x)) <-> C(x)",
+            "exists x. x != 'a' & S(x)",
+        ],
+    )
+    def test_str_reparses_to_same_ast(self, source):
+        first = parse(source)
+        assert parse(str(first)) == first

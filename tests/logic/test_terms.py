@@ -1,0 +1,35 @@
+"""Tests for first-order terms."""
+
+import pytest
+
+from repro.logic.terms import Const, Var, substitute_term, term_value
+from repro.util.errors import EvaluationError
+
+
+class TestTerms:
+    def test_var_equality(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_const_holds_any_value(self):
+        assert Const(3).value == 3
+        assert Const(("a", 1)).value == ("a", 1)
+
+    def test_term_value_const(self):
+        assert term_value(Const("a"), {}) == "a"
+
+    def test_term_value_var(self):
+        assert term_value(Var("x"), {Var("x"): 7}) == 7
+
+    def test_term_value_unbound_raises(self):
+        with pytest.raises(EvaluationError):
+            term_value(Var("x"), {})
+
+    def test_substitute_term(self):
+        binding = {Var("x"): Const(1)}
+        assert substitute_term(Var("x"), binding) == Const(1)
+        assert substitute_term(Var("y"), binding) == Var("y")
+        assert substitute_term(Const(9), binding) == Const(9)
+
+    def test_vars_sort_by_name(self):
+        assert sorted([Var("b"), Var("a")]) == [Var("a"), Var("b")]

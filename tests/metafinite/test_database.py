@@ -1,0 +1,142 @@
+"""Tests for functional databases and their unreliable variant."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.metafinite.database import (
+    FunctionalDatabase,
+    UnreliableFunctionalDatabase,
+    ValueDistribution,
+)
+from repro.util.errors import ProbabilityError, VocabularyError
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def fdb():
+    return FunctionalDatabase(
+        ("a", "b"),
+        {
+            "f": {("a",): 1, ("b",): 2},
+            "g": {("a", "a"): 0, ("a", "b"): 1, ("b", "a"): 1, ("b", "b"): 0},
+            "c": {(): 10},
+        },
+    )
+
+
+class TestFunctionalDatabase:
+    def test_lookup(self, fdb):
+        assert fdb.value("f", ("a",)) == 1
+        assert fdb.value("g", ("a", "b")) == 1
+        assert fdb.value("c", ()) == 10
+
+    def test_arities(self, fdb):
+        assert fdb.arity("f") == 1
+        assert fdb.arity("g") == 2
+        assert fdb.arity("c") == 0
+
+    def test_partial_function_rejected(self):
+        with pytest.raises(VocabularyError):
+            FunctionalDatabase(("a", "b"), {"f": {("a",): 1}})
+
+    def test_foreign_argument_rejected(self):
+        with pytest.raises(VocabularyError):
+            FunctionalDatabase(("a",), {"f": {("z",): 1}})
+
+    def test_unknown_function_rejected(self, fdb):
+        with pytest.raises(VocabularyError):
+            fdb.value("missing", ())
+
+    def test_with_entry_functional_update(self, fdb):
+        updated = fdb.with_entry("f", ("a",), 99)
+        assert updated.value("f", ("a",)) == 99
+        assert fdb.value("f", ("a",)) == 1
+
+    def test_entries_deterministic(self, fdb):
+        assert list(fdb.entries()) == list(fdb.entries())
+
+    def test_equality_and_hash(self, fdb):
+        clone = FunctionalDatabase(
+            ("a", "b"),
+            {
+                "f": {("a",): 1, ("b",): 2},
+                "g": {
+                    ("a", "a"): 0,
+                    ("a", "b"): 1,
+                    ("b", "a"): 1,
+                    ("b", "b"): 0,
+                },
+                "c": {(): 10},
+            },
+        )
+        assert fdb == clone
+        assert hash(fdb) == hash(clone)
+
+
+class TestValueDistribution:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ProbabilityError):
+            ValueDistribution({1: Fraction(1, 2)})
+
+    def test_zero_probabilities_dropped(self):
+        dist = ValueDistribution({1: Fraction(1), 2: Fraction(0)})
+        assert dist.support() == (1,)
+        assert dist.is_deterministic()
+
+    def test_probability_lookup(self):
+        dist = ValueDistribution({1: "1/4", 2: "3/4"})
+        assert dist.probability(1) == Fraction(1, 4)
+        assert dist.probability(99) == 0
+
+    def test_sampling_matches_distribution(self):
+        rng = make_rng(3)
+        dist = ValueDistribution({0: Fraction(1, 4), 1: Fraction(3, 4)})
+        draws = [dist.sample(rng) for _ in range(4000)]
+        assert 0.70 <= sum(draws) / len(draws) <= 0.80
+
+
+class TestUnreliableFunctionalDatabase:
+    def test_default_distribution_is_observed(self, fdb):
+        udb = UnreliableFunctionalDatabase(fdb)
+        dist = udb.distribution("f", ("a",))
+        assert dist.is_deterministic()
+        assert dist.support() == (1,)
+
+    def test_worlds_sum_to_one(self, fdb):
+        udb = UnreliableFunctionalDatabase(
+            fdb,
+            {
+                ("f", ("a",)): {1: "1/2", 5: "1/2"},
+                ("c", ()): {10: "2/3", 11: "1/3"},
+            },
+        )
+        worlds = list(udb.worlds())
+        assert len(worlds) == 4
+        assert sum(p for _w, p in worlds) == 1
+
+    def test_support_size(self, fdb):
+        udb = UnreliableFunctionalDatabase(
+            fdb, {("f", ("a",)): {1: "1/2", 2: "1/4", 3: "1/4"}}
+        )
+        assert udb.support_size() == 3
+
+    def test_deterministic_override_applied_to_all_worlds(self, fdb):
+        udb = UnreliableFunctionalDatabase(
+            fdb,
+            {
+                ("f", ("a",)): {42: 1},
+                ("f", ("b",)): {2: "1/2", 3: "1/2"},
+            },
+        )
+        for world, _p in udb.worlds():
+            assert world.value("f", ("a",)) == 42
+
+    def test_unknown_entry_rejected(self, fdb):
+        with pytest.raises(VocabularyError):
+            UnreliableFunctionalDatabase(fdb, {("f", ("z",)): {1: 1}})
+
+    def test_sample_respects_certainty(self, fdb):
+        rng = make_rng(4)
+        udb = UnreliableFunctionalDatabase(fdb)
+        assert udb.sample(rng) == fdb

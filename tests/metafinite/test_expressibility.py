@@ -1,0 +1,109 @@
+"""Tests for the Section 6 expressibility result: reliability as a query."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.evaluator import FOQuery
+from repro.metafinite.expressibility import (
+    ERROR_PREFIX,
+    ID_FUNCTION,
+    TRUTH_PREFIX,
+    metafinite_encoding,
+    reliability_term,
+)
+from repro.reliability.exact import reliability
+from repro.util.errors import QueryError
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+
+class TestEncoding:
+    def test_functions_present(self, triangle_db):
+        encoded = metafinite_encoding(triangle_db)
+        names = set(encoded.function_names())
+        assert TRUTH_PREFIX + "E" in names
+        assert ERROR_PREFIX + "E" in names
+        assert TRUTH_PREFIX + "S" in names
+        assert ID_FUNCTION in names
+
+    def test_truth_matches_structure(self, triangle_db):
+        encoded = metafinite_encoding(triangle_db)
+        assert encoded.value(TRUTH_PREFIX + "E", ("a", "b")) == 1
+        assert encoded.value(TRUTH_PREFIX + "E", ("b", "a")) == 0
+
+    def test_error_matches_mu(self, triangle_db):
+        encoded = metafinite_encoding(triangle_db)
+        assert encoded.value(ERROR_PREFIX + "E", ("a", "b")) == Fraction(1, 4)
+        assert encoded.value(ERROR_PREFIX + "E", ("b", "c")) == 0
+
+    def test_id_injective(self, triangle_db):
+        encoded = metafinite_encoding(triangle_db)
+        ids = {
+            encoded.value(ID_FUNCTION, (element,))
+            for element in triangle_db.structure.universe
+        }
+        assert len(ids) == len(triangle_db.structure.universe)
+
+
+class TestReliabilityTerm:
+    @pytest.mark.parametrize(
+        "source,free",
+        [
+            ("E(x, y)", ("x", "y")),
+            ("E(x, y) & S(y)", ("x", "y")),
+            ("S(x) | ~E(x, x)", ("x",)),
+            ("E(x, y) -> S(x)", ("x", "y")),
+            ("(S(x) <-> S(y)) & E(x, y)", ("x", "y")),
+            ("E(x, y) & x != y", ("x", "y")),
+        ],
+    )
+    def test_term_value_equals_relational_reliability(
+        self, triangle_db, source, free
+    ):
+        query = FOQuery(source, free)
+        compiled = reliability_term(query)
+        encoded = metafinite_encoding(triangle_db)
+        assert compiled.evaluate(encoded, ()) == reliability(
+            triangle_db, query
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_databases(self, seed):
+        rng = make_rng(seed)
+        db = random_unreliable_database(
+            rng,
+            size=3,
+            relations={"E": 2, "S": 1},
+            density=0.4,
+            error_choices=["1/4", "1/3", "0"],
+        )
+        query = FOQuery("E(x, y) & S(y)", ("x", "y"))
+        compiled = reliability_term(query)
+        assert compiled.evaluate(metafinite_encoding(db), ()) == reliability(
+            db, query
+        )
+
+    def test_boolean_qf_query(self, triangle_db):
+        query = FOQuery("E('a', 'b') | S('c')")
+        compiled = reliability_term(query)
+        assert compiled.evaluate(metafinite_encoding(triangle_db), ()) == (
+            reliability(triangle_db, query)
+        )
+
+    def test_quantified_query_rejected(self):
+        with pytest.raises(QueryError):
+            reliability_term(FOQuery("exists x. S(x)"))
+
+    def test_compiled_term_is_fixed_size(self, triangle_db):
+        # The term depends on the query only, not on the database: the
+        # same compiled object serves databases of any size.
+        query = FOQuery("E(x, y) & S(y)", ("x", "y"))
+        compiled = reliability_term(query)
+        rng = make_rng(9)
+        bigger = random_unreliable_database(
+            rng, size=5, relations={"E": 2, "S": 1}, error="1/8"
+        )
+        assert compiled.evaluate(metafinite_encoding(bigger), ()) == (
+            reliability(bigger, query)
+        )

@@ -1,0 +1,136 @@
+"""Tests for second-order metafinite terms (Theorem 6.2(iii))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.terms import Var
+from repro.metafinite.database import (
+    FunctionalDatabase,
+    UnreliableFunctionalDatabase,
+)
+from repro.metafinite.so_terms import (
+    SOMetafiniteQuery,
+    evaluate_so_term,
+    so_aggregate,
+)
+from repro.metafinite.terms import aggregate, apply_op, func, num
+from repro.util.errors import QueryError
+
+
+@pytest.fixture
+def fdb():
+    return FunctionalDatabase(
+        ("a", "b"),
+        {"w": {("a",): 2, ("b",): 3}},
+    )
+
+
+class TestSOAggregate:
+    def test_sum_over_all_unary_relations(self, fdb):
+        # sum_S sum_x S(x) over all S : A -> {0,1}: each element is 1 in
+        # half of the 4 relations -> total = 4.
+        term = so_aggregate(
+            "sum", "S", 1, aggregate("sum", ["x"], func("S", "x"))
+        )
+        assert evaluate_so_term(fdb, term, {}) == 4
+
+    def test_max_as_existential_so_quantifier(self, fdb):
+        # max_S [sum_x S(x) * w(x) >= 5] == exists S with weight >= 5.
+        body = apply_op(
+            "geq",
+            aggregate(
+                "sum", ["x"], apply_op("mul", func("S", "x"), func("w", "x"))
+            ),
+            num(5),
+        )
+        term = so_aggregate("max", "S", 1, body)
+        assert evaluate_so_term(fdb, term, {}) == 1
+        # No sub-multiset of {2, 3} reaches 6.
+        body6 = apply_op(
+            "geq",
+            aggregate(
+                "sum", ["x"], apply_op("mul", func("S", "x"), func("w", "x"))
+            ),
+            num(6),
+        )
+        assert evaluate_so_term(fdb, so_aggregate("max", "S", 1, body6), {}) == 0
+
+    def test_min_dual(self, fdb):
+        # min_S [sum_x S(x) >= 0] == forall S: trivially 1.
+        body = apply_op("geq", aggregate("sum", ["x"], func("S", "x")), num(0))
+        assert evaluate_so_term(fdb, so_aggregate("min", "S", 1, body), {}) == 1
+
+    def test_subset_sum_count(self, fdb):
+        # sum_S [weight(S) == 5] counts subsets of {2, 3} summing to 5:
+        # exactly one (both elements).
+        body = apply_op(
+            "eq",
+            aggregate(
+                "sum", ["x"], apply_op("mul", func("S", "x"), func("w", "x"))
+            ),
+            num(5),
+        )
+        assert evaluate_so_term(fdb, so_aggregate("sum", "S", 1, body), {}) == 1
+
+    def test_nested_so_aggregates(self, fdb):
+        # sum_S sum_T 1 = 4 * 4 = 16 (via constant body).
+        term = so_aggregate(
+            "sum", "S", 1, so_aggregate("sum", "T", 1, num(1))
+        )
+        assert evaluate_so_term(fdb, term, {}) == 16
+
+    def test_name_clash_rejected(self, fdb):
+        term = so_aggregate("sum", "w", 1, num(1))
+        with pytest.raises(QueryError):
+            evaluate_so_term(fdb, term, {})
+
+    def test_bad_operation_rejected(self):
+        with pytest.raises(QueryError):
+            so_aggregate("median", "S", 1, num(1))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(QueryError):
+            so_aggregate("sum", "S", 0, num(1))
+
+
+class TestSOQueryProtocol:
+    def test_boolean_query(self, fdb):
+        body = apply_op(
+            "geq",
+            aggregate(
+                "sum", ["x"], apply_op("mul", func("S", "x"), func("w", "x"))
+            ),
+            num(5),
+        )
+        query = SOMetafiniteQuery(so_aggregate("max", "S", 1, body))
+        assert query.arity == 0
+        assert query.evaluate(fdb, ()) == 1
+
+    def test_reliability_of_so_query(self, fdb):
+        # Subset-sum threshold query on an unreliable weight function:
+        # w(b) is 3 or 1 with equal probability; "exists subset with
+        # weight >= 5" holds iff w(b) = 3, so reliability = 1/2.
+        udb = UnreliableFunctionalDatabase(
+            fdb, {("w", ("b",)): {3: "1/2", 1: "1/2"}}
+        )
+        body = apply_op(
+            "geq",
+            aggregate(
+                "sum", ["x"], apply_op("mul", func("S", "x"), func("w", "x"))
+            ),
+            num(5),
+        )
+        query = SOMetafiniteQuery(so_aggregate("max", "S", 1, body))
+        from repro.metafinite.reliability import metafinite_reliability
+
+        assert metafinite_reliability(udb, query) == Fraction(1, 2)
+
+    def test_unary_answers(self, fdb):
+        # For each x: does some relation contain exactly x?  Trivially 1.
+        body = func("S", "x")
+        query = SOMetafiniteQuery(
+            so_aggregate("max", "S", 1, body), free_order=("x",)
+        )
+        answers = query.answers(fdb)
+        assert answers == {("a",): 1, ("b",): 1}

@@ -1,0 +1,152 @@
+"""Tests for metafinite terms and their evaluation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.metafinite.database import FunctionalDatabase
+from repro.metafinite.evaluator import evaluate_term
+from repro.metafinite.terms import (
+    MetafiniteQuery,
+    aggregate,
+    apply_op,
+    func,
+    is_aggregate_free,
+    num,
+    term_free_variables,
+)
+from repro.logic.terms import Var
+from repro.util.errors import EvaluationError, QueryError
+
+
+@pytest.fixture
+def fdb():
+    return FunctionalDatabase(
+        ("a", "b", "c"),
+        {
+            "w": {("a",): 3, ("b",): 5, ("c",): 2},
+            "d": {
+                (x, y): (0 if x == y else 1)
+                for x in ("a", "b", "c")
+                for y in ("a", "b", "c")
+            },
+        },
+    )
+
+
+class TestEvaluation:
+    def test_constant(self, fdb):
+        assert evaluate_term(fdb, num(7), {}) == 7
+
+    def test_function_application(self, fdb):
+        term = func("w", "x")
+        assert evaluate_term(fdb, term, {Var("x"): "b"}) == 5
+
+    def test_unbound_variable_raises(self, fdb):
+        with pytest.raises(EvaluationError):
+            evaluate_term(fdb, func("w", "x"), {})
+
+    def test_arithmetic(self, fdb):
+        term = apply_op("add", func("w", "x"), num(10))
+        assert evaluate_term(fdb, term, {Var("x"): "a"}) == 13
+
+    def test_division_exact(self, fdb):
+        term = apply_op("div", num(1), num(3))
+        assert evaluate_term(fdb, term, {}) == Fraction(1, 3)
+
+    def test_division_by_zero(self, fdb):
+        with pytest.raises(EvaluationError):
+            evaluate_term(fdb, apply_op("div", num(1), num(0)), {})
+
+    def test_comparisons_return_01(self, fdb):
+        assert evaluate_term(fdb, apply_op("lt", num(1), num(2)), {}) == 1
+        assert evaluate_term(fdb, apply_op("geq", num(1), num(2)), {}) == 0
+
+    def test_boolean_ops(self, fdb):
+        term = apply_op("and", num(1), apply_op("not", num(0)))
+        assert evaluate_term(fdb, term, {}) == 1
+
+    def test_ite(self, fdb):
+        term = apply_op("ite", apply_op("lt", func("w", "x"), num(4)), num(1), num(-1))
+        assert evaluate_term(fdb, term, {Var("x"): "a"}) == 1
+        assert evaluate_term(fdb, term, {Var("x"): "b"}) == -1
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(QueryError):
+            apply_op("frobnicate", num(1))
+
+
+class TestAggregates:
+    def test_sum(self, fdb):
+        term = aggregate("sum", ["x"], func("w", "x"))
+        assert evaluate_term(fdb, term, {}) == 10
+
+    def test_prod(self, fdb):
+        term = aggregate("prod", ["x"], func("w", "x"))
+        assert evaluate_term(fdb, term, {}) == 30
+
+    def test_min_max(self, fdb):
+        assert evaluate_term(fdb, aggregate("min", ["x"], func("w", "x")), {}) == 2
+        assert evaluate_term(fdb, aggregate("max", ["x"], func("w", "x")), {}) == 5
+
+    def test_count(self, fdb):
+        term = aggregate("count", ["x"], apply_op("geq", func("w", "x"), num(3)))
+        assert evaluate_term(fdb, term, {}) == 2
+
+    def test_avg_exact(self, fdb):
+        term = aggregate("avg", ["x"], func("w", "x"))
+        assert evaluate_term(fdb, term, {}) == Fraction(10, 3)
+
+    def test_nested_aggregates(self, fdb):
+        # sum_x max_y d(x, y) = 1 + 1 + 1.
+        term = aggregate("sum", ["x"], aggregate("max", ["y"], func("d", "x", "y")))
+        assert evaluate_term(fdb, term, {}) == 3
+
+    def test_max_as_existential_quantifier(self, fdb):
+        # max_x [w(x) >= 5] == "exists x. w(x) >= 5" coded as 0/1.
+        term = aggregate("max", ["x"], apply_op("geq", func("w", "x"), num(5)))
+        assert evaluate_term(fdb, term, {}) == 1
+        term = aggregate("max", ["x"], apply_op("geq", func("w", "x"), num(6)))
+        assert evaluate_term(fdb, term, {}) == 0
+
+    def test_multi_variable_binding(self, fdb):
+        term = aggregate("sum", ["x", "y"], func("d", "x", "y"))
+        assert evaluate_term(fdb, term, {}) == 6
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate("sum", [], num(1))
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate("median", ["x"], num(1))
+
+
+class TestStructural:
+    def test_free_variables(self):
+        term = aggregate("sum", ["y"], func("d", "x", "y"))
+        assert term_free_variables(term) == {Var("x")}
+
+    def test_is_aggregate_free(self):
+        assert is_aggregate_free(apply_op("add", func("w", "x"), num(1)))
+        assert not is_aggregate_free(aggregate("sum", ["x"], func("w", "x")))
+
+
+class TestMetafiniteQuery:
+    def test_boolean_query_value(self, fdb):
+        query = MetafiniteQuery(aggregate("sum", ["x"], func("w", "x")))
+        assert query.arity == 0
+        assert query.evaluate(fdb, ()) == 10
+
+    def test_unary_answers(self, fdb):
+        query = MetafiniteQuery(func("w", "x"), ["x"])
+        assert query.answers(fdb) == {("a",): 3, ("b",): 5, ("c",): 2}
+
+    def test_free_order_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            MetafiniteQuery(func("w", "x"), ["z"])
+
+    def test_arity_mismatch_rejected(self, fdb):
+        query = MetafiniteQuery(func("w", "x"), ["x"])
+        with pytest.raises(QueryError):
+            query.evaluate(fdb, ())

@@ -1,0 +1,132 @@
+"""Tests for the ROBDD compilation engine."""
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+
+from repro.propositional.bdd import (
+    ONE,
+    ZERO,
+    BDD,
+    compile_dnf,
+    influences_via_bdd,
+    probability_via_bdd,
+)
+from repro.propositional.counting import probability_exact
+from repro.propositional.formula import DNF, Clause, Literal, neg_lit, pos
+from repro.util.errors import ProbabilityError, QueryError
+from repro.util.rng import make_rng
+from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+
+class TestConstruction:
+    def test_single_variable(self):
+        diagram = BDD(["a"])
+        node = diagram.var("a")
+        assert diagram.evaluate(node, {"a": True})
+        assert not diagram.evaluate(node, {"a": False})
+
+    def test_negative_literal(self):
+        diagram = BDD(["a"])
+        node = diagram.nvar("a")
+        assert diagram.evaluate(node, {"a": False})
+
+    def test_hash_consing_shares_nodes(self):
+        diagram = BDD(["a"])
+        assert diagram.var("a") == diagram.var("a")
+
+    def test_contradiction_reduces_to_zero(self):
+        diagram = BDD(["a"])
+        assert diagram.conj(diagram.var("a"), diagram.nvar("a")) == ZERO
+
+    def test_tautology_reduces_to_one(self):
+        diagram = BDD(["a"])
+        assert diagram.disj(diagram.var("a"), diagram.nvar("a")) == ONE
+
+    def test_unknown_variable_rejected(self):
+        diagram = BDD(["a"])
+        with pytest.raises(QueryError):
+            diagram.var("zz")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(QueryError):
+            BDD(["a", "a"])
+
+
+class TestCompile:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_semantics_match_dnf(self, seed):
+        rng = make_rng(seed)
+        dnf = random_kdnf(rng, variables=6, clauses=5, width=3)
+        diagram, root = compile_dnf(dnf)
+        variables = diagram.order
+        for values in product((False, True), repeat=len(variables)):
+            assignment = dict(zip(variables, values))
+            assert diagram.evaluate(root, assignment) == dnf.satisfied_by(
+                assignment
+            ), assignment
+
+    def test_canonicity_equal_functions_equal_roots(self):
+        # (a & b) | (a & ~b) == a: both compile to the same node.
+        left = DNF.of([pos("a"), pos("b")], [pos("a"), neg_lit("b")])
+        diagram, root = compile_dnf(left, order=["a", "b"])
+        assert root == diagram.var("a")
+
+    def test_count_models(self):
+        dnf = DNF.of([pos("a")], [pos("b")])
+        diagram, root = compile_dnf(dnf)
+        assert diagram.count_models(root) == 3
+
+
+class TestProbability:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_shannon_engine(self, seed):
+        rng = make_rng(100 + seed)
+        dnf = random_kdnf(rng, variables=8, clauses=6, width=3)
+        probs = random_probabilities(rng, dnf)
+        assert probability_via_bdd(dnf, probs) == probability_exact(dnf, probs)
+
+    def test_constants(self):
+        assert probability_via_bdd(DNF.true(), {}) == 1
+        assert probability_via_bdd(DNF.false(), {}) == 0
+
+    def test_missing_probability_rejected(self):
+        dnf = DNF.of([pos("a")])
+        diagram, root = compile_dnf(dnf)
+        with pytest.raises(ProbabilityError):
+            diagram.probability(root, {})
+
+
+class TestInfluences:
+    def test_disjunction_influences(self):
+        dnf = DNF.of([pos("a")], [pos("b")])
+        probs = {"a": Fraction(3, 4), "b": Fraction(1, 3)}
+        influences = influences_via_bdd(dnf, probs)
+        # I(a) = 1 - P(b) = 2/3; I(b) = 1 - P(a) = 1/4.
+        assert influences["a"] == Fraction(2, 3)
+        assert influences["b"] == Fraction(1, 4)
+
+    def test_negative_literal_negative_influence(self):
+        dnf = DNF.of([neg_lit("a")])
+        influences = influences_via_bdd(dnf, {"a": Fraction(1, 2)})
+        assert influences["a"] == -1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_conditioning_definition(self, seed):
+        rng = make_rng(200 + seed)
+        dnf = random_kdnf(rng, variables=6, clauses=4, width=3)
+        probs = random_probabilities(rng, dnf)
+        influences = influences_via_bdd(dnf, probs)
+        for variable in dnf.variables:
+            high = probability_exact(dnf.restrict(variable, True), probs)
+            low = probability_exact(dnf.restrict(variable, False), probs)
+            assert influences[variable] == high - low, variable
+
+    def test_irrelevant_variable_zero_influence(self):
+        dnf = DNF.of([pos("a")])
+        diagram, root = compile_dnf(dnf, order=["a", "b"])
+        influences = diagram.influences(
+            root, {"a": Fraction(1, 2), "b": Fraction(1, 2)}
+        )
+        assert influences["b"] == 0

@@ -1,0 +1,127 @@
+"""Tests for the Theorem 5.3 bit-vector reduction Prob-kDNF -> #DNF."""
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+
+from repro.propositional.bitvector import (
+    bitvector_reduction,
+    dnf_geq,
+    dnf_less_than,
+    probability_via_bitvector,
+)
+from repro.propositional.counting import probability_exact
+from repro.propositional.formula import DNF, pos
+from repro.util.errors import ProbabilityError
+from repro.util.rng import make_rng
+from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+
+def assignments(bits):
+    for values in product((False, True), repeat=len(bits)):
+        yield dict(zip(bits, values)), sum(
+            (1 << (len(bits) - 1 - i)) for i, v in enumerate(values) if v
+        )
+
+
+BITS3 = ("y2", "y1", "y0")
+
+
+class TestComparatorDNFs:
+    @pytest.mark.parametrize("bound", range(0, 9))
+    def test_less_than_semantics(self, bound):
+        dnf = dnf_less_than(BITS3, bound)
+        for assignment, value in assignments(BITS3):
+            assert dnf.satisfied_by(assignment) == (value < bound), (
+                bound,
+                value,
+            )
+
+    @pytest.mark.parametrize("bound", range(0, 9))
+    def test_geq_semantics(self, bound):
+        dnf = dnf_geq(BITS3, bound)
+        for assignment, value in assignments(BITS3):
+            assert dnf.satisfied_by(assignment) == (value >= bound), (
+                bound,
+                value,
+            )
+
+    def test_complementary(self):
+        for bound in range(9):
+            lt = dnf_less_than(BITS3, bound)
+            geq = dnf_geq(BITS3, bound)
+            for assignment, _value in assignments(BITS3):
+                assert lt.satisfied_by(assignment) != geq.satisfied_by(
+                    assignment
+                )
+
+    def test_quadratic_size(self):
+        bits = tuple(f"y{i}" for i in range(12))
+        dnf = dnf_less_than(bits, (1 << 12) - 1)
+        assert len(dnf) <= 12
+        assert dnf.width <= 12
+
+
+class TestReduction:
+    def test_block_structure(self):
+        dnf = DNF.of([pos("a")])
+        instance = bitvector_reduction(dnf, {"a": Fraction(2, 5)})
+        # q = 5 needs 3 bits.
+        assert len(instance.bit_variables) == 3
+        assert instance.legal_total == 5
+        assert instance.total == 8
+        assert instance.illegal_total == 3
+
+    def test_requires_fractions(self):
+        dnf = DNF.of([pos("a")])
+        with pytest.raises(ProbabilityError):
+            bitvector_reduction(dnf, {"a": 0.4})
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_pipeline_matches_direct_probability(self, seed):
+        rng = make_rng(seed)
+        dnf = random_kdnf(rng, variables=4, clauses=3, width=2)
+        probs = random_probabilities(rng, dnf, denominator=6)
+        via_reduction = probability_via_bitvector(dnf, probs)
+        direct = probability_exact(dnf, probs)
+        assert via_reduction == direct
+
+    def test_dyadic_probabilities_no_illegal_assignments(self):
+        dnf = DNF.of([pos("a"), pos("b")])
+        probs = {"a": Fraction(1, 4), "b": Fraction(3, 4)}
+        instance = bitvector_reduction(dnf, probs)
+        # Denominators 4 need 3 bits (len(4) = 3), so illegal values exist
+        # above 4; but with q = 4 and 3 bits there are 2^3 - 4 = 4 illegal
+        # per block.
+        assert instance.legal_total == 16
+        via_reduction = probability_via_bitvector(dnf, probs)
+        assert via_reduction == Fraction(3, 16)
+
+    def test_extreme_probabilities(self):
+        dnf = DNF.of([pos("a"), pos("b")])
+        probs = {"a": Fraction(0), "b": Fraction(1, 2)}
+        assert probability_via_bitvector(dnf, probs) == 0
+        probs = {"a": Fraction(1), "b": Fraction(1)}
+        assert probability_via_bitvector(dnf, probs) == 1
+
+    def test_constants_short_circuit(self):
+        assert probability_via_bitvector(DNF.true(), {}) == 1
+        assert probability_via_bitvector(DNF.false(), {}) == 0
+
+    def test_sampled_pipeline_close(self):
+        rng = make_rng(77)
+        dnf = random_kdnf(rng, variables=4, clauses=3, width=2)
+        probs = random_probabilities(rng, dnf, denominator=4)
+        exact = probability_exact(dnf, probs)
+        sampled = probability_via_bitvector(
+            dnf, probs, epsilon=0.05, delta=0.05, rng=rng
+        )
+        assert abs(float(sampled) - float(exact)) <= 0.1
+
+    def test_sampled_pipeline_needs_all_parameters(self):
+        dnf = DNF.of([pos("a")])
+        with pytest.raises(ProbabilityError):
+            probability_via_bitvector(
+                dnf, {"a": Fraction(1, 2)}, epsilon=0.1
+            )

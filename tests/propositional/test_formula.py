@@ -1,0 +1,138 @@
+"""Tests for propositional literals, clauses, DNF and CNF."""
+
+import pytest
+
+from repro.propositional.formula import CNF, DNF, Clause, Literal, neg_lit, pos
+from repro.util.errors import QueryError
+
+
+class TestLiteral:
+    def test_negate(self):
+        literal = pos("a")
+        assert literal.negate() == neg_lit("a")
+        assert literal.negate().negate() == literal
+
+    def test_satisfied_by(self):
+        assert pos("a").satisfied_by({"a": True})
+        assert not pos("a").satisfied_by({"a": False})
+        assert neg_lit("a").satisfied_by({"a": False})
+
+
+class TestClause:
+    def test_deduplicates_literals(self):
+        clause = Clause([pos("a"), pos("a"), pos("b")])
+        assert len(clause) == 2
+
+    def test_contradictory_detection(self):
+        clause = Clause([pos("a"), neg_lit("a")])
+        assert clause.contradictory
+        assert not clause.satisfied_by({"a": True})
+
+    def test_satisfied_by_conjunctive_reading(self):
+        clause = Clause([pos("a"), neg_lit("b")])
+        assert clause.satisfied_by({"a": True, "b": False})
+        assert not clause.satisfied_by({"a": True, "b": True})
+
+    def test_restrict_satisfying_value(self):
+        clause = Clause([pos("a"), neg_lit("b")])
+        restricted = clause.restrict("a", True)
+        assert restricted is not None
+        assert set(restricted.variables) == {"b"}
+
+    def test_restrict_conflicting_value_kills(self):
+        clause = Clause([pos("a")])
+        assert clause.restrict("a", False) is None
+
+    def test_restrict_absent_variable_is_identity(self):
+        clause = Clause([pos("a")])
+        assert clause.restrict("z", True) is clause
+
+    def test_polarity_lookup(self):
+        clause = Clause([neg_lit("b")])
+        assert clause.polarity("b") is False
+        with pytest.raises(QueryError):
+            clause.polarity("missing")
+
+    def test_empty_clause_always_true(self):
+        assert Clause([]).satisfied_by({})
+
+
+class TestDNF:
+    def test_drops_contradictory_clauses(self):
+        dnf = DNF([Clause([pos("a"), neg_lit("a")]), Clause([pos("b")])])
+        assert len(dnf) == 1
+
+    def test_deduplicates_clauses(self):
+        dnf = DNF([Clause([pos("a")]), Clause([pos("a")])])
+        assert len(dnf) == 1
+
+    def test_true_false_constants(self):
+        assert DNF.false().is_false()
+        assert DNF.true().is_true()
+        assert not DNF.of([pos("a")]).is_true()
+
+    def test_satisfied_by(self):
+        dnf = DNF.of([pos("a"), pos("b")], [neg_lit("c")])
+        assert dnf.satisfied_by({"a": True, "b": True, "c": True})
+        assert dnf.satisfied_by({"a": False, "b": False, "c": False})
+        assert not dnf.satisfied_by({"a": True, "b": False, "c": True})
+
+    def test_satisfied_count(self):
+        dnf = DNF.of([pos("a")], [pos("b")], [pos("a"), pos("b")])
+        assert dnf.satisfied_count({"a": True, "b": True}) == 3
+        assert dnf.satisfied_count({"a": True, "b": False}) == 1
+
+    def test_width(self):
+        dnf = DNF.of([pos("a")], [pos("b"), pos("c"), neg_lit("d")])
+        assert dnf.width == 3
+        assert DNF.false().width == 0
+
+    def test_restrict(self):
+        dnf = DNF.of([pos("a"), pos("b")], [neg_lit("a")])
+        on_true = dnf.restrict("a", True)
+        assert len(on_true) == 1  # second clause dies
+        on_false = dnf.restrict("a", False)
+        assert on_false.is_true()  # second clause becomes empty
+
+    def test_or_and_composition(self):
+        left = DNF.of([pos("a")])
+        right = DNF.of([pos("b")])
+        union = left.or_with(right)
+        assert len(union) == 2
+        conj = left.and_with(right)
+        assert len(conj) == 1
+        assert set(conj.clauses[0].variables) == {"a", "b"}
+
+    def test_and_with_kills_contradictions(self):
+        left = DNF.of([pos("a")])
+        right = DNF.of([neg_lit("a")])
+        assert left.and_with(right).is_false()
+
+    def test_equality_is_semantic_on_clause_sets(self):
+        d1 = DNF.of([pos("a")], [pos("b")])
+        d2 = DNF.of([pos("b")], [pos("a")])
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+
+
+class TestCNF:
+    def test_satisfied_by_disjunctive_clauses(self):
+        cnf = CNF.of([pos("a"), pos("b")], [pos("c")])
+        assert cnf.satisfied_by({"a": False, "b": True, "c": True})
+        assert not cnf.satisfied_by({"a": False, "b": False, "c": True})
+
+    def test_negation_dnf(self):
+        cnf = CNF.of([pos("a"), pos("b")])
+        negated = cnf.negation_dnf()
+        # ~(a | b) == ~a & ~b
+        assert negated.satisfied_by({"a": False, "b": False})
+        assert not negated.satisfied_by({"a": True, "b": False})
+
+    def test_to_dnf_equivalent(self):
+        from itertools import product
+
+        cnf = CNF.of([pos("a"), pos("b")], [neg_lit("b"), pos("c")])
+        dnf = cnf.to_dnf()
+        for values in product((False, True), repeat=3):
+            assignment = dict(zip(("a", "b", "c"), values))
+            assert cnf.satisfied_by(assignment) == dnf.satisfied_by(assignment)

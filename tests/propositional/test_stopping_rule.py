@@ -1,0 +1,76 @@
+"""Tests for the DKLR stopping-rule estimator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.propositional.counting import probability_exact
+from repro.propositional.formula import DNF, Clause, Literal, pos
+from repro.propositional.karp_luby import karp_luby
+from repro.propositional.stopping_rule import (
+    karp_luby_stopping_rule,
+    stopping_rule_threshold,
+)
+from repro.util.errors import ProbabilityError
+from repro.util.rng import make_rng
+from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+
+class TestThreshold:
+    def test_scales_inverse_quadratically(self):
+        t1 = stopping_rule_threshold(0.2, 0.1)
+        t2 = stopping_rule_threshold(0.1, 0.1)
+        assert 3.0 <= t2 / t1 <= 4.5
+
+    def test_invalid_parameters(self):
+        for epsilon, delta in ((0, 0.1), (1.2, 0.1), (0.1, 0), (0.1, 1)):
+            with pytest.raises(ProbabilityError):
+                stopping_rule_threshold(epsilon, delta)
+
+
+class TestEstimator:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_relative_error_within_bound(self, seed):
+        rng = make_rng(seed)
+        dnf = random_kdnf(rng, variables=8, clauses=6, width=3)
+        probs = random_probabilities(rng, dnf)
+        exact = float(probability_exact(dnf, probs))
+        run = karp_luby_stopping_rule(dnf, probs, 0.1, 0.05, rng)
+        assert abs(run.estimate - exact) / exact <= 0.1
+
+    def test_constants(self, rng):
+        assert karp_luby_stopping_rule(DNF.true(), {}, 0.1, 0.1, rng).estimate == 1.0
+        assert karp_luby_stopping_rule(DNF.false(), {}, 0.1, 0.1, rng).estimate == 0.0
+
+    def test_adaptive_budget_beats_fixed_on_fat_unions(self):
+        # Many overlapping clauses with high total probability: the
+        # fixed Karp-Luby budget scales with m, the stopping rule stops
+        # as soon as the (large) mean is pinned down.
+        rng = make_rng(9)
+        dnf = random_kdnf(rng, variables=10, clauses=40, width=2)
+        probs = {v: Fraction(1, 2) for v in dnf.variables}
+        adaptive = karp_luby_stopping_rule(dnf, probs, 0.1, 0.05, make_rng(1))
+        fixed = karp_luby(dnf, probs, 0.1, 0.05, make_rng(2))
+        assert adaptive.samples < fixed.samples
+        exact = float(probability_exact(dnf, probs))
+        assert abs(adaptive.estimate - exact) / exact <= 0.1
+
+    def test_rare_event_still_within_relative_bound(self):
+        variables = [f"v{i}" for i in range(8)]
+        dnf = DNF.of([pos(v) for v in variables])
+        probs = {v: Fraction(1, 3) for v in variables}
+        exact = float(Fraction(1, 3) ** 8)
+        run = karp_luby_stopping_rule(dnf, probs, 0.2, 0.1, make_rng(3))
+        assert abs(run.estimate - exact) / exact <= 0.2
+
+    def test_sample_cap_enforced(self):
+        dnf = DNF.of([pos("a")])
+        with pytest.raises(ProbabilityError):
+            karp_luby_stopping_rule(
+                dnf, {"a": Fraction(1, 2)}, 0.05, 0.05, make_rng(4),
+                max_samples=3,
+            )
+
+    def test_missing_probability_rejected(self, rng):
+        with pytest.raises(ProbabilityError):
+            karp_luby_stopping_rule(DNF.of([pos("a")]), {}, 0.1, 0.1, rng)

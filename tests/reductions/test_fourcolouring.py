@@ -1,0 +1,89 @@
+"""Tests for the Lemma 5.9 reduction (4-colourability -> co-AR)."""
+
+import pytest
+
+from repro.reductions.fourcolouring import (
+    encode_four_colouring,
+    four_colourable_via_absolute_reliability,
+    is_four_colourable,
+    non_four_colouring_query,
+)
+from repro.util.errors import QueryError
+from repro.util.rng import make_rng
+from repro.workloads.graphs import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    random_colourable_graph,
+)
+
+
+class TestBruteforceColouring:
+    def test_complete_graphs_sharp_threshold(self):
+        for n in range(2, 5):
+            nodes, edges = complete_graph(n)
+            assert is_four_colourable(nodes, edges)
+        nodes, edges = complete_graph(5)
+        assert not is_four_colourable(nodes, edges)
+
+    def test_self_loop_never_colourable(self):
+        assert not is_four_colourable([1], [(1, 1)])
+
+    def test_cycles(self):
+        nodes, edges = cycle_graph(5)
+        assert is_four_colourable(nodes, edges)
+        assert not is_four_colourable(nodes, edges, colours=2)
+        even_nodes, even_edges = cycle_graph(6)
+        assert is_four_colourable(even_nodes, even_edges, colours=2)
+
+
+class TestEncoding:
+    def test_observed_satisfies_query(self):
+        nodes, edges = cycle_graph(4)
+        db = encode_four_colouring(nodes, edges)
+        assert non_four_colouring_query().evaluate(db.structure, ())
+
+    def test_edges_certain_colours_uniform(self):
+        nodes, edges = cycle_graph(4)
+        db = encode_four_colouring(nodes, edges)
+        for atom in db.uncertain_atoms():
+            assert atom.relation in ("R1", "R2")
+        assert len(db.uncertain_atoms()) == 8
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(QueryError):
+            encode_four_colouring([1, 2], [])
+
+
+class TestReductionEquivalence:
+    def test_k4_vs_k5(self):
+        nodes, edges = complete_graph(4)
+        assert four_colourable_via_absolute_reliability(nodes, edges)
+        nodes, edges = complete_graph(5)
+        assert not four_colourable_via_absolute_reliability(nodes, edges)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs_agree_with_bruteforce(self, seed):
+        rng = make_rng(seed)
+        nodes, edges = gnp_graph(rng, nodes=6, probability=0.5)
+        if not edges:
+            pytest.skip("empty graph excluded by the paper's footnote")
+        assert four_colourable_via_absolute_reliability(nodes, edges) == (
+            is_four_colourable(nodes, edges)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_constructed_colourable_graphs(self, seed):
+        rng = make_rng(50 + seed)
+        nodes, edges = random_colourable_graph(
+            rng, nodes=7, colours=4, probability=0.6
+        )
+        if not edges:
+            pytest.skip("degenerate draw")
+        assert is_four_colourable(nodes, edges)
+        assert four_colourable_via_absolute_reliability(nodes, edges)
+
+    @pytest.mark.parametrize("method", ["auto", "exact", "witness"])
+    def test_ar_methods_agree_on_small_instance(self, method):
+        nodes, edges = complete_graph(4)
+        assert four_colourable_via_absolute_reliability(nodes, edges, method)

@@ -1,0 +1,103 @@
+"""Tests for the Proposition 3.2 reduction (#MONOTONE-2SAT -> H_psi)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.conjunctive import hardness_query
+from repro.reductions.monotone2sat import (
+    Monotone2CNF,
+    count_satisfying_assignments,
+    encode_monotone_2cnf,
+    sat_count_via_expected_error,
+)
+from repro.reliability.exact import expected_error, truth_probability
+from repro.util.errors import QueryError
+from repro.util.rng import make_rng
+from repro.workloads.random_cnf import random_monotone_2cnf
+
+
+class TestMonotone2CNF:
+    def test_variables_sorted_unique(self):
+        formula = Monotone2CNF((("b", "a"), ("a", "c")))
+        assert formula.variables == ("a", "b", "c")
+
+    def test_satisfied_by(self):
+        formula = Monotone2CNF((("a", "b"), ("b", "c")))
+        assert formula.satisfied_by({"b"})
+        assert formula.satisfied_by({"a", "c"})
+        assert not formula.satisfied_by({"a"})
+        assert not formula.satisfied_by(set())
+
+    def test_non_binary_clause_rejected(self):
+        with pytest.raises(QueryError):
+            Monotone2CNF((("a",),))
+
+    def test_count_bruteforce(self):
+        # (a|b): 3 of 4 assignments satisfy.
+        assert count_satisfying_assignments(Monotone2CNF((("a", "b"),))) == 3
+        # (a|b) & (b|c): b=1 gives 4, b=0 needs a=c=1 gives 1 -> 5.
+        assert (
+            count_satisfying_assignments(Monotone2CNF((("a", "b"), ("b", "c"))))
+            == 5
+        )
+
+
+class TestEncoding:
+    def test_structure_shape(self):
+        formula = Monotone2CNF((("a", "b"), ("b", "c")))
+        db = encode_monotone_2cnf(formula)
+        structure = db.structure
+        assert len(structure) == 2 + 3  # clauses + variables
+        assert len(structure.relation("L")) == 2
+        assert len(structure.relation("R")) == 2
+        assert len(structure.relation("S")) == 3  # all variables false
+
+    def test_only_s_atoms_uncertain_at_half(self):
+        formula = Monotone2CNF((("a", "b"),))
+        db = encode_monotone_2cnf(formula)
+        for atom in db.uncertain_atoms():
+            assert atom.relation == "S"
+            assert db.mu(atom) == Fraction(1, 2)
+        assert len(db.uncertain_atoms()) == 2
+
+    def test_within_de_rougemont_restricted_model(self):
+        # The paper remarks the reduction only perturbs positive facts.
+        formula = Monotone2CNF((("a", "b"), ("b", "c")))
+        assert encode_monotone_2cnf(formula).is_positive_only()
+
+    def test_observed_database_satisfies_query(self):
+        formula = Monotone2CNF((("a", "b"),))
+        db = encode_monotone_2cnf(formula)
+        assert hardness_query().evaluate(db.structure, ())
+
+
+class TestReductionIdentity:
+    def test_expected_error_is_sat_fraction(self):
+        formula = Monotone2CNF((("a", "b"), ("b", "c")))
+        db = encode_monotone_2cnf(formula)
+        h = expected_error(db, hardness_query().to_fo_query())
+        assert h == Fraction(5, 8)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_formulas_roundtrip(self, seed):
+        rng = make_rng(seed)
+        formula = random_monotone_2cnf(rng, variables=5, clauses=4)
+        assert sat_count_via_expected_error(formula) == (
+            count_satisfying_assignments(formula)
+        )
+
+    @pytest.mark.parametrize("method", ["dnf", "worlds"])
+    def test_engines_agree_on_reduction_instances(self, method):
+        formula = Monotone2CNF((("a", "b"), ("c", "d"), ("a", "d")))
+        assert sat_count_via_expected_error(formula, method=method) == (
+            count_satisfying_assignments(formula)
+        )
+
+    def test_unsatisfiable_impossible_for_monotone(self):
+        # Monotone formulas are always satisfied by the all-true
+        # assignment, so the count is at least 1 — a sanity invariant.
+        rng = make_rng(9)
+        for _ in range(5):
+            formula = random_monotone_2cnf(rng, variables=4, clauses=3)
+            assert sat_count_via_expected_error(formula) >= 1

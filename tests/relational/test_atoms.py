@@ -1,0 +1,57 @@
+"""Tests for ground atoms and atom-space enumeration."""
+
+import pytest
+
+from repro.relational.atoms import Atom, all_atoms, atom_count, make_atom
+from repro.relational.schema import Vocabulary
+from repro.util.errors import VocabularyError
+
+
+class TestAtom:
+    def test_construction_and_fields(self):
+        atom = Atom("E", ("a", "b"))
+        assert atom.relation == "E"
+        assert atom.args == ("a", "b")
+        assert atom.arity == 2
+
+    def test_make_atom_normalises_lists(self):
+        assert make_atom("E", ["a", "b"]) == Atom("E", ("a", "b"))
+
+    def test_str(self):
+        assert str(Atom("S", ("x",))) == "S('x')"
+
+    def test_zero_ary(self):
+        atom = Atom("Flag", ())
+        assert atom.arity == 0
+
+    def test_ordering_is_total(self):
+        atoms = [Atom("B", (1,)), Atom("A", (2,)), Atom("A", (1,))]
+        assert sorted(atoms) == [Atom("A", (1,)), Atom("A", (2,)), Atom("B", (1,))]
+
+
+class TestAllAtoms:
+    def test_counts_match_formula(self):
+        vocab = Vocabulary([("E", 2), ("S", 1), ("Flag", 0)])
+        universe = ["a", "b", "c"]
+        atoms = list(all_atoms(vocab, universe))
+        assert len(atoms) == 9 + 3 + 1
+        assert len(atoms) == atom_count(vocab, 3)
+
+    def test_deterministic_order(self):
+        vocab = Vocabulary([("S", 1), ("E", 2)])
+        first = list(all_atoms(vocab, [1, 2]))
+        second = list(all_atoms(vocab, [1, 2]))
+        assert first == second
+        # Relations come sorted by name: E before S.
+        assert first[0].relation == "E"
+
+    def test_empty_universe(self):
+        vocab = Vocabulary([("E", 2), ("Flag", 0)])
+        atoms = list(all_atoms(vocab, []))
+        # Only the 0-ary atom survives an empty universe.
+        assert atoms == [Atom("Flag", ())]
+
+    def test_atom_count_negative_size_rejected(self):
+        vocab = Vocabulary([("E", 2)])
+        with pytest.raises(VocabularyError):
+            atom_count(vocab, -1)

@@ -1,0 +1,67 @@
+"""Tests for the structure builder and graph convenience constructor."""
+
+import pytest
+
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder, graph_structure
+from repro.util.errors import VocabularyError
+
+
+class TestStructureBuilder:
+    def test_chaining(self):
+        structure = (
+            StructureBuilder([1, 2])
+            .relation("E", 2)
+            .add("E", (1, 2))
+            .add("E", (2, 1))
+            .build()
+        )
+        assert structure.relation("E") == frozenset({(1, 2), (2, 1)})
+
+    def test_add_before_declare_rejected(self):
+        builder = StructureBuilder([1])
+        with pytest.raises(VocabularyError):
+            builder.add("E", (1, 1))
+
+    def test_redeclare_consistent_ok(self):
+        builder = StructureBuilder([1]).relation("E", 2).relation("E", 2)
+        assert builder.build().vocabulary.arity("E") == 2
+
+    def test_redeclare_conflicting_rejected(self):
+        builder = StructureBuilder([1]).relation("E", 2)
+        with pytest.raises(VocabularyError):
+            builder.relation("E", 1)
+
+    def test_add_all(self):
+        structure = (
+            StructureBuilder([1, 2, 3])
+            .relation("S", 1)
+            .add_all("S", [(1,), (3,)])
+            .build()
+        )
+        assert structure.relation("S") == frozenset({(1,), (3,)})
+
+    def test_fact_zero_ary(self):
+        structure = StructureBuilder([1]).fact("Enabled").build()
+        assert structure.holds(Atom("Enabled", ()))
+
+    def test_invalid_tuple_caught_at_build(self):
+        builder = StructureBuilder([1]).relation("E", 2).add("E", (1, 99))
+        with pytest.raises(VocabularyError):
+            builder.build()
+
+
+class TestGraphStructure:
+    def test_directed(self):
+        g = graph_structure([1, 2], [(1, 2)])
+        assert g.holds(Atom("E", (1, 2)))
+        assert not g.holds(Atom("E", (2, 1)))
+
+    def test_symmetric(self):
+        g = graph_structure([1, 2], [(1, 2)], symmetric=True)
+        assert g.holds(Atom("E", (2, 1)))
+
+    def test_extra_unary_empty(self):
+        g = graph_structure([1], [], extra_unary=("R1", "R2"))
+        assert g.relation("R1") == frozenset()
+        assert "R2" in g.vocabulary

@@ -1,0 +1,66 @@
+"""Tests for the canonical text encoding (the paper's input measure)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder
+from repro.relational.encoding import (
+    decode_structure,
+    encode_error_function,
+    encode_structure,
+    encoded_size,
+)
+from repro.util.errors import VocabularyError
+
+
+@pytest.fixture
+def sample():
+    return (
+        StructureBuilder(["a", "b", 3])
+        .relation("E", 2)
+        .relation("S", 1)
+        .add("E", ("a", "b"))
+        .add("E", ("b", 3))
+        .add("S", (3,))
+        .build()
+    )
+
+
+class TestRoundTrip:
+    def test_encode_decode_identity(self, sample):
+        assert decode_structure(encode_structure(sample)) == sample
+
+    def test_encoding_is_deterministic(self, sample):
+        assert encode_structure(sample) == encode_structure(sample)
+
+    def test_comments_and_blanks_ignored(self, sample):
+        text = "# a comment\n\n" + encode_structure(sample)
+        assert decode_structure(text) == sample
+
+    def test_missing_universe_rejected(self):
+        with pytest.raises(VocabularyError):
+            decode_structure("relation E 2\n")
+
+    def test_tuple_for_undeclared_relation_rejected(self):
+        with pytest.raises(VocabularyError):
+            decode_structure("universe 1\ntuple E 1 1\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(VocabularyError):
+            decode_structure("universe 1\nbogus\n")
+
+
+class TestSizes:
+    def test_error_function_renders_fractions(self, sample):
+        mu = {Atom("E", ("a", "b")): Fraction(1, 10)}
+        text = encode_error_function(mu)
+        assert "1/10" in text
+
+    def test_encoded_size_grows_with_data(self, sample):
+        small = encoded_size(sample, {})
+        big = encoded_size(
+            sample, {atom: Fraction(1, 7) for atom in sample.atoms()}
+        )
+        assert big > small

@@ -1,0 +1,80 @@
+"""Tests for relation symbols and vocabularies."""
+
+import pytest
+
+from repro.relational.schema import RelationSymbol, Vocabulary
+from repro.util.errors import VocabularyError
+
+
+class TestRelationSymbol:
+    def test_basic_construction(self):
+        symbol = RelationSymbol("E", 2)
+        assert symbol.name == "E"
+        assert symbol.arity == 2
+        assert str(symbol) == "E/2"
+
+    def test_zero_arity_allowed(self):
+        assert RelationSymbol("Flag", 0).arity == 0
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(VocabularyError):
+            RelationSymbol("E", -1)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(VocabularyError):
+            RelationSymbol("", 1)
+        with pytest.raises(VocabularyError):
+            RelationSymbol("bad name", 1)
+
+    def test_underscore_names_allowed(self):
+        assert RelationSymbol("has_part", 2).name == "has_part"
+
+    def test_equality_and_hash(self):
+        assert RelationSymbol("E", 2) == RelationSymbol("E", 2)
+        assert RelationSymbol("E", 2) != RelationSymbol("E", 3)
+        assert hash(RelationSymbol("E", 2)) == hash(RelationSymbol("E", 2))
+
+
+class TestVocabulary:
+    def test_construction_from_tuples(self):
+        vocab = Vocabulary([("E", 2), ("S", 1)])
+        assert len(vocab) == 2
+        assert "E" in vocab
+        assert vocab.arity("E") == 2
+        assert vocab.arity("S") == 1
+
+    def test_names_sorted(self):
+        vocab = Vocabulary([("Z", 1), ("A", 1), ("M", 1)])
+        assert vocab.names() == ("A", "M", "Z")
+
+    def test_duplicate_consistent_ok(self):
+        vocab = Vocabulary([("E", 2), ("E", 2)])
+        assert len(vocab) == 1
+
+    def test_duplicate_conflicting_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary([("E", 2), ("E", 3)])
+
+    def test_unknown_symbol_lookup(self):
+        vocab = Vocabulary([("E", 2)])
+        with pytest.raises(VocabularyError):
+            vocab.symbol("Missing")
+
+    def test_extend_adds_fresh(self):
+        vocab = Vocabulary([("E", 2)])
+        bigger = vocab.extend([("R", 1)])
+        assert "R" in bigger
+        assert "R" not in vocab  # original untouched
+
+    def test_extend_rejects_existing_name(self):
+        vocab = Vocabulary([("E", 2)])
+        with pytest.raises(VocabularyError):
+            vocab.extend([("E", 1)])
+
+    def test_equality_order_independent(self):
+        assert Vocabulary([("A", 1), ("B", 2)]) == Vocabulary(
+            [("B", 2), ("A", 1)]
+        )
+
+    def test_hashable(self):
+        assert hash(Vocabulary([("E", 2)])) == hash(Vocabulary([("E", 2)]))

@@ -1,0 +1,139 @@
+"""Tests for immutable relational structures."""
+
+import pytest
+
+from repro.relational.atoms import Atom
+from repro.relational.schema import Vocabulary
+from repro.relational.structure import Structure
+from repro.util.errors import VocabularyError
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary([("E", 2), ("S", 1)])
+
+
+@pytest.fixture
+def base(vocab):
+    return Structure(vocab, ["a", "b", "c"], {"E": [("a", "b")], "S": [("a",)]})
+
+
+class TestConstruction:
+    def test_relations_default_empty(self, vocab):
+        structure = Structure(vocab, ["a"])
+        assert structure.relation("E") == frozenset()
+        assert structure.relation("S") == frozenset()
+
+    def test_duplicate_universe_rejected(self, vocab):
+        with pytest.raises(VocabularyError):
+            Structure(vocab, ["a", "a"])
+
+    def test_wrong_arity_rejected(self, vocab):
+        with pytest.raises(VocabularyError):
+            Structure(vocab, ["a"], {"E": [("a",)]})
+
+    def test_foreign_element_rejected(self, vocab):
+        with pytest.raises(VocabularyError):
+            Structure(vocab, ["a"], {"S": [("z",)]})
+
+    def test_unknown_relation_rejected(self, vocab):
+        with pytest.raises(VocabularyError):
+            Structure(vocab, ["a"], {"Q": [("a",)]})
+
+    def test_len_is_universe_size(self, base):
+        assert len(base) == 3
+
+
+class TestAtomsAndHolds:
+    def test_holds(self, base):
+        assert base.holds(Atom("E", ("a", "b")))
+        assert not base.holds(Atom("E", ("b", "a")))
+        assert base.holds(Atom("S", ("a",)))
+
+    def test_true_atoms(self, base):
+        assert set(base.true_atoms()) == {
+            Atom("E", ("a", "b")),
+            Atom("S", ("a",)),
+        }
+
+    def test_atom_space_size(self, base):
+        assert sum(1 for _ in base.atoms()) == 9 + 3
+
+
+class TestUpdates:
+    def test_with_atom_add(self, base):
+        updated = base.with_atom(Atom("S", ("b",)), True)
+        assert updated.holds(Atom("S", ("b",)))
+        assert not base.holds(Atom("S", ("b",)))  # original untouched
+
+    def test_with_atom_noop_returns_same_object(self, base):
+        assert base.with_atom(Atom("S", ("a",)), True) is base
+
+    def test_flip(self, base):
+        flipped = base.flip(Atom("E", ("a", "b")))
+        assert not flipped.holds(Atom("E", ("a", "b")))
+        assert flipped.flip(Atom("E", ("a", "b"))) == base
+
+    def test_flip_all_matches_sequential_flips(self, base):
+        atoms = [Atom("E", ("a", "b")), Atom("E", ("c", "c")), Atom("S", ("b",))]
+        bulk = base.flip_all(atoms)
+        sequential = base
+        for atom in atoms:
+            sequential = sequential.flip(atom)
+        assert bulk == sequential
+
+    def test_flip_all_empty(self, base):
+        assert base.flip_all([]) == base
+
+    def test_with_relation_replaces(self, base):
+        updated = base.with_relation("E", [("c", "c")])
+        assert updated.relation("E") == frozenset({("c", "c")})
+
+    def test_with_relation_validates(self, base):
+        with pytest.raises(VocabularyError):
+            base.with_relation("E", [("a",)])
+
+
+class TestExpandRestrict:
+    def test_expand_adds_symbols_and_elements(self, base):
+        expanded = base.expand(
+            Vocabulary([("R", 1)]), extra_universe=("d",), relations={"R": [("d",)]}
+        )
+        assert len(expanded) == 4
+        assert expanded.holds(Atom("R", ("d",)))
+        assert expanded.holds(Atom("E", ("a", "b")))
+
+    def test_expand_rejects_override(self, base):
+        with pytest.raises(VocabularyError):
+            base.expand(Vocabulary([("R", 1)]), relations={"E": [("a", "a")]})
+
+    def test_restrict_drops_tuples(self, base):
+        expanded = base.expand(Vocabulary([("R", 1)]), extra_universe=("d",))
+        widened = expanded.with_relation("E", [("a", "b"), ("a", "d")])
+        reduct = widened.restrict(("a", "b", "c"), base.vocabulary)
+        assert reduct == base
+
+    def test_restrict_superset_rejected(self, base):
+        with pytest.raises(VocabularyError):
+            base.restrict(("a", "z"))
+
+
+class TestIdentity:
+    def test_equality_and_hash(self, base, vocab):
+        same = Structure(vocab, ["a", "b", "c"], {"E": [("a", "b")], "S": [("a",)]})
+        assert base == same
+        assert hash(base) == hash(same)
+
+    def test_same_format(self, base, vocab):
+        other = Structure(vocab, ["a", "b", "c"])
+        assert base.same_format(other)
+        assert not base.same_format(Structure(vocab, ["a", "b"]))
+
+    def test_difference_atoms(self, base):
+        other = base.flip(Atom("S", ("a",))).flip(Atom("E", ("c", "a")))
+        diff = base.difference_atoms(other)
+        assert set(diff) == {Atom("S", ("a",)), Atom("E", ("c", "a"))}
+
+    def test_difference_requires_same_format(self, base, vocab):
+        with pytest.raises(VocabularyError):
+            base.difference_atoms(Structure(vocab, ["a", "b"]))

@@ -1,0 +1,114 @@
+"""Tests for Theorem 5.4's FPTRAS and Corollary 5.5's additive estimator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.evaluator import FOQuery
+from repro.reliability.approx import (
+    existential_probability,
+    reliability_additive,
+)
+from repro.reliability.exact import reliability, truth_probability
+from repro.util.errors import ProbabilityError, QueryError
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+
+@pytest.fixture
+def db():
+    rng = make_rng(17)
+    return random_unreliable_database(
+        rng,
+        size=4,
+        relations={"E": 2, "S": 1},
+        density=0.4,
+        error_choices=["1/4", "1/8", "0"],
+    )
+
+
+class TestExistentialProbability:
+    def test_tracks_exact_value(self, db):
+        rng = make_rng(1)
+        sentence = "exists x y. E(x, y) & S(y)"
+        exact = float(truth_probability(db, sentence))
+        estimate = existential_probability(db, sentence, 0.05, 0.05, rng)
+        assert exact > 0
+        assert abs(estimate.value - exact) / exact <= 0.05
+
+    def test_certain_sentences_shortcut(self, db, rng):
+        certainly_false = existential_probability(
+            db, "exists x. S(x) & ~S(x)", 0.1, 0.1, rng
+        )
+        assert certainly_false.value == 0.0
+        assert certainly_false.samples == 0
+
+    def test_requires_existential(self, db, rng):
+        with pytest.raises(QueryError):
+            existential_probability(db, "forall x. S(x)", 0.1, 0.1, rng)
+
+    def test_requires_boolean(self, db, rng):
+        with pytest.raises(QueryError):
+            existential_probability(db, FOQuery("S(x)"), 0.1, 0.1, rng)
+
+    def test_negated_universal_accepted(self, db, rng):
+        estimate = existential_probability(
+            db, "~forall x. S(x)", 0.1, 0.1, rng
+        )
+        exact = float(truth_probability(db, "~forall x. S(x)"))
+        assert abs(estimate.value - exact) <= 0.1
+
+
+class TestReliabilityAdditive:
+    @pytest.mark.parametrize(
+        "source,free",
+        [
+            ("exists x y. E(x, y) & S(y)", ()),
+            ("forall x. S(x)", ()),
+            ("exists y. E(x, y)", ("x",)),
+            ("E(x, y) & S(x)", ("x", "y")),
+        ],
+    )
+    def test_additive_error_within_epsilon(self, db, source, free):
+        rng = make_rng(42)
+        query = FOQuery(source, free)
+        exact = float(reliability(db, query))
+        estimate = reliability_additive(db, query, 0.05, 0.05, rng)
+        assert abs(estimate.value - exact) <= 0.05
+
+    def test_repeated_runs_mostly_within_bound(self, db):
+        # delta = 0.2: allow a couple of misses out of 20, fail only if
+        # far more miss than the guarantee allows.
+        query = FOQuery("exists x y. E(x, y) & S(y)")
+        exact = float(reliability(db, query))
+        misses = 0
+        for seed in range(20):
+            estimate = reliability_additive(
+                db, query, 0.08, 0.2, make_rng(seed)
+            )
+            if abs(estimate.value - exact) > 0.08:
+                misses += 1
+        assert misses <= 6
+
+    def test_invalid_parameters(self, db, rng):
+        query = FOQuery("exists x. S(x)")
+        with pytest.raises(ProbabilityError):
+            reliability_additive(db, query, 0.0, 0.1, rng)
+        with pytest.raises(ProbabilityError):
+            reliability_additive(db, query, 0.1, 0.0, rng)
+
+    def test_rejects_non_fo_queries(self, db, rng):
+        from repro.logic.datalog import reachability_query
+
+        with pytest.raises(QueryError):
+            reliability_additive(db, reachability_query(), 0.1, 0.1, rng)
+
+    def test_rejects_alternating_query(self, db, rng):
+        query = FOQuery("forall x. exists y. E(x, y)")
+        with pytest.raises(QueryError):
+            reliability_additive(db, query, 0.1, 0.1, rng)
+
+    def test_estimate_within_unit_interval(self, db, rng):
+        query = FOQuery("exists y. E(x, y)", ("x",))
+        estimate = reliability_additive(db, query, 0.1, 0.1, rng)
+        assert 0.0 <= estimate.value <= 1.0

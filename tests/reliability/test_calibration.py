@@ -1,0 +1,127 @@
+"""Tests for audit-based error-model calibration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder
+from repro.reliability.calibration import (
+    AuditRecord,
+    calibrate_error_rates,
+    calibrated_database,
+)
+from repro.util.errors import ProbabilityError
+
+
+@pytest.fixture
+def registry():
+    builder = StructureBuilder(["a", "b", "c", "d"])
+    builder.relation("F", 1)
+    builder.add("F", ("a",)).add("F", ("b",))
+    return builder.build()
+
+
+class TestCalibrateRates:
+    def test_mle(self, registry):
+        audits = [
+            AuditRecord(Atom("F", ("a",)), True),   # correct
+            AuditRecord(Atom("F", ("b",)), False),  # observed true, wrong
+            AuditRecord(Atom("F", ("c",)), False),  # correct
+            AuditRecord(Atom("F", ("d",)), True),   # observed false, wrong
+        ]
+        rates = calibrate_error_rates(registry, audits, smoothing=False)
+        assert rates["F"].audited == 4
+        assert rates["F"].wrong == 2
+        assert rates["F"].rate == Fraction(1, 2)
+
+    def test_laplace_smoothing(self, registry):
+        audits = [AuditRecord(Atom("F", ("a",)), True)]
+        rates = calibrate_error_rates(registry, audits)
+        # 0 wrong of 1 audited -> (0 + 1) / (1 + 2).
+        assert rates["F"].rate == Fraction(1, 3)
+
+    def test_smoothing_never_degenerate(self, registry):
+        audits = [
+            AuditRecord(Atom("F", ("a",)), False),
+            AuditRecord(Atom("F", ("b",)), False),
+        ]
+        rates = calibrate_error_rates(registry, audits)
+        assert 0 < rates["F"].rate < 1
+
+    def test_duplicate_audit_rejected(self, registry):
+        audits = [
+            AuditRecord(Atom("F", ("a",)), True),
+            AuditRecord(Atom("F", ("a",)), False),
+        ]
+        with pytest.raises(ProbabilityError):
+            calibrate_error_rates(registry, audits)
+
+    def test_unknown_relation_rejected(self, registry):
+        from repro.util.errors import VocabularyError
+
+        with pytest.raises(VocabularyError):
+            calibrate_error_rates(
+                registry, [AuditRecord(Atom("Q", ("a",)), True)]
+            )
+
+
+class TestCalibratedDatabase:
+    def test_audited_atoms_pinned_and_corrected(self, registry):
+        audits = [
+            AuditRecord(Atom("F", ("b",)), False),  # observation was wrong
+            AuditRecord(Atom("F", ("c",)), False),
+        ]
+        db = calibrated_database(registry, audits)
+        # Corrected: F(b) now false in the observed structure.
+        assert not db.structure.holds(Atom("F", ("b",)))
+        assert db.mu(Atom("F", ("b",))) == 0
+        assert db.mu(Atom("F", ("c",))) == 0
+
+    def test_unaudited_atoms_get_estimated_rate(self, registry):
+        audits = [
+            AuditRecord(Atom("F", ("b",)), False),
+            AuditRecord(Atom("F", ("c",)), False),
+        ]
+        db = calibrated_database(registry, audits)
+        # 1 wrong of 2 audited, smoothed: (1+1)/(2+2) = 1/2.
+        assert db.mu(Atom("F", ("a",))) == Fraction(1, 2)
+        assert db.mu(Atom("F", ("d",))) == Fraction(1, 2)
+
+    def test_default_rate_for_unaudited_relation(self):
+        builder = StructureBuilder(["a"])
+        builder.relation("F", 1).relation("G", 1)
+        structure = builder.build()
+        audits = [AuditRecord(Atom("F", ("a",)), False)]
+        db = calibrated_database(
+            structure, audits, default_rate=Fraction(1, 8)
+        )
+        assert db.mu(Atom("G", ("a",))) == Fraction(1, 8)
+
+    def test_missing_default_raises(self):
+        builder = StructureBuilder(["a"])
+        builder.relation("F", 1).relation("G", 1)
+        structure = builder.build()
+        audits = [AuditRecord(Atom("F", ("a",)), False)]
+        with pytest.raises(ProbabilityError):
+            calibrated_database(structure, audits)
+
+    def test_scope_restriction(self):
+        builder = StructureBuilder(["a"])
+        builder.relation("F", 1).relation("G", 1)
+        structure = builder.build()
+        audits = [AuditRecord(Atom("F", ("a",)), False)]
+        db = calibrated_database(structure, audits, relations=["F"])
+        # G is out of scope: certain by default.
+        assert db.mu(Atom("G", ("a",))) == 0
+
+    def test_calibrated_db_usable_end_to_end(self, registry):
+        from repro import reliability
+
+        audits = [
+            AuditRecord(Atom("F", ("a",)), True),
+            AuditRecord(Atom("F", ("d",)), False),
+        ]
+        db = calibrated_database(registry, audits)
+        value = reliability(db, "exists x. F(x)")
+        assert value == 1  # F(a) verified true: the answer is certain

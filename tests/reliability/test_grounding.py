@@ -1,0 +1,118 @@
+"""Tests for grounding existential sentences to DNF over uncertain atoms."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.parser import parse
+from repro.propositional.counting import probability_exact
+from repro.relational.atoms import Atom
+from repro.reliability.grounding import (
+    ground_existential_to_dnf,
+    grounding_probabilities,
+    relevant_atoms,
+)
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import QueryError
+
+
+class TestGroundExistential:
+    def test_mentions_only_uncertain_atoms(self, triangle_db):
+        result = ground_existential_to_dnf(
+            triangle_db, parse("exists x y. E(x, y) & S(y)")
+        )
+        uncertain = set(triangle_db.uncertain_atoms())
+        assert set(result.dnf.variables) <= uncertain
+
+    def test_certainly_true_sentence_collapses(self, triangle_db):
+        # E(b, c) holds with mu = 0, so the sentence is certain.
+        result = ground_existential_to_dnf(
+            triangle_db, parse("exists x y. E(x, y)")
+        )
+        assert result.dnf.is_true()
+
+    def test_certainly_false_sentence_collapses(self, certain_db):
+        result = ground_existential_to_dnf(certain_db, parse("exists x. E(x, x)"))
+        assert result.dnf.is_false()
+
+    def test_folding_shrinks_clause_count(self, triangle_db):
+        result = ground_existential_to_dnf(
+            triangle_db, parse("exists x y. E(x, y) & S(x)")
+        )
+        assert len(result.dnf) < result.clauses_before_folding
+
+    def test_equalities_evaluated_away(self, triangle_db):
+        result = ground_existential_to_dnf(
+            triangle_db, parse("exists x y. E(x, y) & x != y")
+        )
+        for clause in result.dnf.clauses:
+            for literal in clause:
+                assert isinstance(literal.variable, Atom)
+
+    def test_width_reported(self, triangle_db):
+        result = ground_existential_to_dnf(
+            triangle_db, parse("exists x y. E(x, y) & S(x) & S(y)")
+        )
+        assert result.width == 3
+
+    def test_universal_rejected(self, triangle_db):
+        with pytest.raises(QueryError):
+            ground_existential_to_dnf(triangle_db, parse("forall x. S(x)"))
+
+    def test_free_variable_rejected(self, triangle_db):
+        with pytest.raises(QueryError):
+            ground_existential_to_dnf(triangle_db, parse("exists y. E(x, y)"))
+
+    def test_negative_literals_grounded(self, triangle_db):
+        result = ground_existential_to_dnf(
+            triangle_db, parse("exists x y. E(x, y) & ~S(x)")
+        )
+        # E(b, c) is certain, S(b) uncertain (mu = 1/5): the pair (b, c)
+        # grounds to the single negative literal ~S(b).
+        polarities = {
+            (literal.variable, literal.positive)
+            for clause in result.dnf.clauses
+            for literal in clause
+        }
+        assert (Atom("S", ("b",)), False) in polarities
+
+
+class TestGroundedSemantics:
+    def test_probability_matches_world_enumeration(self, triangle_db):
+        from repro.reliability.space import worlds
+
+        sentence = parse("exists x y. E(x, y) & S(y) & S(x)")
+        result = ground_existential_to_dnf(triangle_db, sentence)
+        probs = grounding_probabilities(triangle_db, result.dnf)
+        grounded = probability_exact(result.dnf, probs)
+        query = FOQuery(sentence)
+        direct = sum(
+            p for world, p in worlds(triangle_db) if query.evaluate(world, ())
+        )
+        assert grounded == direct
+
+    def test_probabilities_are_nu_values(self, triangle_db):
+        result = ground_existential_to_dnf(
+            triangle_db, parse("exists x. S(x) & ~E(x, x)")
+        )
+        probs = grounding_probabilities(triangle_db, result.dnf)
+        for atom, p in probs.items():
+            assert p == triangle_db.nu(atom)
+
+
+class TestRelevantAtoms:
+    def test_fo_query_restricts_to_used_relations(self, triangle_db):
+        query = FOQuery("exists x. S(x)")
+        atoms = relevant_atoms(triangle_db, query)
+        assert all(atom.relation == "S" for atom in atoms)
+        assert len(atoms) == 2
+
+    def test_opaque_query_gets_everything(self, triangle_db):
+        class Opaque:
+            arity = 0
+
+            def evaluate(self, structure, args=()):
+                return True
+
+        assert relevant_atoms(triangle_db, Opaque()) == triangle_db.uncertain_atoms()

@@ -1,0 +1,96 @@
+"""Tests for the plain Monte-Carlo baselines."""
+
+import pytest
+
+from repro.logic.datalog import reachability_query
+from repro.logic.evaluator import FOQuery
+from repro.reliability.exact import reliability, truth_probability
+from repro.reliability.montecarlo import (
+    estimate_reliability_hamming,
+    estimate_truth_probability,
+    hoeffding_samples,
+)
+from repro.util.errors import ProbabilityError, QueryError
+from repro.util.rng import make_rng
+
+
+class TestHoeffding:
+    def test_formula(self):
+        # ln(2/0.05) / (2 * 0.1^2) ~ 184.4
+        assert hoeffding_samples(0.1, 0.05) == 185
+
+    def test_invalid(self):
+        with pytest.raises(ProbabilityError):
+            hoeffding_samples(0, 0.1)
+        with pytest.raises(ProbabilityError):
+            hoeffding_samples(0.1, 1.0)
+
+
+class TestEstimateTruthProbability:
+    def test_tracks_exact(self, triangle_db):
+        rng = make_rng(0)
+        sentence = "exists x. S(x) & ~E(x, x)"
+        exact = float(truth_probability(triangle_db, sentence))
+        estimate = estimate_truth_probability(
+            triangle_db, sentence, rng, samples=20000
+        )
+        assert abs(estimate - exact) < 0.02
+
+    def test_with_args(self, triangle_db):
+        rng = make_rng(1)
+        query = FOQuery("E(x, y)", ("x", "y"))
+        estimate = estimate_truth_probability(
+            triangle_db, query, rng, samples=8000, args=("a", "b")
+        )
+        assert abs(estimate - 0.75) < 0.03
+
+    def test_arity_mismatch(self, triangle_db, rng):
+        with pytest.raises(QueryError):
+            estimate_truth_probability(
+                triangle_db, FOQuery("S(x)"), rng, samples=10
+            )
+
+    def test_works_with_datalog(self, triangle_db):
+        rng = make_rng(2)
+        from repro.reliability.exact import wrong_probability
+
+        query = reachability_query()
+        estimate = estimate_truth_probability(
+            triangle_db, query, rng, samples=6000, args=("a", "c")
+        )
+        exact_wrong = wrong_probability(triangle_db, query, ("a", "c"))
+        # Reach(a, c) holds on the observed structure.
+        assert abs(estimate - (1 - float(exact_wrong))) < 0.03
+
+
+class TestEstimateReliabilityHamming:
+    def test_tracks_exact_binary_query(self, triangle_db):
+        rng = make_rng(3)
+        query = FOQuery("E(x, y)", ("x", "y"))
+        exact = float(reliability(triangle_db, query))
+        estimate = estimate_reliability_hamming(
+            triangle_db, query, rng, samples=8000
+        )
+        assert abs(estimate - exact) < 0.01
+
+    def test_tracks_exact_datalog(self, triangle_db):
+        rng = make_rng(4)
+        query = reachability_query()
+        exact = float(reliability(triangle_db, query))
+        estimate = estimate_reliability_hamming(
+            triangle_db, query, rng, samples=6000
+        )
+        assert abs(estimate - exact) < 0.01
+
+    def test_certain_db_gives_one(self, certain_db, rng):
+        query = FOQuery("E(x, y)", ("x", "y"))
+        assert (
+            estimate_reliability_hamming(certain_db, query, rng, samples=50)
+            == 1.0
+        )
+
+    def test_default_budget_from_hoeffding(self, certain_db, rng):
+        value = estimate_reliability_hamming(
+            certain_db, FOQuery("exists x. S(x)"), rng, epsilon=0.2, delta=0.2
+        )
+        assert value == 1.0

@@ -1,0 +1,149 @@
+"""Tests for the Theorem 5.12 xi-padding estimator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.datalog import reachability_query
+from repro.logic.evaluator import FOQuery
+from repro.relational.atoms import Atom
+from repro.reliability.exact import reliability, truth_probability
+from repro.reliability.padding import (
+    PAD_C,
+    PAD_D,
+    PAD_RELATION,
+    exact_padded_identity,
+    pad_database,
+    padded_reliability,
+    padded_truth_probability,
+    padding_sample_count,
+)
+from repro.util.errors import ProbabilityError, QueryError
+from repro.util.rng import make_rng
+
+
+class TestPadDatabase:
+    def test_adds_relation_constants_and_errors(self, triangle_db):
+        padded = pad_database(triangle_db, Fraction(1, 4))
+        structure = padded.structure
+        assert PAD_RELATION in structure.vocabulary
+        assert PAD_C in structure.universe
+        assert PAD_D in structure.universe
+        assert padded.mu(Atom(PAD_RELATION, (PAD_C,))) == Fraction(1, 4)
+        assert padded.mu(Atom(PAD_RELATION, (PAD_D,))) == Fraction(1, 4)
+
+    def test_keeps_existing_errors(self, triangle_db):
+        padded = pad_database(triangle_db, Fraction(1, 4))
+        assert padded.mu(Atom("E", ("a", "b"))) == Fraction(1, 4)
+
+    def test_xi_range_enforced(self, triangle_db):
+        for bad in (Fraction(0), Fraction(1, 2), Fraction(3, 4)):
+            with pytest.raises(ProbabilityError):
+                pad_database(triangle_db, bad)
+
+    def test_name_clash_detected(self, triangle_db):
+        with pytest.raises(QueryError):
+            pad_database(triangle_db, Fraction(1, 4), relation="E")
+        with pytest.raises(QueryError):
+            pad_database(triangle_db, Fraction(1, 4), c="a")
+        with pytest.raises(QueryError):
+            pad_database(triangle_db, Fraction(1, 4), c="z", d="z")
+
+
+class TestSampleCount:
+    def test_paper_formula(self):
+        # t = ceil(9 / (2 * 0.25 * 0.1^2) * ln(1/0.05)) = ceil(1800 * 2.9957)
+        assert padding_sample_count(Fraction(1, 4), 0.1, 0.05) == 5393
+
+    def test_smaller_xi_needs_more_samples(self):
+        assert padding_sample_count(
+            Fraction(1, 10), 0.1, 0.1
+        ) > padding_sample_count(Fraction(1, 4), 0.1, 0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProbabilityError):
+            padding_sample_count(Fraction(1, 4), 0, 0.1)
+
+
+class TestPaddedIdentity:
+    @pytest.mark.parametrize("xi", [Fraction(1, 4), Fraction(1, 3), Fraction(1, 10)])
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "exists x y. E(x, y) & S(y)",
+            "forall x. exists y. E(x, y)",
+            "exists x. E(x, x)",
+        ],
+    )
+    def test_equation_3_exact(self, triangle_db, xi, sentence):
+        p, nu = exact_padded_identity(triangle_db, sentence, xi)
+        assert p == xi * xi + (xi - xi * xi) * nu
+
+    def test_p_in_the_proofs_interval(self, triangle_db):
+        xi = Fraction(1, 4)
+        p, _nu = exact_padded_identity(triangle_db, "exists x. E(x, x)", xi)
+        assert xi * xi <= p <= xi
+
+    def test_identity_holds_for_datalog(self, triangle_db):
+        from repro.reliability.exact import _instantiated
+
+        xi = Fraction(1, 4)
+        query = _instantiated(reachability_query(), ("a", "c"))
+        p, nu = exact_padded_identity(triangle_db, query, xi)
+        assert p == xi * xi + (xi - xi * xi) * nu
+
+    def test_padding_does_not_change_quantified_semantics(self, triangle_db):
+        # A universal query would flip to false if the fresh constants
+        # leaked into its range; equation (3) would then fail.
+        xi = Fraction(1, 4)
+        p, nu = exact_padded_identity(triangle_db, "forall x. exists y. E(x, y) | S(x)", xi)
+        assert p == xi * xi + (xi - xi * xi) * nu
+
+
+class TestPaddedEstimators:
+    def test_truth_probability_additive(self, triangle_db):
+        rng = make_rng(5)
+        sentence = "exists x y. E(x, y) & S(y)"
+        exact = float(truth_probability(triangle_db, sentence))
+        estimate = padded_truth_probability(
+            triangle_db, sentence, 0.05, 0.05, rng
+        )
+        assert abs(estimate.value - exact) <= 0.05
+
+    def test_uses_paper_budget(self, triangle_db):
+        rng = make_rng(6)
+        estimate = padded_truth_probability(
+            triangle_db, "exists x. E(x, x)", 0.2, 0.1, rng, xi=Fraction(1, 4)
+        )
+        assert estimate.samples == padding_sample_count(
+            Fraction(1, 4), 0.1, 0.1
+        )
+
+    def test_boolean_reliability(self, triangle_db):
+        rng = make_rng(7)
+        sentence = "exists x y. E(x, y) & S(y)"
+        exact = float(reliability(triangle_db, sentence))
+        estimate = padded_reliability(triangle_db, sentence, 0.06, 0.05, rng)
+        assert abs(estimate.value - exact) <= 0.06
+
+    def test_alternating_fo_query_supported(self, triangle_db):
+        # The fragment Corollary 5.5 cannot handle but Theorem 5.12 can.
+        rng = make_rng(8)
+        sentence = "forall x. exists y. E(x, y)"
+        exact = float(reliability(triangle_db, sentence))
+        estimate = padded_reliability(triangle_db, sentence, 0.08, 0.1, rng)
+        assert abs(estimate.value - exact) <= 0.08
+
+    def test_datalog_binary_reliability(self, triangle_db):
+        rng = make_rng(9)
+        query = reachability_query()
+        exact = float(reliability(triangle_db, query))
+        estimate = padded_reliability(triangle_db, query, 0.2, 0.2, rng)
+        assert abs(estimate.value - exact) <= 0.2
+
+    def test_estimate_clamped(self, certain_db):
+        rng = make_rng(10)
+        estimate = padded_truth_probability(
+            certain_db, "exists x. S(x)", 0.3, 0.3, rng
+        )
+        assert 0.0 <= estimate.value <= 1.0

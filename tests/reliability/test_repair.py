@@ -1,0 +1,142 @@
+"""Tests for verification planning (verify-and-correct)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.evaluator import FOQuery
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder
+from repro.reliability.exact import truth_probability, wrong_probability
+from repro.reliability.repair import (
+    expected_post_verification_wrong,
+    greedy_verification_plan,
+    plan_total_gain,
+    verification_gain,
+    verify_and_correct,
+)
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import QueryError
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+
+@pytest.fixture
+def flags_db():
+    builder = StructureBuilder(["a", "b", "c"])
+    builder.relation("P", 1)
+    builder.add("P", ("a",))
+    return UnreliableDatabase(
+        builder.build(),
+        {
+            Atom("P", ("a",)): Fraction(1, 4),
+            Atom("P", ("b",)): Fraction(1, 3),
+            Atom("P", ("c",)): Fraction(1, 10),
+        },
+    )
+
+
+class TestVerifyAndCorrect:
+    def test_correction_updates_structure_and_mu(self, flags_db):
+        atom = Atom("P", ("b",))  # observed false
+        fixed = verify_and_correct(flags_db, atom, True)
+        assert fixed.structure.holds(atom)
+        assert fixed.mu(atom) == 0
+        # Original untouched.
+        assert not flags_db.structure.holds(atom)
+
+    def test_confirmation_keeps_structure(self, flags_db):
+        atom = Atom("P", ("a",))
+        fixed = verify_and_correct(flags_db, atom, True)
+        assert fixed.structure == flags_db.structure
+        assert fixed.mu(atom) == 0
+
+
+class TestExpectedPostVerification:
+    def test_law_of_total_probability_when_answer_stable(self, flags_db):
+        # Verifying P(c) never flips the observed answer of exists x.P(x)
+        # (P(a) observed true stays); expectation equals current wrong.
+        query = "exists x. P(x)"
+        atom = Atom("P", ("c",))
+        assert expected_post_verification_wrong(flags_db, query, atom) == (
+            wrong_probability(flags_db, query)
+        )
+
+    def test_answer_flipping_atom_has_positive_gain(self, flags_db):
+        # Verifying P(a) (the only observed witness) lets the corrected
+        # database flip its answer to match the majority in the false
+        # branch: strictly positive gain.
+        gain = verification_gain(flags_db, "exists x. P(x)", Atom("P", ("a",)))
+        assert gain > 0
+        # Exact value: before = 3/20; after = 3/4 * 0 + 1/4 * (2/5).
+        assert wrong_probability(flags_db, "exists x. P(x)") == Fraction(3, 20)
+        assert gain == Fraction(3, 20) - Fraction(1, 10)
+
+    def test_gain_can_be_negative(self):
+        # The documented finding: correcting one atom can move the
+        # recomputed answer away from the majority.
+        db = random_unreliable_database(
+            make_rng(9),
+            3,
+            {"E": 2, "S": 1},
+            density=0.4,
+            error_choices=["1/4", "1/3", "0"],
+        )
+        gain = verification_gain(db, "exists x. ~S(x)", Atom("S", (0,)))
+        assert gain < 0
+
+    def test_branch_decomposition(self, flags_db):
+        query = "exists x. P(x)"
+        atom = Atom("P", ("a",))
+        nu = flags_db.nu(atom)
+        manual = nu * wrong_probability(
+            verify_and_correct(flags_db, atom, True), query
+        ) + (1 - nu) * wrong_probability(
+            verify_and_correct(flags_db, atom, False), query
+        )
+        assert expected_post_verification_wrong(flags_db, query, atom) == manual
+
+    def test_non_boolean_rejected(self, flags_db):
+        with pytest.raises(QueryError):
+            verification_gain(flags_db, FOQuery("P(x)"), Atom("P", ("a",)))
+
+
+class TestGreedyPlan:
+    def test_plan_respects_budget(self, flags_db):
+        plan = greedy_verification_plan(flags_db, "exists x. P(x)", budget=2)
+        assert len(plan) <= 2
+
+    def test_only_positive_gains_scheduled(self, flags_db):
+        plan = greedy_verification_plan(flags_db, "exists x. P(x)", budget=5)
+        assert all(gain > 0 for _atom, gain in plan)
+
+    def test_first_pick_is_single_best(self, flags_db):
+        query = "exists x. P(x)"
+        plan = greedy_verification_plan(flags_db, query, budget=1)
+        assert len(plan) == 1
+        _best_atom, best_gain = plan[0]
+        for atom in flags_db.uncertain_atoms():
+            assert verification_gain(flags_db, query, atom) <= best_gain
+
+    def test_stops_when_no_gain(self, certain_db):
+        plan = greedy_verification_plan(
+            certain_db, "exists x y. E(x, y)", budget=5
+        )
+        assert plan == []
+
+    def test_candidate_restriction(self, flags_db):
+        only_a = [Atom("P", ("a",))]
+        plan = greedy_verification_plan(
+            flags_db, "exists x. P(x)", budget=3, candidates=only_a
+        )
+        assert [atom for atom, _g in plan] == only_a
+
+    def test_negative_budget_rejected(self, flags_db):
+        with pytest.raises(QueryError):
+            greedy_verification_plan(flags_db, "exists x. P(x)", budget=-1)
+
+    def test_plan_total_gain_sums(self, flags_db):
+        plan = greedy_verification_plan(flags_db, "exists x. P(x)", budget=3)
+        assert plan_total_gain(plan) == sum(
+            (gain for _a, gain in plan), Fraction(0)
+        )

@@ -1,0 +1,114 @@
+"""Tests for the analyze() dispatcher and its report."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.datalog import reachability_query
+from repro.logic.evaluator import FOQuery
+from repro.reliability.exact import reliability
+from repro.reliability.report import analyze
+from repro.util.errors import QueryError
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+
+class TestDispatch:
+    def test_quantifier_free_goes_exact(self, triangle_db):
+        report = analyze(triangle_db, FOQuery("E(x, y)", ("x", "y")))
+        assert report.fragment == "quantifier-free"
+        assert "Prop 3.1" in report.engine
+        assert report.is_exact
+        assert report.exact == reliability(triangle_db, FOQuery("E(x, y)", ("x", "y")))
+
+    def test_safe_cq_goes_lifted(self):
+        db = random_unreliable_database(
+            make_rng(1), 3, {"R": 1, "S": 2}, density=0.5, error="1/4"
+        )
+        report = analyze(db, "exists x y. R(x) & S(x, y)")
+        assert report.fragment == "conjunctive"
+        assert "lifted" in report.engine
+        assert report.is_exact
+
+    def test_small_existential_goes_grounded(self, triangle_db):
+        report = analyze(triangle_db, "exists x y. E(x, y) & S(y) | ~S(x)")
+        assert "grounded-DNF" in report.engine
+        assert report.is_exact
+
+    def test_large_existential_goes_karp_luby(self):
+        db = random_unreliable_database(
+            make_rng(2), 8, {"R": 1, "S": 2, "T": 1}, density=0.3, error="1/8"
+        )
+        # Non-hierarchical, so the lifted fast path refuses; 72+ atoms
+        # push past the grounding limit.
+        report = analyze(
+            db,
+            "exists x y. R(x) & S(x, y) & T(y)",
+            rng=make_rng(3),
+            epsilon=0.25,
+            delta=0.25,
+        )
+        assert "Karp-Luby" in report.engine
+        assert not report.is_exact
+        assert report.samples > 0
+
+    def test_small_alternating_goes_worlds(self, triangle_db):
+        report = analyze(triangle_db, "forall x. exists y. E(x, y)")
+        assert "world-enumeration" in report.engine
+        assert report.is_exact
+
+    def test_large_opaque_goes_padding(self):
+        db = random_unreliable_database(
+            make_rng(4), 6, {"E": 2}, density=0.3, error="1/10"
+        )
+        report = analyze(
+            db, _BooleanReach(), rng=make_rng(5), epsilon=0.3, delta=0.3
+        )
+        assert "xi-padding" in report.engine
+        assert 0.0 <= report.value <= 1.0
+
+    def test_estimation_requires_rng(self):
+        db = random_unreliable_database(
+            make_rng(6), 6, {"E": 2}, density=0.3, error="1/10"
+        )
+        with pytest.raises(QueryError):
+            analyze(db, reachability_query())
+
+
+class _BooleanReach:
+    """Boolean wrapper: node 0 reaches node 5 (opaque PTIME query)."""
+
+    arity = 0
+
+    def evaluate(self, structure, args=()):
+        return reachability_query().evaluate(structure, (0, 5))
+
+    def answers(self, structure):
+        return {()} if self.evaluate(structure) else set()
+
+
+class TestReportContents:
+    def test_absolute_flag_on_exact_paths(self, certain_db):
+        report = analyze(certain_db, "exists x y. E(x, y)")
+        assert report.absolutely_reliable is True
+
+    def test_fragile_atoms_listed(self, triangle_db):
+        report = analyze(triangle_db, "exists x y. E(x, y) & S(y)")
+        assert report.fragile_atoms
+        scores = [s for _a, s in report.fragile_atoms]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_render_mentions_engine_and_value(self, triangle_db):
+        report = analyze(triangle_db, FOQuery("E(x, y)", ("x", "y")))
+        text = report.render()
+        assert "Prop 3.1" in text
+        assert "reliability" in text
+
+    def test_render_estimate_shows_guarantee(self):
+        db = random_unreliable_database(
+            make_rng(7), 6, {"E": 2}, density=0.3, error="1/10"
+        )
+        report = analyze(
+            db, _BooleanReach(), rng=make_rng(8), epsilon=0.3, delta=0.3
+        )
+        assert "+/-" in report.render()

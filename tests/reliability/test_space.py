@@ -1,0 +1,99 @@
+"""Tests for the possible-world space Omega(D) and the granularity g."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.relational.atoms import Atom
+from repro.reliability.space import (
+    paper_granularity,
+    scaled_world_counts,
+    support_size,
+    world_granularity,
+    world_probability,
+    worlds,
+)
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import VocabularyError
+
+
+class TestWorlds:
+    def test_probabilities_sum_to_one(self, triangle_db):
+        total = sum(p for _world, p in worlds(triangle_db))
+        assert total == 1
+
+    def test_support_size(self, triangle_db):
+        assert support_size(triangle_db) == 16
+        assert sum(1 for _ in worlds(triangle_db)) == 16
+
+    def test_certain_db_single_world(self, certain_db):
+        enumerated = list(worlds(certain_db))
+        assert enumerated == [(certain_db.structure, Fraction(1))]
+
+    def test_observed_world_has_product_probability(self, triangle_db):
+        by_world = {world: p for world, p in worlds(triangle_db)}
+        observed = triangle_db.structure
+        expected = (
+            Fraction(9, 10)
+            * Fraction(3, 4)
+            * Fraction(2, 3)
+            * Fraction(4, 5)
+        )
+        assert by_world[observed] == expected
+
+    def test_certain_flip_in_every_world(self, triangle):
+        db = UnreliableDatabase(
+            triangle,
+            {Atom("S", ("b",)): 1, Atom("S", ("a",)): Fraction(1, 2)},
+        )
+        for world, _p in worlds(db):
+            assert not world.holds(Atom("S", ("b",)))
+
+
+class TestWorldProbability:
+    def test_matches_enumeration(self, triangle_db):
+        for world, p in worlds(triangle_db):
+            assert world_probability(triangle_db, world) == p
+
+    def test_impossible_world_probability_zero(self, triangle_db):
+        impossible = triangle_db.structure.flip(Atom("E", ("b", "c")))
+        assert world_probability(triangle_db, impossible) == 0
+
+    def test_format_mismatch_rejected(self, triangle_db):
+        from repro.relational.schema import Vocabulary
+        from repro.relational.structure import Structure
+
+        other = Structure(Vocabulary([("E", 2)]), ["a"])
+        with pytest.raises(VocabularyError):
+            world_probability(triangle_db, other)
+
+
+class TestGranularity:
+    def test_nu_times_g_is_integral_everywhere(self, triangle_db):
+        g = world_granularity(triangle_db)
+        for _world, p in worlds(triangle_db):
+            assert (p * g).denominator == 1
+
+    def test_scaled_counts_sum_to_g(self, triangle_db):
+        g = world_granularity(triangle_db)
+        counts = [count for _world, count in scaled_world_counts(triangle_db)]
+        assert sum(counts) == g
+
+    def test_paper_granularity_is_lcm_and_can_be_too_small(self, triangle):
+        # Reproduction note made executable: with two atoms at 1/2, the
+        # paper's gcd-loop yields g = 2, but worlds have probability 1/4.
+        db = UnreliableDatabase(
+            triangle,
+            {
+                Atom("S", ("a",)): Fraction(1, 2),
+                Atom("S", ("b",)): Fraction(1, 2),
+            },
+        )
+        assert paper_granularity(db) == 2
+        assert world_granularity(db) == 4
+        smallest = min(p for _w, p in worlds(db))
+        assert (smallest * paper_granularity(db)).denominator != 1
+        assert (smallest * world_granularity(db)).denominator == 1
+
+    def test_certain_db_granularity_one(self, certain_db):
+        assert world_granularity(certain_db) == 1

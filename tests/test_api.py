@@ -1,0 +1,47 @@
+"""Tests for the top-level public API and the README quickstart."""
+
+import random
+from fractions import Fraction
+
+import repro
+from repro import (
+    Atom,
+    FOQuery,
+    StructureBuilder,
+    UnreliableDatabase,
+    reliability,
+    reliability_additive,
+)
+
+
+class TestPublicSurface:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestQuickstart:
+    def test_docstring_example_runs(self):
+        builder = StructureBuilder(["a", "b", "c"])
+        builder.relation("E", 2).add("E", ("a", "b")).add("E", ("b", "c"))
+        structure = builder.build()
+        db = UnreliableDatabase(structure, {Atom("E", ("a", "c")): "1/10"})
+
+        query = FOQuery("exists x y. E(x, y)")
+        exact = reliability(db, query)
+        assert exact == 1  # certain edges guarantee the sentence
+
+        rng = random.Random(0)
+        estimate = reliability_additive(db, query, 0.05, 0.05, rng)
+        assert abs(estimate.value - float(exact)) <= 0.05
+
+    def test_string_queries_work_end_to_end(self):
+        builder = StructureBuilder([1, 2])
+        builder.relation("P", 1).add("P", (1,))
+        db = UnreliableDatabase(
+            builder.build(), {Atom("P", (1,)): Fraction(1, 4)}
+        )
+        assert reliability(db, "exists x. P(x)") == Fraction(3, 4)

@@ -1,0 +1,156 @@
+"""Tests for the command-line interface and database file round-trip."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main
+from repro.relational.atoms import Atom
+from repro.relational.encoding import (
+    decode_error_function,
+    decode_unreliable_database,
+    encode_unreliable_database,
+)
+from repro.reliability.unreliable import UnreliableDatabase
+
+
+@pytest.fixture
+def db_file(tmp_path, triangle_db):
+    path = tmp_path / "db.txt"
+    path.write_text(encode_unreliable_database(triangle_db))
+    return str(path)
+
+
+class TestEncodingRoundTrip:
+    def test_full_round_trip(self, triangle_db):
+        text = encode_unreliable_database(triangle_db)
+        decoded = decode_unreliable_database(text)
+        assert decoded.structure == triangle_db.structure
+        assert decoded.error_table() == triangle_db.error_table()
+
+    def test_error_lines_parse(self):
+        text = "error E 1/4 'a' 'b'\nerror S 1/3 'a'\n"
+        mu = decode_error_function(text)
+        assert mu[Atom("E", ("a", "b"))] == Fraction(1, 4)
+        assert mu[Atom("S", ("a",))] == Fraction(1, 3)
+
+    def test_comments_skipped(self):
+        assert decode_error_function("# nothing\n") == {}
+
+
+class TestComputeCommand:
+    def test_exact_reliability(self, db_file, capsys):
+        code = main(["compute", db_file, "exists x y. E(x, y)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reliability = 1 " in out
+
+    def test_with_free_order_and_method(self, db_file, capsys):
+        code = main(
+            ["compute", db_file, "E(x, y)", "--free", "x", "y", "--method", "qf"]
+        )
+        assert code == 0
+        assert "reliability" in capsys.readouterr().out
+
+    def test_expected_error_flag(self, db_file, capsys):
+        code = main(
+            ["compute", db_file, "exists x. S(x) & ~E(x, x)", "--expected-error"]
+        )
+        assert code == 0
+        assert "expected_error" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, db_file, capsys):
+        code = main(["compute", db_file, "E(x,"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, capsys):
+        code = main(["compute", "/no/such/file", "exists x. S(x)"])
+        assert code == 2
+
+
+class TestEstimateCommand:
+    def test_karp_luby(self, db_file, capsys):
+        code = main(
+            [
+                "estimate",
+                db_file,
+                "exists x y. E(x, y) & S(y)",
+                "--epsilon",
+                "0.1",
+                "--delta",
+                "0.1",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "reliability ~" in capsys.readouterr().out
+
+    def test_padding(self, db_file, capsys):
+        code = main(
+            [
+                "estimate",
+                db_file,
+                "exists x. E(x, x)",
+                "--estimator",
+                "padding",
+                "--epsilon",
+                "0.2",
+                "--delta",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        assert "reliability ~" in capsys.readouterr().out
+
+    def test_hamming(self, db_file, capsys):
+        code = main(
+            [
+                "estimate",
+                db_file,
+                "E(x, y)",
+                "--free",
+                "x",
+                "y",
+                "--estimator",
+                "hamming",
+                "--epsilon",
+                "0.1",
+                "--delta",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        assert "reliability ~" in capsys.readouterr().out
+
+
+class TestInspectCommand:
+    def test_summary(self, db_file, capsys):
+        code = main(["inspect", db_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "universe: 3 elements" in out
+        assert "uncertain atoms: 4" in out
+
+    def test_with_query_classification(self, db_file, capsys):
+        code = main(
+            ["inspect", db_file, "--query", "exists x y. E(x, y) & S(y)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conjunctive" in out
+
+
+class TestAnalyzeCommand:
+    def test_exact_path(self, db_file, capsys):
+        code = main(["analyze", db_file, "exists x y. E(x, y) & S(y)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine:" in out
+        assert "[exact]" in out
+
+    def test_fragment_reported(self, db_file, capsys):
+        code = main(["analyze", db_file, "E(x, y)", "--free", "x", "y"])
+        assert code == 0
+        assert "quantifier-free" in capsys.readouterr().out

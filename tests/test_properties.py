@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The strategies build small random DNFs, structures and unreliable
+databases; the properties are the exact identities the paper's
+definitions guarantee.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.evaluator import FOQuery
+from repro.logic.normalform import to_nnf, to_prenex, matrix_to_dnf
+from repro.logic.parser import parse
+from repro.propositional.counting import (
+    probability_enumerate,
+    probability_exact,
+)
+from repro.propositional.formula import DNF, Clause, Literal
+from repro.relational.atoms import Atom
+from repro.relational.schema import Vocabulary
+from repro.relational.structure import Structure
+from repro.reliability.exact import expected_error, truth_probability
+from repro.reliability.space import world_granularity, worlds
+from repro.reliability.unreliable import UnreliableDatabase
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+variables = st.sampled_from(["p", "q", "r", "s", "t"])
+literals = st.builds(Literal, variables, st.booleans())
+clauses = st.builds(Clause, st.lists(literals, min_size=1, max_size=3))
+dnfs = st.builds(DNF, st.lists(clauses, min_size=0, max_size=5))
+
+probabilities = st.builds(
+    Fraction,
+    st.integers(min_value=0, max_value=8),
+    st.just(8),
+)
+
+
+@st.composite
+def weighted_dnfs(draw):
+    dnf = draw(dnfs)
+    probs = {v: draw(probabilities) for v in dnf.variables}
+    return dnf, probs
+
+
+UNIVERSE = ("a", "b")
+VOCAB = Vocabulary([("E", 2), ("S", 1)])
+ALL_ATOMS = tuple(
+    Atom("E", (x, y)) for x in UNIVERSE for y in UNIVERSE
+) + tuple(Atom("S", (x,)) for x in UNIVERSE)
+
+
+@st.composite
+def unreliable_dbs(draw):
+    rows_e = draw(st.frozensets(st.tuples(st.sampled_from(UNIVERSE), st.sampled_from(UNIVERSE))))
+    rows_s = draw(st.frozensets(st.tuples(st.sampled_from(UNIVERSE))))
+    structure = Structure(VOCAB, UNIVERSE, {"E": rows_e, "S": rows_s})
+    mu = {}
+    for atom in draw(st.frozensets(st.sampled_from(ALL_ATOMS), max_size=4)):
+        mu[atom] = draw(probabilities)
+    return UnreliableDatabase(structure, mu)
+
+
+# ---------------------------------------------------------------------- #
+# propositional properties
+# ---------------------------------------------------------------------- #
+
+
+@given(weighted_dnfs())
+@settings(max_examples=60, deadline=None)
+def test_exact_probability_matches_enumeration(case):
+    dnf, probs = case
+    assert probability_exact(dnf, probs) == probability_enumerate(dnf, probs)
+
+
+@given(weighted_dnfs())
+@settings(max_examples=60, deadline=None)
+def test_probability_in_unit_interval(case):
+    dnf, probs = case
+    p = probability_exact(dnf, probs)
+    assert 0 <= p <= 1
+
+
+@given(weighted_dnfs())
+@settings(max_examples=40, deadline=None)
+def test_restriction_law_of_total_probability(case):
+    dnf, probs = case
+    if not dnf.variables:
+        return
+    variable = sorted(dnf.variables, key=repr)[0]
+    p = probs[variable]
+    conditioned = p * probability_exact(dnf.restrict(variable, True), probs) + (
+        1 - p
+    ) * probability_exact(dnf.restrict(variable, False), probs)
+    assert conditioned == probability_exact(dnf, probs)
+
+
+@given(dnfs, dnfs)
+@settings(max_examples=40, deadline=None)
+def test_union_bound(left, right):
+    probs = {
+        v: Fraction(1, 2) for v in (set(left.variables) | set(right.variables))
+    }
+    union = probability_exact(left.or_with(right), probs)
+    assert union <= probability_exact(left, probs) + probability_exact(
+        right, probs
+    )
+    assert union >= max(
+        probability_exact(left, probs), probability_exact(right, probs)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# normal-form properties
+# ---------------------------------------------------------------------- #
+
+FORMULA_POOL = [
+    "E(x, y) -> S(x)",
+    "~(E(x, y) & ~S(y))",
+    "exists z. E(x, z) | ~S(z)",
+    "forall z. E(z, z) -> S(z)",
+    "~forall z. exists w. E(z, w)",
+    "(exists z. S(z)) <-> E(x, x)",
+]
+
+
+@given(st.sampled_from(FORMULA_POOL), st.data())
+@settings(max_examples=60, deadline=None)
+def test_normal_forms_preserve_semantics(source, data):
+    from repro.logic.fo import Exists, Forall, free_variables
+    from repro.logic.evaluator import evaluate
+
+    formula = parse(source)
+    rows_e = data.draw(
+        st.frozensets(
+            st.tuples(st.sampled_from(UNIVERSE), st.sampled_from(UNIVERSE))
+        )
+    )
+    rows_s = data.draw(st.frozensets(st.tuples(st.sampled_from(UNIVERSE))))
+    structure = Structure(VOCAB, UNIVERSE, {"E": rows_e, "S": rows_s})
+    env = {
+        var: data.draw(st.sampled_from(UNIVERSE), label=var.name)
+        for var in free_variables(formula)
+    }
+
+    nnf = to_nnf(formula)
+    assert evaluate(structure, formula, dict(env)) == evaluate(
+        structure, nnf, dict(env)
+    )
+
+    prefix, matrix = to_prenex(formula)
+    rebuilt = matrix_to_dnf(matrix)
+    for kind, var in reversed(prefix):
+        rebuilt = (
+            Exists((var,), rebuilt) if kind == "exists" else Forall((var,), rebuilt)
+        )
+    assert evaluate(structure, formula, dict(env)) == evaluate(
+        structure, rebuilt, dict(env)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# reliability properties
+# ---------------------------------------------------------------------- #
+
+
+@given(unreliable_dbs())
+@settings(max_examples=40, deadline=None)
+def test_world_probabilities_sum_to_one(db):
+    assert sum(p for _w, p in worlds(db)) == 1
+
+
+@given(unreliable_dbs())
+@settings(max_examples=40, deadline=None)
+def test_granularity_clears_denominators(db):
+    g = world_granularity(db)
+    for _world, p in worlds(db):
+        assert (p * g).denominator == 1
+
+
+@given(unreliable_dbs(), st.sampled_from(
+    [
+        "exists x y. E(x, y) & S(y)",
+        "exists x. S(x) & ~E(x, x)",
+        "forall x. S(x)",
+    ]
+))
+@settings(max_examples=30, deadline=None)
+def test_truth_probability_engines_agree(db, source):
+    auto = truth_probability(db, source)
+    enumerated = truth_probability(db, source, method="worlds")
+    assert auto == enumerated
+    assert 0 <= auto <= 1
+
+
+@given(unreliable_dbs())
+@settings(max_examples=30, deadline=None)
+def test_expected_error_additivity_over_tuples(db):
+    from repro.reliability.exact import wrong_probability
+    from itertools import product
+
+    query = FOQuery("E(x, y) | S(x)", ("x", "y"))
+    total = sum(
+        wrong_probability(db, query, args)
+        for args in product(UNIVERSE, repeat=2)
+    )
+    assert expected_error(db, query) == total
+
+
+@given(unreliable_dbs())
+@settings(max_examples=30, deadline=None)
+def test_complement_symmetry(db):
+    # Wrong(psi) and Wrong(~psi) are the same event.
+    from repro.reliability.exact import wrong_probability
+
+    positive = wrong_probability(db, "exists x. S(x)")
+    negative = wrong_probability(db, "~exists x. S(x)")
+    assert positive == negative

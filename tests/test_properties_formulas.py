@@ -1,0 +1,140 @@
+"""Property-based tests over randomly generated formula ASTs."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.classify import classify, is_existential, is_quantifier_free
+from repro.logic.evaluator import FOQuery, evaluate
+from repro.logic.fo import (
+    AtomF,
+    Eq,
+    Iff,
+    Implies,
+    conj,
+    disj,
+    exists,
+    forall,
+    free_variables,
+    neg,
+)
+from repro.logic.parser import parse
+from repro.logic.terms import Const, Var
+from repro.relational.schema import Vocabulary
+from repro.relational.structure import Structure
+from repro.reliability.exact import truth_probability
+from repro.reliability.unreliable import UnreliableDatabase
+
+VARS = [Var(n) for n in ("x", "y", "z")]
+UNIVERSE = ("a", "b")
+VOCAB = Vocabulary([("E", 2), ("S", 1)])
+
+
+def terms():
+    return st.one_of(
+        st.sampled_from(VARS),
+        st.sampled_from([Const("a"), Const("b")]),
+    )
+
+
+def atoms():
+    return st.one_of(
+        st.builds(lambda t1, t2: AtomF("E", (t1, t2)), terms(), terms()),
+        st.builds(lambda t: AtomF("S", (t,)), terms()),
+        st.builds(Eq, terms(), terms()),
+    )
+
+
+def formulas(max_depth=4):
+    return st.recursive(
+        atoms(),
+        lambda children: st.one_of(
+            st.builds(neg, children),
+            st.builds(lambda a, b: conj(a, b), children, children),
+            st.builds(lambda a, b: disj(a, b), children, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+            st.builds(
+                lambda v, f: exists([v], f), st.sampled_from(VARS), children
+            ),
+            st.builds(
+                lambda v, f: forall([v], f), st.sampled_from(VARS), children
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+def structures(draw):
+    rows_e = draw(
+        st.frozensets(
+            st.tuples(st.sampled_from(UNIVERSE), st.sampled_from(UNIVERSE))
+        )
+    )
+    rows_s = draw(st.frozensets(st.tuples(st.sampled_from(UNIVERSE))))
+    return Structure(VOCAB, UNIVERSE, {"E": rows_e, "S": rows_s})
+
+
+@given(formulas())
+@settings(max_examples=120, deadline=None)
+def test_parser_round_trip(formula):
+    """str() output reparses to a semantically identical formula."""
+    reparsed = parse(str(formula))
+    assert reparsed == formula
+
+
+@given(formulas(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_negation_flips_truth(formula, data):
+    structure = structures(data.draw)
+    env = {
+        var: data.draw(st.sampled_from(UNIVERSE), label=var.name)
+        for var in free_variables(formula)
+    }
+    assert evaluate(structure, formula, dict(env)) != evaluate(
+        structure, neg(formula), dict(env)
+    )
+
+
+@given(formulas())
+@settings(max_examples=80, deadline=None)
+def test_classification_is_consistent(formula):
+    label = classify(formula)
+    if label == "quantifier-free":
+        assert is_quantifier_free(formula)
+    if label in ("quantifier-free", "conjunctive", "existential"):
+        assert is_existential(formula)
+
+
+@given(formulas(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_truth_probability_respects_complement(formula, data):
+    """Pr[psi] + Pr[~psi] == 1 on random unreliable databases."""
+    if free_variables(formula):
+        return
+    structure = structures(data.draw)
+    error = data.draw(
+        st.sampled_from([Fraction(1, 4), Fraction(1, 3), Fraction(1, 2)])
+    )
+    atoms_pool = sorted(structure.atoms(), key=repr)
+    chosen = data.draw(
+        st.frozensets(st.sampled_from(atoms_pool), max_size=3)
+    )
+    db = UnreliableDatabase(structure, {a: error for a in chosen})
+    p = truth_probability(db, FOQuery(formula), method="worlds")
+    q = truth_probability(db, FOQuery(neg(formula)), method="worlds")
+    assert p + q == 1
+
+
+@given(formulas(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_exact_engines_agree_on_random_sentences(formula, data):
+    if free_variables(formula):
+        return
+    structure = structures(data.draw)
+    atoms_pool = sorted(structure.atoms(), key=repr)
+    chosen = data.draw(st.frozensets(st.sampled_from(atoms_pool), max_size=3))
+    db = UnreliableDatabase(structure, {a: Fraction(1, 3) for a in chosen})
+    auto = truth_probability(db, FOQuery(formula))
+    oracle = truth_probability(db, FOQuery(formula), method="worlds")
+    assert auto == oracle

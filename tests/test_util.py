@@ -1,0 +1,112 @@
+"""Tests for shared utilities: rationals, rng plumbing, errors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.util.errors import (
+    EvaluationError,
+    ProbabilityError,
+    QueryError,
+    ReproError,
+    VocabularyError,
+)
+from repro.util.rationals import (
+    as_fraction,
+    dyadic_approximation,
+    granularity,
+    parse_probability,
+)
+from repro.util.rng import coin, make_rng, spawn
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for cls in (VocabularyError, QueryError, ProbabilityError, EvaluationError):
+            assert issubclass(cls, ReproError)
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(2, 7)
+        assert as_fraction(f) is f
+
+    def test_float_decimal_semantics(self):
+        # 0.1 means one tenth, not the nearest binary double.
+        assert as_fraction(0.1) == Fraction(1, 10)
+
+    def test_string_forms(self):
+        assert as_fraction("3/8") == Fraction(3, 8)
+        assert as_fraction("0.25") == Fraction(1, 4)
+
+    def test_bad_string(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction("not a number")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction(True)
+
+    def test_unsupported_type(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction(object())
+
+
+class TestParseProbability:
+    def test_bounds(self):
+        assert parse_probability(0) == 0
+        assert parse_probability(1) == 1
+        with pytest.raises(ProbabilityError):
+            parse_probability("-1/2")
+        with pytest.raises(ProbabilityError):
+            parse_probability("3/2")
+
+
+class TestGranularity:
+    def test_lcm_of_denominators(self):
+        probs = [Fraction(1, 2), Fraction(1, 3), Fraction(5, 6)]
+        assert granularity(probs) == 6
+
+    def test_empty(self):
+        assert granularity([]) == 1
+
+    def test_integral_values(self):
+        assert granularity([Fraction(1), Fraction(0)]) == 1
+
+
+class TestDyadic:
+    def test_rounding(self):
+        assert dyadic_approximation(Fraction(1, 3), 3) == Fraction(3, 8)
+        assert dyadic_approximation(Fraction(1, 2), 1) == Fraction(1, 2)
+
+    def test_zero_bits(self):
+        assert dyadic_approximation(Fraction(2, 3), 0) == 1
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ProbabilityError):
+            dyadic_approximation(Fraction(1, 2), -1)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(1).random() == make_rng(1).random()
+
+    def test_spawn_children_decorrelated(self):
+        parent = make_rng(2)
+        a = spawn(parent, "a")
+        parent2 = make_rng(2)
+        b = spawn(parent2, "b")
+        assert a.random() != b.random()
+
+    def test_spawn_reproducible(self):
+        a = spawn(make_rng(3), "x").random()
+        b = spawn(make_rng(3), "x").random()
+        assert a == b
+
+    def test_coin_extremes(self):
+        rng = make_rng(4)
+        assert coin(rng, 1.0) is True
+        assert coin(rng, 0.0) is False

@@ -1,0 +1,105 @@
+"""Tests for workload generators: determinism and advertised shapes."""
+
+import pytest
+
+from repro.util.errors import ProbabilityError, QueryError
+from repro.util.rng import make_rng
+from repro.workloads.graphs import (
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    random_colourable_graph,
+    random_digraph,
+)
+from repro.workloads.random_cnf import random_monotone_2cnf
+from repro.workloads.random_db import random_structure, random_unreliable_database
+from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+
+class TestDeterminism:
+    def test_same_seed_same_structure(self):
+        first = random_structure(make_rng(1), 5, {"E": 2}, 0.3)
+        second = random_structure(make_rng(1), 5, {"E": 2}, 0.3)
+        assert first == second
+
+    def test_same_seed_same_graph(self):
+        assert gnp_graph(make_rng(2), 10, 0.4) == gnp_graph(make_rng(2), 10, 0.4)
+
+    def test_same_seed_same_cnf(self):
+        assert random_monotone_2cnf(make_rng(3), 6, 5) == random_monotone_2cnf(
+            make_rng(3), 6, 5
+        )
+
+    def test_same_seed_same_dnf(self):
+        d1 = random_kdnf(make_rng(4), 8, 5, 3)
+        d2 = random_kdnf(make_rng(4), 8, 5, 3)
+        assert d1 == d2
+
+
+class TestShapes:
+    def test_random_structure_density_extremes(self):
+        empty = random_structure(make_rng(0), 4, {"E": 2}, 0.0)
+        assert not empty.relation("E")
+        full = random_structure(make_rng(0), 4, {"E": 2}, 1.0)
+        assert len(full.relation("E")) == 16
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ProbabilityError):
+            random_structure(make_rng(0), 4, {"E": 2}, 1.5)
+
+    def test_random_db_uncertain_fraction(self):
+        db = random_unreliable_database(
+            make_rng(5), 4, {"E": 2}, uncertain_fraction=0.0
+        )
+        assert db.uncertain_atoms() == ()
+        db = random_unreliable_database(
+            make_rng(5), 4, {"E": 2}, uncertain_fraction=1.0, error="1/9"
+        )
+        assert len(db.uncertain_atoms()) == 16
+
+    def test_cycle_and_grid_shapes(self):
+        nodes, edges = cycle_graph(5)
+        assert len(edges) == 5
+        grid_nodes, grid_edges = grid_graph(2, 3)
+        assert len(grid_nodes) == 6
+        assert len(grid_edges) == 2 * 2 + 3  # horizontal + vertical
+
+    def test_complete_graph(self):
+        nodes, edges = complete_graph(5)
+        assert len(edges) == 10
+
+    def test_random_digraph_no_self_loops(self):
+        _nodes, edges = random_digraph(make_rng(6), 6, 0.5)
+        assert all(u != v for u, v in edges)
+
+    def test_colourable_construction_respects_classes(self):
+        nodes, edges = random_colourable_graph(make_rng(7), 10, 3, 0.8)
+        from repro.reductions.fourcolouring import is_four_colourable
+
+        assert is_four_colourable(nodes, edges, colours=3)
+
+    def test_cnf_clause_count_and_distinctness(self):
+        formula = random_monotone_2cnf(make_rng(8), 6, 10)
+        assert len(formula.clauses) == 10
+        assert len(set(formula.clauses)) == 10
+
+    def test_cnf_too_many_clauses_rejected(self):
+        with pytest.raises(QueryError):
+            random_monotone_2cnf(make_rng(9), 3, 10)
+
+    def test_kdnf_width(self):
+        dnf = random_kdnf(make_rng(10), 9, 6, 4)
+        assert dnf.width <= 4
+        assert all(len(c) == 4 for c in dnf.clauses)
+
+    def test_kdnf_width_bounds(self):
+        with pytest.raises(QueryError):
+            random_kdnf(make_rng(11), 3, 2, 5)
+
+    def test_probabilities_interior(self):
+        dnf = random_kdnf(make_rng(12), 6, 4, 2)
+        probs = random_probabilities(make_rng(12), dnf, denominator=8)
+        for p in probs.values():
+            assert 0 < p < 1
+            assert p.denominator <= 8

@@ -1,0 +1,77 @@
+"""Tests for the realistic end-to-end scenarios."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.reliability.exact import reliability
+from repro.reliability.montecarlo import estimate_reliability_hamming
+from repro.metafinite.reliability import metafinite_reliability_qf
+from repro.util.rng import make_rng
+from repro.workloads.scenarios import (
+    dirty_orders_scenario,
+    network_monitoring_scenario,
+    sensor_scenario,
+)
+
+
+class TestNetworkMonitoring:
+    def test_shape(self):
+        scenario = network_monitoring_scenario(make_rng(0), routers=6)
+        assert scenario.db.universe_size == 6
+        assert set(scenario.queries) == {"redundant", "reach", "isolated"}
+        # Every link atom is uncertain, both directions.
+        assert len(scenario.db.uncertain_atoms()) == 6 * 5
+
+    def test_queries_evaluate(self):
+        scenario = network_monitoring_scenario(make_rng(1), routers=5)
+        structure = scenario.db.structure
+        for name, query in scenario.queries.items():
+            answers = query.answers(structure)
+            assert isinstance(answers, set), name
+
+    def test_reliability_estimable(self):
+        scenario = network_monitoring_scenario(make_rng(2), routers=5)
+        rng = make_rng(3)
+        value = estimate_reliability_hamming(
+            scenario.db, scenario.queries["reach"], rng, samples=300
+        )
+        assert 0.0 <= value <= 1.0
+
+
+class TestDirtyOrders:
+    def test_shape(self):
+        scenario = dirty_orders_scenario(make_rng(4), customers=4, products=3)
+        db = scenario.db
+        assert db.universe_size == 7
+        mus = {db.mu(a) for a in db.uncertain_atoms()}
+        assert mus == {Fraction(1, 8), Fraction(1, 50), Fraction(1, 10)}
+
+    def test_qf_query_exact(self):
+        scenario = dirty_orders_scenario(make_rng(5), customers=3, products=2)
+        value = reliability(scenario.db, scenario.queries["pairs"], method="qf")
+        assert 0 < value <= 1
+
+    def test_conjunctive_query_exact_dnf(self):
+        scenario = dirty_orders_scenario(make_rng(6), customers=3, products=2)
+        value = reliability(scenario.db, scenario.queries["vip_order"])
+        assert 0 < value <= 1
+
+
+class TestSensors:
+    def test_shape(self):
+        scenario = sensor_scenario(make_rng(7), sensors=4)
+        assert scenario.db.universe_size == 4
+        assert len(scenario.db.uncertain_entries()) == 4
+
+    def test_qf_query_polynomial_path(self):
+        scenario = sensor_scenario(make_rng(8), sensors=5)
+        value = metafinite_reliability_qf(scenario.db, scenario.queries["local"])
+        assert 0 < value <= 1
+
+    def test_aggregate_queries_evaluate(self):
+        scenario = sensor_scenario(make_rng(9), sensors=4)
+        observed = scenario.db.observed
+        total = scenario.queries["total"].evaluate(observed, ())
+        hottest = scenario.queries["hottest"].evaluate(observed, ())
+        assert total >= hottest >= 15
