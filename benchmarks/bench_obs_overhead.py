@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Micro-benchmark: instrumentation overhead on the E1 qf workload.
+
+The observability layer promises that instrumented engines cost roughly
+nothing when observability is off (the default :class:`NullRecorder`)
+and <5% when a :class:`StatsRecorder` aggregates counters.  This script
+measures both on the E1 workload — quantifier-free reliability, the
+library's hottest polynomial path, whose inner loop
+(``_atom_enumeration_probability``) runs thousands of times per call —
+and writes the result to ``BENCH_obs_overhead.json`` at the repo root.
+
+Timings are the median of ``--repeats`` runs after a warm-up.  The
+reported overheads compare:
+
+* ``stats_vs_null`` — StatsRecorder (counters only) vs. NullRecorder;
+* ``traced_vs_null`` — StatsRecorder with a JSONL sink to ``os.devnull``
+  vs. NullRecorder.
+
+Usage::
+
+    python benchmarks/bench_obs_overhead.py [--size 24] [--repeats 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.logic.evaluator import FOQuery
+from repro.reliability.exact import reliability
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+QUERY = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+
+
+def _workload(size: int):
+    db = random_unreliable_database(
+        make_rng(size), size, {"E": 2, "S": 1}, density=0.3, error="1/16"
+    )
+    return lambda: reliability(db, QUERY, method="qf")
+
+
+def _median_seconds(thunk, repeats: int) -> float:
+    thunk()  # warm-up: populate caches, import machinery, etc.
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        thunk()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def measure(size: int, repeats: int) -> dict:
+    run = _workload(size)
+
+    with obs.use(obs.NullRecorder()):
+        null_s = _median_seconds(run, repeats)
+
+    with obs.use(obs.StatsRecorder()):
+        stats_s = _median_seconds(run, repeats)
+
+    devnull = open(os.devnull, "w")
+    try:
+        with obs.use(obs.StatsRecorder(sink=obs.JsonlSink(devnull))):
+            traced_s = _median_seconds(run, repeats)
+    finally:
+        devnull.close()
+
+    def pct(measured: float, baseline: float) -> float:
+        return round(100.0 * (measured - baseline) / baseline, 3)
+
+    return {
+        "benchmark": "obs_overhead",
+        "workload": (
+            f"E1 quantifier-free reliability, n={size}, "
+            "query='E(x, y) & ~S(x) | S(y)'"
+        ),
+        "repeats": repeats,
+        "null_recorder_s": round(null_s, 6),
+        "stats_recorder_s": round(stats_s, 6),
+        "traced_recorder_s": round(traced_s, 6),
+        "overhead_pct": {
+            "stats_vs_null": pct(stats_s, null_s),
+            "traced_vs_null": pct(traced_s, null_s),
+        },
+        "threshold_pct": 5.0,
+        "pass": stats_s <= null_s * 1.05,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=24, help="universe size")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_obs_overhead.json"),
+    )
+    args = parser.parse_args()
+    result = measure(args.size, args.repeats)
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {args.out}")
+    return 0 if result["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

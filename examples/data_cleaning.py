@@ -18,6 +18,7 @@ Shown along the way:
 Run:  python examples/data_cleaning.py
 """
 
+import logging
 import random
 from fractions import Fraction
 
@@ -80,4 +81,15 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    # Engine failures are logged, not swallowed: a configured handler
+    # makes the failing example attributable in scripted runs.
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    try:
+        main()
+    except Exception:
+        logging.getLogger("repro.examples.data_cleaning").exception(
+            "data_cleaning example failed"
+        )
+        raise SystemExit(1)

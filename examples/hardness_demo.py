@@ -14,6 +14,7 @@ This example runs the paper's two lower-bound reductions forwards:
 Run:  python examples/hardness_demo.py
 """
 
+import logging
 import random
 import time
 from fractions import Fraction
@@ -110,4 +111,15 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    # Engine failures are logged, not swallowed: a configured handler
+    # makes the failing example attributable in scripted runs.
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    try:
+        main()
+    except Exception:
+        logging.getLogger("repro.examples.hardness_demo").exception(
+            "hardness_demo example failed"
+        )
+        raise SystemExit(1)

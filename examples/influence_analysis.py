@@ -19,6 +19,7 @@ algebra front-end compiling to the same query.
 Run:  python examples/influence_analysis.py
 """
 
+import logging
 import random
 from fractions import Fraction
 
@@ -100,4 +101,15 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    # Engine failures are logged, not swallowed: a configured handler
+    # makes the failing example attributable in scripted runs.
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    try:
+        main()
+    except Exception:
+        logging.getLogger("repro.examples.influence_analysis").exception(
+            "influence_analysis example failed"
+        )
+        raise SystemExit(1)

@@ -19,6 +19,7 @@ fragment:
 Run:  python examples/network_monitoring.py
 """
 
+import logging
 import random
 
 from repro import reliability, truth_probability
@@ -90,4 +91,15 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    # Engine failures are logged, not swallowed: a configured handler
+    # makes the failing example attributable in scripted runs.
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    try:
+        main()
+    except Exception:
+        logging.getLogger("repro.examples.network_monitoring").exception(
+            "network_monitoring example failed"
+        )
+        raise SystemExit(1)

@@ -12,6 +12,7 @@ Covers the core workflow of the library in ~60 lines:
 Run:  python examples/quickstart.py
 """
 
+import logging
 import random
 from fractions import Fraction
 
@@ -94,4 +95,15 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    # Engine failures are logged, not swallowed: a configured handler
+    # makes the failing example attributable in scripted runs.
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    try:
+        main()
+    except Exception:
+        logging.getLogger("repro.examples.quickstart").exception(
+            "quickstart example failed"
+        )
+        raise SystemExit(1)

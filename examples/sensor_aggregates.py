@@ -19,6 +19,7 @@ Takeaways the run makes visible:
 Run:  python examples/sensor_aggregates.py
 """
 
+import logging
 import random
 
 from repro.metafinite.reliability import (
@@ -66,4 +67,15 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    # Engine failures are logged, not swallowed: a configured handler
+    # makes the failing example attributable in scripted runs.
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    try:
+        main()
+    except Exception:
+        logging.getLogger("repro.examples.sensor_aggregates").exception(
+            "sensor_aggregates example failed"
+        )
+        raise SystemExit(1)

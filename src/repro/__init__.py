@@ -69,7 +69,8 @@ from repro.metafinite import (
     ValueDistribution,
     metafinite_reliability,
 )
-from repro.util import make_rng
+from repro.util import as_rng, make_rng
+from repro import obs
 
 __version__ = "1.0.0"
 
@@ -121,6 +122,8 @@ __all__ = [
     "MetafiniteQuery",
     "metafinite_reliability",
     # utilities
+    "as_rng",
     "make_rng",
+    "obs",
     "__version__",
 ]

@@ -14,6 +14,11 @@ Examples::
     python -m repro estimate db.txt "forall x. exists y. E(x, y)" \\
         --estimator padding
     python -m repro inspect db.txt
+
+Every subcommand accepts ``--stats`` (print engine-internal counters —
+worlds enumerated, clauses grounded, samples drawn — after the result)
+and ``--trace FILE`` (write span/event records as JSON-lines; see
+docs/OBSERVABILITY.md for the schema).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import sys
 from fractions import Fraction
 from typing import List, Optional
 
+from repro import obs
 from repro.logic.classify import classify
 from repro.logic.evaluator import FOQuery
 from repro.relational.encoding import decode_unreliable_database
@@ -120,6 +126,32 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_stats(recorder: obs.StatsRecorder) -> None:
+    """Render the recorder's registry as an aligned summary table."""
+    snapshot = recorder.summary()
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    print("-- engine stats --")
+    if not (counters or gauges or histograms):
+        print("(no instrumented engine ran)")
+        return
+    width = max(
+        (len(name) for name in (*counters, *gauges, *histograms)), default=0
+    )
+    for name, value in counters.items():
+        print(f"{name:<{width}}  {value}")
+    for name, value in gauges.items():
+        print(f"{name:<{width}}  {value}")
+    for name, stats in histograms.items():
+        mean = stats["mean"]
+        print(
+            f"{name:<{width}}  count={stats['count']} "
+            f"total={stats['total']:.6g} "
+            f"mean={0.0 if mean is None else mean:.6g}"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -128,9 +160,38 @@ def build_parser() -> argparse.ArgumentParser:
             "(Grädel-Gurevich-Hirsch, PODS 1998)"
         ),
     )
+    # The flags are accepted both before the subcommand (global) and
+    # after it (per-command); distinct dests keep argparse's
+    # subparser-defaults-override-namespace behaviour from clobbering a
+    # globally-given value.
+    parser.add_argument(
+        "--stats",
+        dest="stats_global",
+        action="store_true",
+        help="print engine counters/timings after the result",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="trace_global",
+        metavar="FILE",
+        help="write structured span/event trace as JSON-lines to FILE",
+    )
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine counters/timings after the result",
+    )
+    observability.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write structured span/event trace as JSON-lines to FILE",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    compute = sub.add_parser("compute", help="exact reliability")
+    compute = sub.add_parser(
+        "compute", help="exact reliability", parents=[observability]
+    )
     compute.add_argument("database", help="database file (canonical text format)")
     compute.add_argument("query", help="first-order query text")
     compute.add_argument("--free", nargs="*", help="free-variable order")
@@ -147,7 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compute.set_defaults(handler=_cmd_compute)
 
-    estimate = sub.add_parser("estimate", help="randomized reliability")
+    estimate = sub.add_parser(
+        "estimate", help="randomized reliability", parents=[observability]
+    )
     estimate.add_argument("database")
     estimate.add_argument("query")
     estimate.add_argument("--free", nargs="*")
@@ -166,7 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.set_defaults(handler=_cmd_estimate)
 
     analyze_cmd = sub.add_parser(
-        "analyze", help="classify, dispatch and explain in one call"
+        "analyze",
+        help="classify, dispatch and explain in one call",
+        parents=[observability],
     )
     analyze_cmd.add_argument("database")
     analyze_cmd.add_argument("query")
@@ -181,7 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
-    inspect = sub.add_parser("inspect", help="summarise a database file")
+    inspect = sub.add_parser(
+        "inspect", help="summarise a database file", parents=[observability]
+    )
     inspect.add_argument("database")
     inspect.add_argument("--query", help="optionally classify a query")
     inspect.add_argument("--free", nargs="*")
@@ -192,14 +259,29 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    stats = getattr(args, "stats", False) or args.stats_global
+    trace = getattr(args, "trace", None) or args.trace_global
+    recorder: Optional[obs.StatsRecorder] = None
+    previous = None
+    if stats or trace:
+        sink = obs.JsonlSink(trace) if trace else None
+        recorder = obs.StatsRecorder(sink=sink)
+        previous = obs.set_recorder(recorder)
     try:
-        return args.handler(args)
+        code = args.handler(args)
+        if recorder is not None and stats:
+            _print_stats(recorder)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if recorder is not None:
+            obs.set_recorder(previous)
+            recorder.close()
 
 
 if __name__ == "__main__":

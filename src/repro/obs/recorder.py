@@ -1,0 +1,166 @@
+"""Recorders: the write side of the instrumentation layer.
+
+Two implementations share one duck-typed surface (``inc`` / ``gauge`` /
+``observe`` / ``event`` / ``span`` / ``summary``):
+
+* :class:`NullRecorder` — the default.  Every method is a no-op and
+  ``span`` returns one shared reusable context manager, so instrumented
+  code pays one attribute lookup and one call per site when
+  observability is off.
+* :class:`StatsRecorder` — aggregates into a :class:`Registry` and,
+  when constructed with a sink, emits structured trace events
+  (JSON-lines through :class:`repro.obs.sink.JsonlSink`).
+
+Span events are emitted at *exit* (they carry the duration), so in a
+trace the innermost span appears before its parent; the ``depth`` field
+reconstructs the nesting.  Timestamps are seconds relative to recorder
+creation, from a monotonic clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.registry import Registry
+
+
+class _NullSpan:
+    """A reusable, re-entrant no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The do-nothing recorder installed by default."""
+
+    enabled = False
+
+    def inc(self, name: str, amount=1) -> None:
+        pass
+
+    def gauge(self, name: str, value) -> None:
+        pass
+
+    def observe(self, name: str, value) -> None:
+        pass
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def summary(self) -> Dict[str, Dict]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+class _Span:
+    """A live span: times a block and reports to its recorder on exit."""
+
+    __slots__ = ("recorder", "name", "attrs", "start", "depth")
+
+    def __init__(self, recorder: "StatsRecorder", name: str, attrs: dict):
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "_Span":
+        recorder = self.recorder
+        self.depth = len(recorder._span_stack)
+        recorder._span_stack.append(self.name)
+        self.start = recorder._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        recorder = self.recorder
+        duration = recorder._clock() - self.start
+        recorder._span_stack.pop()
+        recorder._finish_span(self, duration)
+        return False
+
+
+class StatsRecorder:
+    """Aggregate metrics into a registry; optionally trace to a sink.
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    zero-argument callable returning monotonically nondecreasing seconds.
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, clock: Callable[[], float] = time.perf_counter):
+        self.registry = Registry()
+        self.sink = sink
+        self._clock = clock
+        self._epoch = clock()
+        self._span_stack: list = []
+
+    # -- aggregation ---------------------------------------------------- #
+
+    def inc(self, name: str, amount=1) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def gauge(self, name: str, value) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value) -> None:
+        self.registry.histogram(name).observe(value)
+
+    # -- tracing -------------------------------------------------------- #
+
+    def _timestamp(self) -> float:
+        return self._clock() - self._epoch
+
+    def event(self, name: str, **fields) -> None:
+        """A point event; with a sink it becomes one JSONL record."""
+        self.registry.counter(f"{name}.events").inc()
+        if self.sink is not None:
+            self.sink.emit(
+                {
+                    "ts": round(self._timestamp(), 9),
+                    "type": "event",
+                    "name": name,
+                    "fields": fields,
+                }
+            )
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def _finish_span(self, span: _Span, duration: float) -> None:
+        self.registry.histogram(f"{span.name}.seconds").observe(duration)
+        if self.sink is not None:
+            record: Dict[str, Any] = {
+                "ts": round(self._timestamp(), 9),
+                "type": "span",
+                "name": span.name,
+                "dur_s": round(duration, 9),
+                "depth": span.depth,
+            }
+            if span.attrs:
+                record["attrs"] = span.attrs
+            self.sink.emit(record)
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, Dict]:
+        return self.registry.snapshot()
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()

@@ -1,0 +1,160 @@
+"""Named metric instruments: counters, gauges, and histograms.
+
+A :class:`Registry` is a flat namespace of instruments, created on
+demand by name.  Instruments are deliberately minimal — plain Python
+objects with no locking, no label sets, no export protocol — because the
+library is single-threaded per computation and the consumers are the
+``--stats`` CLI table, :func:`repro.obs.summary` and the benchmark
+harness, all of which read a :meth:`Registry.snapshot` dict.
+
+Naming convention (documented in ``docs/OBSERVABILITY.md``): dotted
+lower-case paths rooted at the engine, e.g. ``exact.worlds_enumerated``,
+``grounding.clauses_kept``, ``karp_luby.samples``.  Span timings land in
+histograms named ``<span name>.seconds``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing integer-or-float total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> Number:
+        self.value += amount
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value-wins measurement (e.g. cover weight, formula size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max/mean.
+
+    No buckets — the trace sink carries the raw sequence when a caller
+    needs a distribution; the histogram is for cheap summaries.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class Registry:
+    """A namespace of instruments, created on first use.
+
+    A name may hold at most one kind of instrument; asking for the same
+    name as a different kind raises ``ValueError`` (catching typos like
+    counting into a gauge).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: Dict) -> None:
+        for family in (self.counters, self.gauges, self.histograms):
+            if family is not kind and name in family:
+                raise ValueError(
+                    f"instrument name {name!r} already used with a "
+                    "different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            self._check_free(name, self.counters)
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self.gauges)
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self.histograms)
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict view of every instrument, for printing or JSON."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

@@ -1,0 +1,87 @@
+"""Trace sinks: where structured trace events go.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``.  Two
+implementations cover every current consumer:
+
+* :class:`ListSink` — in-memory buffer, used by tests and by callers
+  that post-process a trace programmatically;
+* :class:`JsonlSink` — one JSON object per line (JSON-lines), the
+  interchange format of ``--trace FILE`` and the convergence-curve
+  tooling described in ``docs/OBSERVABILITY.md``.
+
+Events are plain dicts produced by the recorder; sinks never mutate
+them.  ``JsonlSink`` opens lazily so constructing a recorder with a
+trace path configured but never used costs nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+
+class ListSink:
+    """Buffer events in memory; ``events`` is the list itself."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+        self.closed = False
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def by_name(self, name: str) -> List[dict]:
+        """The emitted events carrying the given name, in order."""
+        return [event for event in self.events if event.get("name") == name]
+
+
+class JsonlSink:
+    """Write events as JSON-lines to a path or an open file object.
+
+    When given a path the file is opened lazily on the first event and
+    closed by :meth:`close`; when given a file object the caller keeps
+    ownership and ``close`` only flushes.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        self._path: Optional[str] = None
+        self._handle: Optional[IO[str]] = None
+        self._owns_handle = False
+        if isinstance(target, str):
+            self._path = target
+        else:
+            self._handle = target
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self._path, "w")
+            self._owns_handle = True
+        self._handle.write(json.dumps(event, default=_jsonable) + "\n")
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        if self._owns_handle:
+            self._handle.close()
+            self._handle = None
+        else:
+            self._handle.flush()
+
+
+def _jsonable(value):
+    """Last-resort encoder: Fractions and atoms become strings."""
+    return str(value)
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Parse a JSON-lines trace file back into a list of event dicts."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

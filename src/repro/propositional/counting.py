@@ -20,6 +20,7 @@ from fractions import Fraction
 from itertools import product
 from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
 
+from repro import obs
 from repro.propositional.formula import DNF, Clause, Variable
 from repro.util.errors import ProbabilityError
 
@@ -64,11 +65,26 @@ def probability_exact(dnf: DNF, probs: ProbMap) -> Fraction:
        both values, and recurse, memoising on the canonical clause set.
     """
     _check_probs(dnf, probs)
-    memo: Dict[FrozenSet, Fraction] = {}
-    return _prob(dnf, probs, memo)
+    with obs.span(
+        "shannon.expand",
+        variables=len(dnf.variables),
+        clauses=len(dnf.clauses),
+    ):
+        memo: Dict[FrozenSet, Fraction] = {}
+        stats = {"nodes": 0, "memo_hits": 0, "component_splits": 0}
+        result = _prob(dnf, probs, memo, stats)
+        obs.inc("shannon.nodes", stats["nodes"])
+        obs.inc("shannon.memo_hits", stats["memo_hits"])
+        obs.inc("shannon.component_splits", stats["component_splits"])
+        return result
 
 
-def _prob(dnf: DNF, probs: ProbMap, memo: Dict[FrozenSet, Fraction]) -> Fraction:
+def _prob(
+    dnf: DNF,
+    probs: ProbMap,
+    memo: Dict[FrozenSet, Fraction],
+    stats: Dict[str, int],
+) -> Fraction:
     if dnf.is_false():
         return Fraction(0)
     if dnf.is_true():
@@ -76,20 +92,23 @@ def _prob(dnf: DNF, probs: ProbMap, memo: Dict[FrozenSet, Fraction]) -> Fraction
     key = dnf.key()
     cached = memo.get(key)
     if cached is not None:
+        stats["memo_hits"] += 1
         return cached
 
+    stats["nodes"] += 1
     components = _components(dnf)
     if len(components) > 1:
+        stats["component_splits"] += 1
         miss = Fraction(1)
         for component in components:
-            miss *= 1 - _prob(component, probs, memo)
+            miss *= 1 - _prob(component, probs, memo, stats)
         result = 1 - miss
     else:
         variable = _pivot(dnf)
         p = probs[variable]
-        result = p * _prob(dnf.restrict(variable, True), probs, memo) + (
+        result = p * _prob(dnf.restrict(variable, True), probs, memo, stats) + (
             1 - p
-        ) * _prob(dnf.restrict(variable, False), probs, memo)
+        ) * _prob(dnf.restrict(variable, False), probs, memo, stats)
     memo[key] = result
     return result
 

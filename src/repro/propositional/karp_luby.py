@@ -30,10 +30,17 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.propositional.formula import DNF, Variable
 from repro.util.errors import ProbabilityError, QueryError
+from repro.util.rng import Seed, as_rng
 
 ProbLike = Union[float, Fraction]
+RngLike = Union[random.Random, Seed]
+
+# Convergence traces partition the sample budget into at most this many
+# running-estimate events (see docs/OBSERVABILITY.md).
+TRACE_BATCHES = 64
 
 
 def _clause_weights(dnf: DNF, probs: Mapping[Variable, ProbLike]) -> List[float]:
@@ -86,7 +93,7 @@ def karp_luby(
     probs: Mapping[Variable, ProbLike],
     epsilon: float,
     delta: float,
-    rng: random.Random,
+    rng: RngLike,
     method: str = "coverage",
 ) -> KarpLubyEstimate:
     """FPTRAS for ``Pr[dnf]`` with relative (epsilon, delta) guarantee.
@@ -103,7 +110,7 @@ def karp_luby_samples(
     dnf: DNF,
     probs: Mapping[Variable, ProbLike],
     samples: int,
-    rng: random.Random,
+    rng: RngLike,
     method: str = "coverage",
 ) -> KarpLubyEstimate:
     """Karp–Luby with an explicit sample budget (for benchmark sweeps)."""
@@ -118,6 +125,7 @@ def karp_luby_samples(
     for variable in dnf.variables:
         if variable not in probs:
             raise ProbabilityError(f"no probability given for {variable!r}")
+    rng = as_rng(rng)
 
     weights = _clause_weights(dnf, probs)
     total_weight = sum(weights)
@@ -132,8 +140,14 @@ def karp_luby_samples(
     variables = sorted(dnf.variables, key=repr)
     float_probs = {v: float(probs[v]) for v in variables}
 
+    obs.inc("karp_luby.runs")
+    obs.gauge("karp_luby.cover_weight", total_weight)
+    obs.gauge("karp_luby.clauses", len(dnf.clauses))
+    trace = obs.enabled()
+    stride = max(1, samples // TRACE_BATCHES)
+
     accumulator = 0.0
-    for _ in range(samples):
+    for drawn in range(1, samples + 1):
         # Pick a clause proportionally to its weight.
         target = rng.random() * total_weight
         index = _bisect(cumulative, target)
@@ -151,7 +165,15 @@ def karp_luby_samples(
         else:
             first = _first_satisfied(dnf, assignment)
             accumulator += 1.0 if first == index else 0.0
+        if trace and (drawn % stride == 0 or drawn == samples):
+            obs.event(
+                "karp_luby.batch",
+                samples=drawn,
+                estimate=min(total_weight * accumulator / drawn, 1.0),
+                cover_weight=total_weight,
+            )
 
+    obs.inc("karp_luby.samples", samples)
     estimate = total_weight * accumulator / samples
     return KarpLubyEstimate(min(estimate, 1.0), samples, total_weight, method)
 
@@ -178,7 +200,7 @@ def naive_probability_estimate(
     dnf: DNF,
     probs: Mapping[Variable, ProbLike],
     samples: int,
-    rng: random.Random,
+    rng: RngLike,
 ) -> float:
     """Plain Monte Carlo baseline: sample assignments, count hits.
 
@@ -188,14 +210,20 @@ def naive_probability_estimate(
     """
     if samples <= 0:
         raise ProbabilityError(f"sample budget must be positive, got {samples}")
+    rng = as_rng(rng)
     variables = sorted(dnf.variables, key=repr)
     float_probs = {v: float(probs[v]) for v in variables}
+    trace = obs.enabled()
+    stride = max(1, samples // TRACE_BATCHES)
     hits = 0
-    for _ in range(samples):
+    for drawn in range(1, samples + 1):
         assignment = {
             variable: rng.random() < float_probs[variable]
             for variable in variables
         }
         if dnf.satisfied_by(assignment):
             hits += 1
+        if trace and (drawn % stride == 0 or drawn == samples):
+            obs.event("naive_mc.batch", samples=drawn, estimate=hits / drawn)
+    obs.inc("naive_mc.samples", samples)
     return hits / samples

@@ -23,6 +23,7 @@ from fractions import Fraction
 from itertools import product
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.logic.classify import is_existential, is_quantifier_free, is_universal
 from repro.logic.evaluator import FOQuery, evaluate
 from repro.logic.fo import Formula, instantiate, neg
@@ -82,14 +83,18 @@ def _boolean_truth_probability(
 
     if formula is not None:
         if method == "qf" or (method == "auto" and is_quantifier_free(formula)):
+            obs.inc("exact.dispatch.qf")
             return _qf_truth_probability(db, formula)
         if method == "auto":
             lifted = _try_lifted(db, formula)
             if lifted is not None:
+                obs.inc("exact.dispatch.lifted")
                 return lifted
         if method == "dnf" or (method == "auto" and is_existential(formula)):
+            obs.inc("exact.dispatch.dnf")
             return _dnf_truth_probability(db, formula)
         if method == "auto" and is_universal(formula):
+            obs.inc("exact.dispatch.dnf")
             return 1 - _dnf_truth_probability(db, neg(formula))
         if method == "dnf":
             raise QueryError(
@@ -97,6 +102,7 @@ def _boolean_truth_probability(
             )
     elif method in ("qf", "dnf"):
         raise QueryError(f"method {method!r} requires a first-order formula")
+    obs.inc("exact.dispatch.worlds")
     return _worlds_truth_probability(db, query)
 
 
@@ -130,9 +136,11 @@ def _qf_truth_probability(db: UnreliableDatabase, formula: Formula) -> Fraction:
     enumerate their joint values, weight by ``nu``, and evaluate.
     """
     atoms = _formula_atoms(db, formula)
-    return _atom_enumeration_probability(
-        db, atoms, lambda world: evaluate(world, formula)
-    )
+    with obs.span("exact.qf", atoms=len(atoms)):
+        obs.observe("exact.relevant_atoms", len(atoms))
+        return _atom_enumeration_probability(
+            db, atoms, lambda world: evaluate(world, formula)
+        )
 
 
 def _formula_atoms(db: UnreliableDatabase, formula: Formula) -> Tuple[Atom, ...]:
@@ -197,6 +205,7 @@ def _atom_enumeration_probability(
     """
     base = db.observed_world()
     total = Fraction(0)
+    evaluated = 0
     for pattern in product((False, True), repeat=len(atoms)):
         probability = Fraction(1)
         flips = []
@@ -210,22 +219,32 @@ def _atom_enumeration_probability(
         if probability == 0:
             continue
         world = base.flip_all(flips) if flips else base
+        evaluated += 1
         if predicate(world):
             total += probability
+    obs.inc("exact.worlds_enumerated", evaluated)
     return total
 
 
 def _dnf_truth_probability(db: UnreliableDatabase, formula: Formula) -> Fraction:
-    grounding = ground_existential_to_dnf(db, formula)
-    probs = grounding_probabilities(db, grounding.dnf)
-    return probability_exact(grounding.dnf, probs)
+    with obs.span("exact.dnf"):
+        grounding = ground_existential_to_dnf(db, formula)
+        dnf = grounding.dnf
+        obs.gauge(
+            "exact.grounded_formula_size",
+            sum(len(clause) for clause in dnf.clauses),
+        )
+        probs = grounding_probabilities(db, dnf)
+        return probability_exact(dnf, probs)
 
 
 def _worlds_truth_probability(db: UnreliableDatabase, query: Any) -> Fraction:
     atoms = relevant_atoms(db, query)
-    return _atom_enumeration_probability(
-        db, atoms, lambda world: query.evaluate(world, ())
-    )
+    with obs.span("exact.worlds", atoms=len(atoms)):
+        obs.observe("exact.relevant_atoms", len(atoms))
+        return _atom_enumeration_probability(
+            db, atoms, lambda world: query.evaluate(world, ())
+        )
 
 
 # ---------------------------------------------------------------------- #

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from itertools import product
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.logic.evaluator import FOQuery
 from repro.logic.fo import (
     AtomF,
@@ -65,24 +66,34 @@ def ground_existential_to_dnf(
     Raises :class:`QueryError` if the sentence is not existential (the
     caller handles universal sentences by negating).
     """
-    variables, matrix = existential_parts(sentence)
-    clause_templates = dnf_clauses(matrix)
-    width = max((len(c) for c in clause_templates), default=0)
-    universe = db.structure.universe
-    grounded: List[Clause] = []
-    raw_count = 0
-    for template in clause_templates:
-        for values in product(universe, repeat=len(variables)):
-            env = dict(zip(variables, values))
-            raw_count += 1
-            clause = _ground_clause(db, template, env)
-            if clause is None:
-                continue
-            grounded.append(clause)
-            if len(clause) == 0:
-                # The sentence is certainly true; short-circuit.
-                return GroundingResult(DNF.true(), width, raw_count)
-    return GroundingResult(DNF(grounded), width, raw_count)
+    with obs.span("grounding.ground"):
+        variables, matrix = existential_parts(sentence)
+        clause_templates = dnf_clauses(matrix)
+        width = max((len(c) for c in clause_templates), default=0)
+        universe = db.structure.universe
+        grounded: List[Clause] = []
+        raw_count = 0
+        for template in clause_templates:
+            for values in product(universe, repeat=len(variables)):
+                env = dict(zip(variables, values))
+                raw_count += 1
+                clause = _ground_clause(db, template, env)
+                if clause is None:
+                    continue
+                grounded.append(clause)
+                if len(clause) == 0:
+                    # The sentence is certainly true; short-circuit.
+                    return _recorded(GroundingResult(DNF.true(), width, raw_count))
+        return _recorded(GroundingResult(DNF(grounded), width, raw_count))
+
+
+def _recorded(result: GroundingResult) -> GroundingResult:
+    """Report a grounding's shape to the observability layer."""
+    obs.inc("grounding.clauses_raw", result.clauses_before_folding)
+    obs.inc("grounding.clauses_kept", len(result.dnf.clauses))
+    obs.inc("grounding.variables", len(result.dnf.variables))
+    obs.gauge("grounding.width", result.width)
+    return result
 
 
 def _ground_clause(

@@ -25,6 +25,7 @@ import random
 from fractions import Fraction
 from typing import Any, Dict, Optional, Union
 
+from repro import obs
 from repro.logic.classify import is_existential, is_universal
 from repro.logic.evaluator import FOQuery
 from repro.logic.fo import Formula, neg
@@ -97,10 +98,13 @@ def atom_influence(
         return Fraction(run.estimate).limit_denominator(10**9)
 
     influences: Dict[Atom, Fraction] = {}
-    for atom in sorted(dnf.variables, key=repr):
-        high = branch_probability(dnf.restrict(atom, True))
-        low = branch_probability(dnf.restrict(atom, False))
-        influences[atom] = sign * (high - low)
+    with obs.span("influence.conditioning", atoms=len(dnf.variables)):
+        for atom in sorted(dnf.variables, key=repr):
+            high = branch_probability(dnf.restrict(atom, True))
+            low = branch_probability(dnf.restrict(atom, False))
+            influences[atom] = sign * (high - low)
+            obs.inc("influence.atoms_evaluated")
+            obs.inc("influence.branch_evaluations", 2)
     return influences
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple, Union
 
+from repro import obs
 from repro.logic.conjunctive import ConjunctiveQuery
 from repro.logic.fo import AtomF, Eq, Formula
 from repro.logic.terms import Const, Term, Var
@@ -130,10 +131,12 @@ def lifted_probability(
             "query has a self-join; the lifted engine requires each "
             "relation to occur at most once"
         )
-    return _probability(db, list(dict.fromkeys(atoms)))
+    with obs.span("lifted.probability", atoms=len(atoms)):
+        return _probability(db, list(dict.fromkeys(atoms)))
 
 
 def _probability(db: UnreliableDatabase, atoms: List[AtomF]) -> Fraction:
+    obs.inc("lifted.recursive_calls")
     if not atoms:
         return Fraction(1)
 
@@ -168,6 +171,7 @@ def _probability(db: UnreliableDatabase, atoms: List[AtomF]) -> Fraction:
             "no root variable: the query is not hierarchical "
             f"(stuck on {[str(a) for a in component]})"
         )
+    obs.inc("lifted.projections")
     miss = Fraction(1)
     for element in db.structure.universe:
         instantiated = [

@@ -21,13 +21,25 @@ import math
 import random
 from typing import Any, Sequence, Union
 
+from repro import obs
 from repro.logic.evaluator import FOQuery
 from repro.logic.fo import Formula
 from repro.reliability.exact import as_query
 from repro.reliability.unreliable import UnreliableDatabase
 from repro.util.errors import ProbabilityError, QueryError
+from repro.util.rng import Seed, as_rng
 
 QueryLike = Union[str, Formula, FOQuery, Any]
+RngLike = Union[random.Random, Seed]
+
+# Convergence traces partition the sample budget into at most this many
+# running-estimate events (see docs/OBSERVABILITY.md).
+TRACE_BATCHES = 64
+
+
+def _half_width(count: int, delta: float) -> float:
+    """Hoeffding half-width of a [0,1]-mean after ``count`` samples."""
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * count))
 
 
 def hoeffding_samples(epsilon: float, delta: float) -> int:
@@ -45,7 +57,7 @@ def hoeffding_samples(epsilon: float, delta: float) -> int:
 def estimate_truth_probability(
     db: UnreliableDatabase,
     query: QueryLike,
-    rng: random.Random,
+    rng: RngLike,
     epsilon: float = 0.05,
     delta: float = 0.05,
     samples: int = 0,
@@ -54,7 +66,8 @@ def estimate_truth_probability(
     """Estimate ``Pr[B |= psi(args)]`` by direct world sampling.
 
     ``samples`` overrides the Hoeffding count when positive (benchmark
-    sweeps fix budgets explicitly).
+    sweeps fix budgets explicitly).  ``rng`` may be a ``random.Random``
+    or a bare seed.
     """
     query = as_query(query)
     args = tuple(args)
@@ -62,19 +75,31 @@ def estimate_truth_probability(
         raise QueryError(
             f"query has arity {query.arity}, got {len(args)} arguments"
         )
+    rng = as_rng(rng)
     budget = samples if samples > 0 else hoeffding_samples(epsilon, delta)
-    hits = 0
-    for _ in range(budget):
-        world = db.sample(rng)
-        if query.evaluate(world, args):
-            hits += 1
+    trace = obs.enabled()
+    stride = max(1, budget // TRACE_BATCHES)
+    with obs.span("montecarlo.truth_probability", budget=budget):
+        hits = 0
+        for drawn in range(1, budget + 1):
+            world = db.sample(rng)
+            if query.evaluate(world, args):
+                hits += 1
+            if trace and (drawn % stride == 0 or drawn == budget):
+                obs.event(
+                    "montecarlo.batch",
+                    samples=drawn,
+                    estimate=hits / drawn,
+                    half_width=_half_width(drawn, delta),
+                )
+        obs.inc("montecarlo.samples", budget)
     return hits / budget
 
 
 def estimate_reliability_hamming(
     db: UnreliableDatabase,
     query: QueryLike,
-    rng: random.Random,
+    rng: RngLike,
     epsilon: float = 0.05,
     delta: float = 0.05,
     samples: int = 0,
@@ -84,19 +109,31 @@ def estimate_reliability_hamming(
     The normalised distance ``|psi^A Δ psi^B| / n**k`` lies in ``[0, 1]``,
     so Hoeffding's bound applies to the mean and the returned value is
     within ``epsilon`` of ``R_psi`` with probability at least
-    ``1 - delta``.
+    ``1 - delta``.  ``rng`` may be a ``random.Random`` or a bare seed.
     """
     query = as_query(query)
     n = db.universe_size
     cells = n**query.arity
     if cells == 0:
         raise QueryError("reliability undefined on an empty universe")
+    rng = as_rng(rng)
     observed_answers = query.answers(db.structure)
     budget = samples if samples > 0 else hoeffding_samples(epsilon, delta)
-    total = 0.0
-    for _ in range(budget):
-        world = db.sample(rng)
-        actual_answers = query.answers(world)
-        distance = len(observed_answers.symmetric_difference(actual_answers))
-        total += distance / cells
+    trace = obs.enabled()
+    stride = max(1, budget // TRACE_BATCHES)
+    with obs.span("montecarlo.hamming", budget=budget, cells=cells):
+        total = 0.0
+        for drawn in range(1, budget + 1):
+            world = db.sample(rng)
+            actual_answers = query.answers(world)
+            distance = len(observed_answers.symmetric_difference(actual_answers))
+            total += distance / cells
+            if trace and (drawn % stride == 0 or drawn == budget):
+                obs.event(
+                    "montecarlo.hamming_batch",
+                    samples=drawn,
+                    estimate=1.0 - total / drawn,
+                    half_width=_half_width(drawn, delta),
+                )
+        obs.inc("montecarlo.samples", budget)
     return 1.0 - total / budget

@@ -23,6 +23,7 @@ other (PTIME)           world enumeration if small, else
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -39,6 +40,8 @@ from repro.reliability.lifted import is_safe
 from repro.reliability.padding import padded_reliability
 from repro.reliability.unreliable import UnreliableDatabase
 from repro.util.errors import QueryError
+
+logger = logging.getLogger(__name__)
 
 # Above this many relevant uncertain atoms, exact world enumeration is
 # off the table and we switch to estimators.
@@ -178,7 +181,10 @@ def analyze(
                     db, formula, limit=fragile_limit
                 )
             ]
-        except QueryError:
+        except QueryError as exc:
+            # Fragile-atom ranking is best-effort decoration; keep the
+            # report but leave an attributable record of the failure.
+            logger.warning("fragile-atom analysis skipped: %s", exc)
             fragile = []
 
     return ReliabilityReport(

@@ -12,7 +12,7 @@ from repro.util.errors import (
     ProbabilityError,
     EvaluationError,
 )
-from repro.util.rng import make_rng, spawn
+from repro.util.rng import as_rng, make_rng, spawn
 from repro.util.rationals import (
     as_fraction,
     parse_probability,
@@ -26,6 +26,7 @@ __all__ = [
     "QueryError",
     "ProbabilityError",
     "EvaluationError",
+    "as_rng",
     "make_rng",
     "spawn",
     "as_fraction",

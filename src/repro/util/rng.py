@@ -22,6 +22,19 @@ def make_rng(seed: Seed = 0) -> random.Random:
     return random.Random(seed)
 
 
+def as_rng(rng: Union[random.Random, Seed]) -> random.Random:
+    """Normalise a ``Random`` instance or a seed to a ``Random`` instance.
+
+    Estimator entry points accept either spelling so that callers can
+    thread one generator through a pipeline *or* pass a bare seed at the
+    boundary; both are reproducible.  ``None`` yields an OS-seeded
+    generator (interactive use only).
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
 def spawn(rng: random.Random, label: str) -> random.Random:
     """Derive an independent child generator from ``rng``.
 

@@ -1,0 +1,226 @@
+"""Core semantics of the repro.obs instrumentation layer.
+
+Covers the registry instruments (counter / gauge / histogram), span
+nesting and timing via an injected deterministic clock, the JSONL sink
+round-trip, and the active-recorder plumbing (NullRecorder default,
+``use`` scoping, restore-on-exit).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import NullRecorder, StatsRecorder
+from repro.obs.registry import Registry
+from repro.obs.sink import JsonlSink, ListSink, read_jsonl
+
+
+class TestRegistry:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        registry = Registry()
+        counter = registry.counter("a.b")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert registry.counter("a.b").value == 42
+
+    def test_instruments_created_on_demand_and_cached(self):
+        registry = Registry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_kind_collision_rejected(self):
+        registry = Registry()
+        registry.counter("name")
+        with pytest.raises(ValueError):
+            registry.gauge("name")
+        with pytest.raises(ValueError):
+            registry.histogram("name")
+
+    def test_gauge_last_value_wins(self):
+        registry = Registry()
+        registry.gauge("g").set(3)
+        registry.gauge("g").set(7)
+        assert registry.gauge("g").value == 7
+
+    def test_histogram_summary(self):
+        registry = Registry()
+        histogram = registry.histogram("h")
+        assert histogram.mean is None
+        for value in (1, 2, 3):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_snapshot_shape_and_reset(self):
+        registry = Registry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 5}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class FakeClock:
+    """A controllable monotonic clock for deterministic span timing."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSpans:
+    def test_span_duration_recorded_in_histogram(self):
+        clock = FakeClock()
+        recorder = StatsRecorder(clock=clock)
+        with recorder.span("work"):
+            clock.advance(0.25)
+        stats = recorder.summary()["histograms"]["work.seconds"]
+        assert stats["count"] == 1
+        assert stats["total"] == pytest.approx(0.25)
+
+    def test_nested_spans_carry_depth_and_emit_inner_first(self):
+        clock = FakeClock()
+        sink = ListSink()
+        recorder = StatsRecorder(sink=sink, clock=clock)
+        with recorder.span("outer", kind="test"):
+            clock.advance(1.0)
+            with recorder.span("inner"):
+                clock.advance(0.5)
+        names = [event["name"] for event in sink.events]
+        assert names == ["inner", "outer"]
+        inner, outer = sink.events
+        assert inner["depth"] == 1
+        assert outer["depth"] == 0
+        assert inner["dur_s"] == pytest.approx(0.5)
+        assert outer["dur_s"] == pytest.approx(1.5)
+        assert outer["attrs"] == {"kind": "test"}
+
+    def test_span_stack_unwinds_on_exception(self):
+        recorder = StatsRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("broken"):
+                raise RuntimeError("boom")
+        assert recorder._span_stack == []
+        assert recorder.summary()["histograms"]["broken.seconds"]["count"] == 1
+
+    def test_event_counts_even_without_sink(self):
+        recorder = StatsRecorder()
+        recorder.event("batch", samples=10, estimate=0.5)
+        assert recorder.summary()["counters"]["batch.events"] == 1
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        clock = FakeClock()
+        recorder = StatsRecorder(sink=JsonlSink(path), clock=clock)
+        recorder.event("mc.batch", samples=3, estimate=0.75)
+        with recorder.span("outer"):
+            clock.advance(0.125)
+        recorder.close()
+        events = read_jsonl(path)
+        assert len(events) == 2
+        assert events[0]["type"] == "event"
+        assert events[0]["name"] == "mc.batch"
+        assert events[0]["fields"] == {"samples": 3, "estimate": 0.75}
+        assert events[1]["type"] == "span"
+        assert events[1]["dur_s"] == pytest.approx(0.125)
+        # Every line parses independently — the JSONL contract.
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_jsonl_sink_lazy_open(self, tmp_path):
+        path = str(tmp_path / "never.jsonl")
+        recorder = StatsRecorder(sink=JsonlSink(path))
+        recorder.close()
+        assert not (tmp_path / "never.jsonl").exists()
+
+    def test_jsonl_encodes_non_json_values_as_strings(self, tmp_path):
+        from fractions import Fraction
+
+        path = str(tmp_path / "frac.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"value": Fraction(1, 3)})
+        sink.close()
+        assert read_jsonl(path) == [{"value": "1/3"}]
+
+    def test_list_sink_by_name(self):
+        sink = ListSink()
+        sink.emit({"name": "a", "n": 1})
+        sink.emit({"name": "b", "n": 2})
+        sink.emit({"name": "a", "n": 3})
+        assert [event["n"] for event in sink.by_name("a")] == [1, 3]
+
+
+class TestActiveRecorder:
+    def test_default_is_null_and_summary_empty(self):
+        assert isinstance(obs.get_recorder(), NullRecorder)
+        assert obs.summary() == {}
+        assert not obs.enabled()
+
+    def test_null_recorder_calls_are_noops(self):
+        obs.inc("anything", 5)
+        obs.gauge("g", 1)
+        obs.observe("h", 2)
+        obs.event("e", x=1)
+        with obs.span("s", a=1):
+            pass
+        assert obs.summary() == {}
+
+    def test_use_scopes_and_restores(self):
+        recorder = StatsRecorder()
+        before = obs.get_recorder()
+        with obs.use(recorder):
+            assert obs.get_recorder() is recorder
+            assert obs.enabled()
+            obs.inc("scoped")
+        assert obs.get_recorder() is before
+        assert recorder.summary()["counters"]["scoped"] == 1
+
+    def test_use_restores_on_exception(self):
+        before = obs.get_recorder()
+        with pytest.raises(ValueError):
+            with obs.use(StatsRecorder()):
+                raise ValueError("boom")
+        assert obs.get_recorder() is before
+
+    def test_set_recorder_none_restores_null(self):
+        previous = obs.set_recorder(StatsRecorder())
+        try:
+            assert obs.enabled()
+        finally:
+            obs.set_recorder(None)
+        assert isinstance(obs.get_recorder(), NullRecorder)
+        assert previous is obs.get_recorder() or isinstance(
+            previous, NullRecorder
+        )
+
+    def test_recording_context_manager(self, tmp_path):
+        path = str(tmp_path / "rec.jsonl")
+        with obs.recording(path) as recorder:
+            obs.inc("counted")
+            obs.event("point", k=1)
+        assert recorder.summary()["counters"]["counted"] == 1
+        events = read_jsonl(path)
+        assert [event["name"] for event in events] == ["point"]
