@@ -70,7 +70,15 @@ from repro.metafinite import (
     metafinite_reliability,
 )
 from repro.util import as_rng, make_rng
+from repro.util.errors import (
+    BudgetExceeded,
+    CostRefused,
+    FallbackExhausted,
+    ReproError,
+)
 from repro import obs
+from repro import runtime
+from repro.runtime import Budget, Deadline, RuntimeResult, run_with_fallback
 
 __version__ = "1.0.0"
 
@@ -121,6 +129,16 @@ __all__ = [
     "ValueDistribution",
     "MetafiniteQuery",
     "metafinite_reliability",
+    # resilient runtime
+    "runtime",
+    "Budget",
+    "Deadline",
+    "RuntimeResult",
+    "run_with_fallback",
+    "ReproError",
+    "BudgetExceeded",
+    "CostRefused",
+    "FallbackExhausted",
     # utilities
     "as_rng",
     "make_rng",

@@ -13,12 +13,16 @@ Examples::
         --delta 0.05 --seed 7
     python -m repro estimate db.txt "forall x. exists y. E(x, y)" \\
         --estimator padding
+    python -m repro run db.txt "exists x y. E(x, y)" --deadline 5
     python -m repro inspect db.txt
 
 Every subcommand accepts ``--stats`` (print engine-internal counters —
 worlds enumerated, clauses grounded, samples drawn — after the result)
 and ``--trace FILE`` (write span/event records as JSON-lines; see
-docs/OBSERVABILITY.md for the schema).
+docs/OBSERVABILITY.md for the schema).  ``compute``, ``estimate``,
+``analyze`` and ``run`` additionally accept ``--deadline SECONDS`` and
+``--max-cost N`` resource budgets; ``run`` degrades along an engine
+chain instead of failing outright (see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -38,6 +42,9 @@ from repro.reliability.exact import expected_error, reliability
 from repro.reliability.montecarlo import estimate_reliability_hamming
 from repro.reliability.padding import padded_reliability
 from repro.reliability.report import analyze
+from repro.runtime import Budget
+from repro.runtime import apply as apply_budget
+from repro.runtime.executor import DEFAULT_CHAIN, run_with_fallback
 from repro.util.errors import ReproError
 
 
@@ -102,6 +109,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         db, query, rng=rng, epsilon=args.epsilon, delta=args.delta
     )
     print(report.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    query = _query(args)
+    chain = tuple(
+        name.strip() for name in args.engine_chain.split(",") if name.strip()
+    )
+    result = run_with_fallback(
+        db,
+        query,
+        chain=chain,
+        quantity=args.quantity,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        rng=random.Random(args.seed),
+    )
+    print(result.describe())
     return 0
 
 
@@ -187,10 +213,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write structured span/event trace as JSON-lines to FILE",
     )
+    resources = argparse.ArgumentParser(add_help=False)
+    resources.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; exceeding it aborts with an error "
+        "(or degrades engines, under `run`)",
+    )
+    resources.add_argument(
+        "--max-cost",
+        type=int,
+        metavar="N",
+        dest="max_cost",
+        help="cap on estimated work: worlds enumerated, clauses "
+        "grounded, and samples drawn; hopeless runs are refused "
+        "up front",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     compute = sub.add_parser(
-        "compute", help="exact reliability", parents=[observability]
+        "compute",
+        help="exact reliability",
+        parents=[observability, resources],
     )
     compute.add_argument("database", help="database file (canonical text format)")
     compute.add_argument("query", help="first-order query text")
@@ -209,7 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
     compute.set_defaults(handler=_cmd_compute)
 
     estimate = sub.add_parser(
-        "estimate", help="randomized reliability", parents=[observability]
+        "estimate",
+        help="randomized reliability",
+        parents=[observability, resources],
     )
     estimate.add_argument("database")
     estimate.add_argument("query")
@@ -231,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd = sub.add_parser(
         "analyze",
         help="classify, dispatch and explain in one call",
-        parents=[observability],
+        parents=[observability, resources],
     )
     analyze_cmd.add_argument("database")
     analyze_cmd.add_argument("query")
@@ -245,6 +292,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable estimators with this seed (omit to force exact)",
     )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    run = sub.add_parser(
+        "run",
+        help="resilient execution: degrade across an engine chain "
+        "under a budget",
+        parents=[observability, resources],
+    )
+    run.add_argument("database")
+    run.add_argument("query")
+    run.add_argument("--free", nargs="*")
+    run.add_argument(
+        "--engine-chain",
+        dest="engine_chain",
+        default=",".join(DEFAULT_CHAIN),
+        metavar="a,b,c",
+        help=f"fallback order (default: {','.join(DEFAULT_CHAIN)})",
+    )
+    run.add_argument(
+        "--quantity",
+        choices=["reliability", "probability"],
+        default="reliability",
+        help="what to compute: R_psi (any arity) or Pr[B |= psi] (Boolean)",
+    )
+    run.add_argument("--epsilon", type=float, default=0.05)
+    run.add_argument("--delta", type=float, default=0.05)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(handler=_cmd_run)
 
     inspect = sub.add_parser(
         "inspect", help="summarise a database file", parents=[observability]
@@ -267,8 +341,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = obs.JsonlSink(trace) if trace else None
         recorder = obs.StatsRecorder(sink=sink)
         previous = obs.set_recorder(recorder)
+    deadline = getattr(args, "deadline", None)
+    max_cost = getattr(args, "max_cost", None)
     try:
-        code = args.handler(args)
+        if deadline is not None or max_cost is not None:
+            budget = Budget(
+                deadline=deadline,
+                max_worlds=max_cost,
+                max_ground_clauses=max_cost,
+                max_samples=max_cost,
+            )
+            with apply_budget(budget):
+                code = args.handler(args)
+        else:
+            code = args.handler(args)
         if recorder is not None and stats:
             _print_stats(recorder)
         return code

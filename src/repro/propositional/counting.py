@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tupl
 
 from repro import obs
 from repro.propositional.formula import DNF, Clause, Variable
+from repro.runtime.budget import checkpoint
 from repro.util.errors import ProbabilityError
 
 ProbMap = Mapping[Variable, Fraction]
@@ -85,6 +86,7 @@ def _prob(
     memo: Dict[FrozenSet, Fraction],
     stats: Dict[str, int],
 ) -> Fraction:
+    checkpoint()
     if dnf.is_false():
         return Fraction(0)
     if dnf.is_true():

@@ -32,6 +32,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.propositional.formula import DNF, Variable
+from repro.runtime.budget import checkpoint
+from repro.runtime.preflight import preflight_samples
 from repro.util.errors import ProbabilityError, QueryError
 from repro.util.rng import Seed, as_rng
 
@@ -122,6 +124,8 @@ def karp_luby_samples(
         return KarpLubyEstimate(1.0, 0, 1.0, method)
     if dnf.is_false():
         return KarpLubyEstimate(0.0, 0, 0.0, method)
+    # Refuse up front when the active budget cannot fit the run.
+    preflight_samples(samples)
     for variable in dnf.variables:
         if variable not in probs:
             raise ProbabilityError(f"no probability given for {variable!r}")
@@ -148,6 +152,7 @@ def karp_luby_samples(
 
     accumulator = 0.0
     for drawn in range(1, samples + 1):
+        checkpoint(samples=1)
         # Pick a clause proportionally to its weight.
         target = rng.random() * total_weight
         index = _bisect(cumulative, target)
@@ -217,6 +222,7 @@ def naive_probability_estimate(
     stride = max(1, samples // TRACE_BATCHES)
     hits = 0
     for drawn in range(1, samples + 1):
+        checkpoint(samples=1)
         assignment = {
             variable: rng.random() < float_probs[variable]
             for variable in variables

@@ -34,6 +34,7 @@ from repro.reliability.grounding import (
     grounding_probabilities,
 )
 from repro.reliability.unreliable import UnreliableDatabase
+from repro.runtime.budget import checkpoint
 from repro.util.errors import ProbabilityError, QueryError
 
 QueryLike = Union[str, Formula, FOQuery]
@@ -154,6 +155,7 @@ def reliability_additive(
     total_wrong = 0.0
     total_samples = 0
     for args in product(db.structure.universe, repeat=k):
+        checkpoint()
         instantiated = fo_query.instantiated(args)
         estimate = _boolean_wrong_estimate(
             db, instantiated, per_epsilon, per_delta, rng, method

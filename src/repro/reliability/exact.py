@@ -36,6 +36,8 @@ from repro.reliability.grounding import (
     relevant_atoms,
 )
 from repro.reliability.unreliable import UnreliableDatabase
+from repro.runtime.budget import checkpoint
+from repro.runtime.preflight import preflight_worlds
 from repro.util.errors import QueryError
 
 QueryLike = Union[str, Formula, FOQuery, Any]
@@ -207,6 +209,7 @@ def _atom_enumeration_probability(
     total = Fraction(0)
     evaluated = 0
     for pattern in product((False, True), repeat=len(atoms)):
+        checkpoint(worlds=1)
         probability = Fraction(1)
         flips = []
         for atom, flipped in zip(atoms, pattern):
@@ -240,6 +243,10 @@ def _dnf_truth_probability(db: UnreliableDatabase, formula: Formula) -> Fraction
 
 def _worlds_truth_probability(db: UnreliableDatabase, query: Any) -> Fraction:
     atoms = relevant_atoms(db, query)
+    # Fail fast on hopeless enumerations: 2 ** len(atoms) worlds against
+    # the active budget's world limit (2 ** 20 by default) — see
+    # docs/ROBUSTNESS.md.  Budget(max_atoms=None) disables the guard.
+    preflight_worlds(len(atoms))
     with obs.span("exact.worlds", atoms=len(atoms)):
         obs.observe("exact.relevant_atoms", len(atoms))
         return _atom_enumeration_probability(
@@ -313,6 +320,7 @@ def expected_error(
     query = as_query(query)
     total = Fraction(0)
     for args in product(db.structure.universe, repeat=query.arity):
+        checkpoint()
         total += wrong_probability(db, query, args, method)
     return total
 

@@ -32,6 +32,8 @@ from repro.logic.terms import Const, Term, Var
 from repro.propositional.formula import DNF, Clause, Literal
 from repro.relational.atoms import Atom
 from repro.reliability.unreliable import UnreliableDatabase
+from repro.runtime.budget import checkpoint
+from repro.runtime.preflight import preflight_grounding
 from repro.util.errors import QueryError
 
 
@@ -71,12 +73,16 @@ def ground_existential_to_dnf(
         clause_templates = dnf_clauses(matrix)
         width = max((len(c) for c in clause_templates), default=0)
         universe = db.structure.universe
+        # Refuse a grounding the active budget predicts to be hopeless:
+        # |templates| * n ** |variables| clauses (Theorem 5.4's bound).
+        preflight_grounding(len(universe), len(variables), len(clause_templates))
         grounded: List[Clause] = []
         raw_count = 0
         for template in clause_templates:
             for values in product(universe, repeat=len(variables)):
                 env = dict(zip(variables, values))
                 raw_count += 1
+                checkpoint(clauses=1)
                 clause = _ground_clause(db, template, env)
                 if clause is None:
                     continue

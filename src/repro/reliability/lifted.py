@@ -34,6 +34,7 @@ from repro.logic.fo import AtomF, Eq, Formula
 from repro.logic.terms import Const, Term, Var
 from repro.relational.atoms import Atom
 from repro.reliability.unreliable import UnreliableDatabase
+from repro.runtime.budget import checkpoint
 from repro.util.errors import QueryError
 
 
@@ -137,6 +138,7 @@ def lifted_probability(
 
 def _probability(db: UnreliableDatabase, atoms: List[AtomF]) -> Fraction:
     obs.inc("lifted.recursive_calls")
+    checkpoint()
     if not atoms:
         return Fraction(1)
 

@@ -26,6 +26,8 @@ from repro.logic.evaluator import FOQuery
 from repro.logic.fo import Formula
 from repro.reliability.exact import as_query
 from repro.reliability.unreliable import UnreliableDatabase
+from repro.runtime.budget import checkpoint
+from repro.runtime.preflight import preflight_samples
 from repro.util.errors import ProbabilityError, QueryError
 from repro.util.rng import Seed, as_rng
 
@@ -40,6 +42,23 @@ TRACE_BATCHES = 64
 def _half_width(count: int, delta: float) -> float:
     """Hoeffding half-width of a [0,1]-mean after ``count`` samples."""
     return math.sqrt(math.log(2.0 / delta) / (2.0 * count))
+
+
+def _sample_budget(samples: int, epsilon: float, delta: float) -> int:
+    """An explicit positive budget, or the Hoeffding count when 0.
+
+    A *negative* ``samples`` is rejected rather than silently treated
+    as "use Hoeffding": a caller computing a budget that underflows
+    should hear about it, not get a surprise default.
+    """
+    if samples < 0:
+        raise ProbabilityError(
+            f"sample budget must be >= 0, got {samples} "
+            "(0 means: derive from epsilon/delta)"
+        )
+    budget = samples if samples > 0 else hoeffding_samples(epsilon, delta)
+    # Refuse up front when the active budget cannot fit the run.
+    return preflight_samples(budget)
 
 
 def hoeffding_samples(epsilon: float, delta: float) -> int:
@@ -76,12 +95,13 @@ def estimate_truth_probability(
             f"query has arity {query.arity}, got {len(args)} arguments"
         )
     rng = as_rng(rng)
-    budget = samples if samples > 0 else hoeffding_samples(epsilon, delta)
+    budget = _sample_budget(samples, epsilon, delta)
     trace = obs.enabled()
     stride = max(1, budget // TRACE_BATCHES)
     with obs.span("montecarlo.truth_probability", budget=budget):
         hits = 0
         for drawn in range(1, budget + 1):
+            checkpoint(samples=1)
             world = db.sample(rng)
             if query.evaluate(world, args):
                 hits += 1
@@ -118,12 +138,13 @@ def estimate_reliability_hamming(
         raise QueryError("reliability undefined on an empty universe")
     rng = as_rng(rng)
     observed_answers = query.answers(db.structure)
-    budget = samples if samples > 0 else hoeffding_samples(epsilon, delta)
+    budget = _sample_budget(samples, epsilon, delta)
     trace = obs.enabled()
     stride = max(1, budget // TRACE_BATCHES)
     with obs.span("montecarlo.hamming", budget=budget, cells=cells):
         total = 0.0
         for drawn in range(1, budget + 1):
+            checkpoint(samples=1)
             world = db.sample(rng)
             actual_answers = query.answers(world)
             distance = len(observed_answers.symmetric_difference(actual_answers))

@@ -1,0 +1,348 @@
+"""The fallback executor: degrade gracefully instead of hanging or dying.
+
+Operationalizes the paper's complexity landscape as an execution policy.
+The engines, in decreasing order of guarantee strength:
+
+``exact``
+    the exact dispatcher (Propositions 3.1, Theorem 4.2/5.4 machinery);
+    answers with an exact :class:`~fractions.Fraction`.  Preflighted by
+    the Theorem 4.2 world bound ``2 ** |relevant atoms|``.
+``lifted``
+    safe-plan lifted inference — exact and polynomial, but only for
+    safe (hierarchical, self-join-free) Boolean conjunctive queries.
+``karp_luby``
+    the Theorem 5.4 FPTRAS / Corollary 5.5 estimator — *relative*
+    (epsilon, delta) on probabilities, *additive* on reliability;
+    existential/universal queries only.
+``montecarlo``
+    direct world sampling with a Hoeffding *additive* (epsilon, delta)
+    bound — works for any polynomial-time evaluable query.
+
+:func:`run_with_fallback` walks such a chain under one shared
+:class:`~repro.runtime.budget.Budget`: an engine that raises
+:class:`CostRefused` (preflight), :class:`BudgetExceeded` (cooperative
+checkpoint) or :class:`QueryError` (fragment mismatch) is recorded and
+the next engine gets its turn.  The returned :class:`RuntimeResult`
+carries the value, the engine that answered, its guarantee type, and
+the full attempt log; everything is mirrored into :mod:`repro.obs`
+(``runtime.*`` counters, per-attempt spans).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro.logic.classify import is_conjunctive
+from repro.logic.conjunctive import ConjunctiveQuery
+from repro.logic.evaluator import FOQuery
+from repro.reliability.approx import existential_probability, reliability_additive
+from repro.reliability.exact import as_query, reliability, truth_probability
+from repro.reliability.grounding import relevant_atoms
+from repro.reliability.lifted import lifted_probability, lifted_reliability
+from repro.reliability.montecarlo import (
+    estimate_reliability_hamming,
+    estimate_truth_probability,
+)
+from repro.runtime.budget import Budget, active_budget, apply
+from repro.runtime.preflight import preflight_worlds
+from repro.util.errors import (
+    BudgetExceeded,
+    CostRefused,
+    FallbackExhausted,
+    QueryError,
+    ResourceError,
+)
+from repro.util.rng import Seed, as_rng
+
+import random
+
+QueryLike = Any
+RngLike = Union[random.Random, Seed]
+
+#: The default degradation chain, ordered by guarantee strength:
+#: exact > exact-polynomial > relative/additive FPTRAS > additive MC.
+DEFAULT_CHAIN: Tuple[str, ...] = ("exact", "lifted", "karp_luby", "montecarlo")
+
+#: Guarantee types, strongest first (see docs/ROBUSTNESS.md).
+GUARANTEE_ORDER: Tuple[str, ...] = ("exact", "relative", "additive")
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One engine's turn in a fallback chain.
+
+    ``outcome`` is ``"ok"``, ``"cost_refused"``, ``"budget_exceeded"``,
+    or ``"fragment_mismatch"``; ``detail`` is the error message for
+    failed attempts (empty on success).
+    """
+
+    engine: str
+    outcome: str
+    detail: str
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """The answer of a fallback run, with full provenance.
+
+    ``guarantee`` is one of :data:`GUARANTEE_ORDER`: ``"exact"`` (a
+    true value, also in ``fraction``), ``"relative"`` (FPTRAS:
+    ``Pr[|est - v| > epsilon * v] < delta``) or ``"additive"``
+    (``Pr[|est - v| > epsilon] < delta``); ``epsilon``/``delta`` are
+    ``None`` for exact answers.  ``attempts`` records every engine
+    tried, in order, ending with the one that answered.
+    """
+
+    value: float
+    engine: str
+    guarantee: str
+    quantity: str
+    epsilon: Optional[float]
+    delta: Optional[float]
+    attempts: Tuple[Attempt, ...]
+    elapsed: float
+    fraction: Optional[Fraction] = None
+
+    def __float__(self) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        """One line per attempt plus the final verdict (CLI rendering)."""
+        lines = []
+        for attempt in self.attempts:
+            if attempt.outcome == "ok":
+                lines.append(
+                    f"  {attempt.engine}: ok ({attempt.elapsed:.3f}s)"
+                )
+            else:
+                lines.append(
+                    f"  {attempt.engine}: {attempt.outcome} — "
+                    f"{attempt.detail} ({attempt.elapsed:.3f}s)"
+                )
+        bound = (
+            ""
+            if self.guarantee == "exact"
+            else f" (epsilon={self.epsilon}, delta={self.delta})"
+        )
+        lines.append(
+            f"{self.quantity} = {self.value:.6f} via {self.engine} "
+            f"[{self.guarantee}]{bound} in {self.elapsed:.3f}s"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Request:
+    quantity: str
+    epsilon: float
+    delta: float
+    rng: random.Random
+
+
+@dataclass(frozen=True)
+class _Answer:
+    value: float
+    guarantee: str
+    epsilon: Optional[float]
+    delta: Optional[float]
+    fraction: Optional[Fraction] = None
+
+
+def _engine_exact(db, query, req: _Request) -> _Answer:
+    """Exact dispatcher, preflighted by the Theorem 4.2 world bound.
+
+    ``2 ** |relevant atoms|`` is the general-case cost (world
+    enumeration); the quantifier-free/grounded/lifted fast paths can
+    beat it, but their worst cases are of the same order, so the bound
+    is the honest conservative preflight for "exact, whatever it takes".
+    """
+    preflight_worlds(len(relevant_atoms(db, query)))
+    if req.quantity == "probability":
+        value = truth_probability(db, query)
+    else:
+        value = reliability(db, query)
+    return _Answer(float(value), "exact", None, None, fraction=value)
+
+
+def _engine_lifted(db, query, req: _Request) -> _Answer:
+    """Safe-plan lifted inference: exact and polynomial, narrow fragment."""
+    if not isinstance(query, FOQuery):
+        raise QueryError("lifted engine requires a first-order query")
+    if query.arity != 0:
+        raise QueryError("lifted engine handles Boolean queries only")
+    if not is_conjunctive(query.formula):
+        raise QueryError("lifted engine requires a conjunctive query")
+    cq = ConjunctiveQuery.from_formula(query.formula)
+    if req.quantity == "probability":
+        value = lifted_probability(db, cq)
+    else:
+        value = lifted_reliability(db, cq)
+    return _Answer(float(value), "exact", None, None, fraction=value)
+
+
+def _engine_karp_luby(db, query, req: _Request) -> _Answer:
+    """Theorem 5.4 FPTRAS / Corollary 5.5 additive estimator."""
+    if not isinstance(query, FOQuery):
+        raise QueryError("karp_luby engine requires a first-order query")
+    if req.quantity == "probability":
+        estimate = existential_probability(
+            db, query, req.epsilon, req.delta, req.rng
+        )
+        return _Answer(estimate.value, "relative", req.epsilon, req.delta)
+    estimate = reliability_additive(db, query, req.epsilon, req.delta, req.rng)
+    return _Answer(estimate.value, "additive", req.epsilon, req.delta)
+
+
+def _engine_montecarlo(db, query, req: _Request) -> _Answer:
+    """Hoeffding world sampling: weakest guarantee, widest applicability."""
+    if req.quantity == "probability":
+        value = estimate_truth_probability(
+            db, query, req.rng, epsilon=req.epsilon, delta=req.delta
+        )
+    else:
+        value = estimate_reliability_hamming(
+            db, query, req.rng, epsilon=req.epsilon, delta=req.delta
+        )
+    return _Answer(value, "additive", req.epsilon, req.delta)
+
+
+#: Engine registry.  :func:`repro.runtime.faults.inject` swaps entries
+#: for fault-wrapped versions; :func:`run_with_fallback` looks names up
+#: per attempt, so injection works mid-chain.
+ENGINES: Dict[str, Callable[..., _Answer]] = {
+    "exact": _engine_exact,
+    "lifted": _engine_lifted,
+    "karp_luby": _engine_karp_luby,
+    "montecarlo": _engine_montecarlo,
+}
+
+
+def _classify_failure(exc: Exception) -> Tuple[str, str]:
+    if isinstance(exc, CostRefused):
+        return "cost_refused", "runtime.cost_refused"
+    if isinstance(exc, BudgetExceeded):
+        return "budget_exceeded", "runtime.budget_exceeded"
+    return "fragment_mismatch", "runtime.fragment_mismatch"
+
+
+def run_with_fallback(
+    db,
+    query: QueryLike,
+    chain: Sequence[str] = DEFAULT_CHAIN,
+    budget: Optional[Budget] = None,
+    quantity: str = "reliability",
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+    rng: RngLike = 0,
+) -> RuntimeResult:
+    """Answer ``quantity`` for ``query``, degrading across ``chain``.
+
+    Each engine is tried in order under one shared ``budget`` (the
+    active budget when ``None``): preflight refusals, budget
+    exhaustion, and fragment mismatches are caught, logged as
+    :class:`Attempt` records, counted in :mod:`repro.obs`
+    (``runtime.fallbacks`` etc.) and the next engine takes over.  Any
+    other exception — a genuine bug — propagates unchanged.
+
+    ``quantity`` is ``"reliability"`` (default; ``R_psi`` of Definition
+    2.2, any arity) or ``"probability"`` (``Pr[B |= psi]``, Boolean
+    queries only).  ``epsilon``/``delta`` parameterize the sampling
+    engines; ``rng`` is a ``random.Random`` or bare seed.
+
+    Raises :class:`FallbackExhausted` (with the attempt log attached)
+    when no engine in the chain produced an answer.
+    """
+    if quantity not in ("reliability", "probability"):
+        raise QueryError(
+            f"unknown quantity {quantity!r}; use 'reliability' or 'probability'"
+        )
+    if not chain:
+        raise ResourceError("engine chain is empty")
+    unknown = [name for name in chain if name not in ENGINES]
+    if unknown:
+        raise ResourceError(
+            f"unknown engines {unknown}; available: {sorted(ENGINES)}"
+        )
+    query = as_query(query)
+    if quantity == "probability" and getattr(query, "arity", 0) != 0:
+        raise QueryError(
+            "quantity='probability' needs a Boolean (0-ary) query; "
+            "use quantity='reliability' for k-ary queries"
+        )
+    request = _Request(quantity, epsilon, delta, as_rng(rng))
+    scope = apply(budget) if budget is not None else nullcontext()
+    attempts = []
+    started = time.perf_counter()
+    with scope:
+        run_budget = active_budget()
+        with obs.span("runtime.run", engines=len(chain), quantity=quantity):
+            for index, name in enumerate(chain):
+                obs.inc("runtime.attempts")
+                attempt_start = time.perf_counter()
+                try:
+                    # Fair-share time slicing: under a deadline, each
+                    # attempt gets remaining / attempts_left seconds, so
+                    # one stalled engine cannot starve the rest of the
+                    # chain; an attempt that finishes early rolls its
+                    # unused share forward.
+                    remaining = run_budget.remaining_time()
+                    if remaining is None:
+                        attempt_scope = nullcontext()
+                    elif remaining <= 0:
+                        raise BudgetExceeded(
+                            "deadline exhausted before the engine started"
+                        )
+                    else:
+                        share = remaining / (len(chain) - index)
+                        attempt_scope = apply(run_budget.sliced(share))
+                    with attempt_scope:
+                        with obs.span("runtime.attempt", engine=name):
+                            answer = ENGINES[name](db, query, request)
+                except (CostRefused, BudgetExceeded, QueryError) as exc:
+                    attempt_elapsed = time.perf_counter() - attempt_start
+                    outcome, counter = _classify_failure(exc)
+                    obs.inc(counter)
+                    obs.inc("runtime.fallbacks")
+                    obs.event(
+                        "runtime.fallback",
+                        engine=name,
+                        outcome=outcome,
+                        detail=str(exc),
+                    )
+                    attempts.append(
+                        Attempt(name, outcome, str(exc), attempt_elapsed)
+                    )
+                    continue
+                attempt_elapsed = time.perf_counter() - attempt_start
+                attempts.append(Attempt(name, "ok", "", attempt_elapsed))
+                result = RuntimeResult(
+                    value=answer.value,
+                    engine=name,
+                    guarantee=answer.guarantee,
+                    quantity=quantity,
+                    epsilon=answer.epsilon,
+                    delta=answer.delta,
+                    attempts=tuple(attempts),
+                    elapsed=time.perf_counter() - started,
+                    fraction=answer.fraction,
+                )
+                obs.inc("runtime.completed")
+                obs.event(
+                    "runtime.result",
+                    engine=name,
+                    guarantee=answer.guarantee,
+                    attempts=len(attempts),
+                )
+                return result
+    obs.inc("runtime.exhausted")
+    raise FallbackExhausted(
+        f"all {len(chain)} engines failed "
+        f"({', '.join(f'{a.engine}: {a.outcome}' for a in attempts)})",
+        attempts,
+    )

@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the resilient runtime.
+
+Chaos testing for the fallback executor: :func:`inject` wraps engine
+entry points in the :data:`repro.runtime.executor.ENGINES` registry so
+that a chosen engine times out, slows down, or throws — proving that
+every degradation path actually fires, with assertions on the
+``runtime.*`` counters in :mod:`repro.obs`.
+
+Fault types:
+
+* :class:`TimeoutFault` — the engine raises
+  :class:`~repro.util.errors.BudgetExceeded` immediately, as if a
+  deadline expired inside it;
+* :class:`SlowdownFault` — the engine stalls for ``seconds`` before
+  running (and hits a budget checkpoint right after the stall), so a
+  run under a tight :class:`~repro.runtime.budget.Deadline` degrades
+  exactly as a genuinely slow engine would;
+* :class:`ExceptionFault` — the engine raises a chosen exception
+  (default :class:`~repro.util.errors.QueryError`, the fragment-
+  mismatch path).
+
+Firing is deterministic: each fault fires with ``probability`` (default
+1.0) decided by a generator derived through
+:func:`repro.util.rng.as_rng`, so partial-failure scenarios replay
+bit-identically from a seed.
+
+Usage::
+
+    from repro.runtime import faults
+
+    with faults.inject({"exact": faults.TimeoutFault()}):
+        result = run_with_fallback(db, query)   # exact never answers
+    assert result.engine != "exact"
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Mapping, Union
+
+from repro import obs
+from repro.runtime.budget import checkpoint
+from repro.util.errors import (
+    BudgetExceeded,
+    ProbabilityError,
+    QueryError,
+    ResourceError,
+)
+from repro.util.rng import Seed, as_rng
+
+RngLike = Union[random.Random, Seed]
+
+__all__ = [
+    "Fault",
+    "TimeoutFault",
+    "SlowdownFault",
+    "ExceptionFault",
+    "inject",
+]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: fires with ``probability`` on each engine call."""
+
+    probability: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ProbabilityError(
+                f"fault probability {self.probability} outside [0, 1]"
+            )
+
+    def apply(self, engine: str, real: Callable, *args, **kwargs):
+        """Run the faulty behaviour (subclass responsibility)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TimeoutFault(Fault):
+    """The engine 'times out': raises :class:`BudgetExceeded` at entry."""
+
+    def apply(self, engine: str, real: Callable, *args, **kwargs):
+        raise BudgetExceeded(f"injected timeout in engine {engine!r}")
+
+
+@dataclass(frozen=True)
+class SlowdownFault(Fault):
+    """The engine stalls ``seconds`` before doing its real work.
+
+    Immediately after the stall a budget :func:`checkpoint` runs, so a
+    deadline that expired during the stall fires even for engines whose
+    own first checkpoint would come late.  Without a deadline the
+    engine simply runs slow and still answers — which is exactly the
+    distinction tests want to probe.
+    """
+
+    seconds: float = 0.05
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.seconds < 0:
+            raise ResourceError(
+                f"slowdown seconds must be >= 0, got {self.seconds}"
+            )
+
+    def apply(self, engine: str, real: Callable, *args, **kwargs):
+        time.sleep(self.seconds)
+        checkpoint()
+        return real(*args, **kwargs)
+
+
+def _default_error() -> Exception:
+    return QueryError("injected engine failure")
+
+
+@dataclass(frozen=True)
+class ExceptionFault(Fault):
+    """The engine raises ``error`` at entry (default: a QueryError)."""
+
+    error: Exception = field(default_factory=_default_error)
+
+    def apply(self, engine: str, real: Callable, *args, **kwargs):
+        raise self.error
+
+
+def _wrapped(
+    engine: str, fault: Fault, real: Callable, rng: random.Random
+) -> Callable:
+    def engine_with_fault(*args, **kwargs):
+        if fault.probability < 1.0 and rng.random() >= fault.probability:
+            return real(*args, **kwargs)
+        obs.inc("runtime.faults_injected")
+        obs.event(
+            "runtime.fault", engine=engine, fault=type(fault).__name__
+        )
+        return fault.apply(engine, real, *args, **kwargs)
+
+    engine_with_fault.__wrapped__ = real
+    return engine_with_fault
+
+
+@contextmanager
+def inject(
+    faults: Mapping[str, Fault], rng: RngLike = 0
+) -> Iterator[Dict[str, Fault]]:
+    """Wrap engine entry points with faults for the duration of a block.
+
+    ``faults`` maps engine names (keys of
+    :data:`repro.runtime.executor.ENGINES`) to :class:`Fault`
+    instances.  The registry entries are swapped for fault-wrapped
+    versions and restored on exit, even on error.  ``rng`` seeds the
+    (deterministic) firing decisions for sub-1.0 probabilities.
+    """
+    from repro.runtime import executor
+
+    unknown = sorted(set(faults) - set(executor.ENGINES))
+    if unknown:
+        raise ResourceError(
+            f"cannot inject into unknown engines {unknown}; "
+            f"available: {sorted(executor.ENGINES)}"
+        )
+    for name, fault in faults.items():
+        if not isinstance(fault, Fault):
+            raise ResourceError(
+                f"fault for engine {name!r} must be a Fault, "
+                f"got {type(fault).__name__}"
+            )
+    generator = as_rng(rng)
+    originals = {name: executor.ENGINES[name] for name in faults}
+    try:
+        for name, fault in faults.items():
+            executor.ENGINES[name] = _wrapped(
+                name, fault, originals[name], generator
+            )
+        yield dict(faults)
+    finally:
+        executor.ENGINES.update(originals)

@@ -1,0 +1,126 @@
+"""Cost preflight: estimate an engine's work before committing to it.
+
+The exact engines have *predictable* blow-ups: Theorem 4.2's world
+enumeration evaluates exactly ``2 ** |relevant atoms|`` worlds, and
+Theorem 5.4's grounding instantiates ``|clause templates| * n **
+|variables|`` clauses before folding.  Both numbers are computable in
+microseconds from the query and database shape — so instead of starting
+a run that cannot finish, an engine *preflights*: it compares the
+estimate against the active :class:`~repro.runtime.budget.Budget` and
+raises :class:`~repro.util.errors.CostRefused` (carrying the estimate
+and the limit) when the run is hopeless.
+
+``CostRefused`` is cheap to catch — nothing was computed — which is what
+lets the fallback executor walk a chain of engines without paying for
+the ones that would have blown up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import obs
+from repro.runtime.budget import Budget, active_budget
+from repro.util.errors import CostRefused
+
+__all__ = [
+    "worlds_cost",
+    "preflight_worlds",
+    "grounding_cost",
+    "preflight_grounding",
+    "preflight_samples",
+]
+
+
+def worlds_cost(atom_count: int) -> int:
+    """Worlds Theorem 4.2's enumeration evaluates: ``2 ** atom_count``."""
+    return 1 << atom_count
+
+
+def preflight_worlds(atom_count: int, budget: Optional[Budget] = None) -> int:
+    """Refuse a world enumeration the budget predicts to be hopeless.
+
+    Returns the estimated world count (``2 ** atom_count``) when it fits
+    under the budget's effective world limit (``max_worlds`` if set,
+    else ``2 ** max_atoms``); raises :class:`CostRefused` otherwise.
+    ``budget`` defaults to the active one.
+    """
+    budget = budget if budget is not None else active_budget()
+    limit = budget.world_limit()
+    estimate = worlds_cost(atom_count)
+    if limit is not None and estimate > limit:
+        obs.inc("preflight.worlds_refused")
+        raise CostRefused(
+            f"world enumeration over {atom_count} uncertain atoms needs "
+            f"2^{atom_count} = {estimate} worlds, over the budget limit "
+            f"of {limit}; raise Budget(max_worlds=...) / "
+            f"Budget(max_atoms=...) or use a sampling engine",
+            estimate=estimate,
+            limit=limit,
+        )
+    return estimate
+
+
+def grounding_cost(
+    universe_size: int, variable_count: int, template_count: int
+) -> int:
+    """Clauses Theorem 5.4's grounding instantiates before folding.
+
+    Each of the ``|clause templates|`` DNF clauses of the matrix is
+    grounded once per valuation of the existential variables —
+    ``n ** |variables|`` valuations — giving the paper's
+    ``n^width * |clauses|`` bound.
+    """
+    return template_count * universe_size**variable_count
+
+
+def preflight_grounding(
+    universe_size: int,
+    variable_count: int,
+    template_count: int,
+    budget: Optional[Budget] = None,
+) -> int:
+    """Refuse a grounding the budget predicts to be hopeless.
+
+    Returns the estimated raw clause count when it fits under the
+    budget's ``max_ground_clauses`` (no default cap — grounding is
+    polynomial in ``n`` for a fixed query); raises
+    :class:`CostRefused` otherwise.
+    """
+    budget = budget if budget is not None else active_budget()
+    limit = budget.max_ground_clauses
+    estimate = grounding_cost(universe_size, variable_count, template_count)
+    if limit is not None and estimate > limit:
+        obs.inc("preflight.grounding_refused")
+        raise CostRefused(
+            f"grounding would instantiate {template_count} clause "
+            f"templates * {universe_size}^{variable_count} = {estimate} "
+            f"clauses, over the budget limit of {limit}; raise "
+            f"Budget(max_ground_clauses=...) or use a sampling engine",
+            estimate=estimate,
+            limit=limit,
+        )
+    return estimate
+
+
+def preflight_samples(sample_count: int, budget: Optional[Budget] = None) -> int:
+    """Refuse a sampling run whose budget cannot fit its sample count.
+
+    An estimator knows exactly how many samples its (epsilon, delta)
+    guarantee needs before drawing the first one; if that exceeds what
+    is left of the budget's ``max_samples`` allowance, refuse up front
+    rather than burning the allowance and failing anyway.  Returns
+    ``sample_count`` when it fits (or the budget is uncapped).
+    """
+    budget = budget if budget is not None else active_budget()
+    remaining = budget.remaining_samples()
+    if remaining is not None and sample_count > remaining:
+        obs.inc("preflight.samples_refused")
+        raise CostRefused(
+            f"estimator needs {sample_count} samples but only "
+            f"{remaining} remain under the budget's max_samples cap; "
+            f"loosen epsilon/delta or raise Budget(max_samples=...)",
+            estimate=sample_count,
+            limit=remaining,
+        )
+    return sample_count

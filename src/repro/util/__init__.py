@@ -11,6 +11,10 @@ from repro.util.errors import (
     QueryError,
     ProbabilityError,
     EvaluationError,
+    ResourceError,
+    BudgetExceeded,
+    CostRefused,
+    FallbackExhausted,
 )
 from repro.util.rng import as_rng, make_rng, spawn
 from repro.util.rationals import (
@@ -26,6 +30,10 @@ __all__ = [
     "QueryError",
     "ProbabilityError",
     "EvaluationError",
+    "ResourceError",
+    "BudgetExceeded",
+    "CostRefused",
+    "FallbackExhausted",
     "as_rng",
     "make_rng",
     "spawn",

@@ -42,3 +42,49 @@ class EvaluationError(ReproError):
     Raised e.g. when a free variable has no binding or a Datalog program
     uses an undefined predicate.
     """
+
+
+class ResourceError(ReproError):
+    """A resource budget is invalid, exhausted, or refused.
+
+    Base class of the resilient-runtime errors; see
+    :mod:`repro.runtime` and ``docs/ROBUSTNESS.md``.
+    """
+
+
+class BudgetExceeded(ResourceError):
+    """A running computation hit a :class:`repro.runtime.Budget` limit.
+
+    Raised at a cooperative checkpoint when the wall-clock deadline
+    passes or a worlds/clauses/samples counter crosses its cap.  The
+    computation's partial state is discarded; the fallback executor
+    catches this and degrades to the next engine in the chain.
+    """
+
+
+class CostRefused(ResourceError):
+    """A cost preflight predicted the run would blow the budget.
+
+    Unlike :class:`BudgetExceeded`, nothing was computed: the engine
+    estimated its work up front (``2 ** |relevant atoms|`` worlds,
+    ``|clause templates| * n ** |variables|`` ground clauses) and
+    refused to start.  ``estimate`` and ``limit`` carry the numbers.
+    """
+
+    def __init__(self, message: str, estimate=None, limit=None):
+        super().__init__(message)
+        self.estimate = estimate
+        self.limit = limit
+
+
+class FallbackExhausted(ResourceError):
+    """Every engine in a fallback chain failed or was refused.
+
+    ``attempts`` holds the per-engine attempt records
+    (:class:`repro.runtime.Attempt`) explaining why each engine fell
+    through.
+    """
+
+    def __init__(self, message: str, attempts=()):
+        super().__init__(message)
+        self.attempts = tuple(attempts)

@@ -211,3 +211,38 @@ class TestQFFastPath:
         query = FOQuery("E(x, y) & S(y)", ("x", "y"))
         value = reliability(db, query, method="qf")
         assert 0 < value <= 1
+
+
+class TestWorldEnumerationGuard:
+    """The worlds engine refuses hopeless enumerations up front."""
+
+    def big_db(self):
+        # 25 uncertain atoms -> 2^25 predicted worlds > 2^20 default cap.
+        return random_unreliable_database(
+            make_rng(7), 5, {"E": 2}, density=1.0, uncertain_fraction=1.0
+        )
+
+    def test_refuses_past_default_atom_cap(self):
+        from repro.util.errors import CostRefused
+
+        with pytest.raises(CostRefused) as exc_info:
+            truth_probability(
+                self.big_db(), FOQuery("exists x y. E(x, y)"), method="worlds"
+            )
+        # The message names the predicted world count, so the caller
+        # knows what was refused and how to override.
+        assert str(1 << 25) in str(exc_info.value)
+        assert exc_info.value.estimate == 1 << 25
+
+    def test_budget_override_allows_enumeration(self, triangle_db):
+        from repro.runtime import Budget, apply
+
+        query = FOQuery("exists x y. E(x, y) & S(y)")
+        with apply(Budget(max_atoms=2)):
+            from repro.util.errors import CostRefused
+
+            with pytest.raises(CostRefused):
+                truth_probability(triangle_db, query, method="worlds")
+        with apply(Budget(max_atoms=None)):
+            value = truth_probability(triangle_db, query, method="worlds")
+        assert value == truth_probability(triangle_db, query)

@@ -94,3 +94,31 @@ class TestEstimateReliabilityHamming:
             certain_db, FOQuery("exists x. S(x)"), rng, epsilon=0.2, delta=0.2
         )
         assert value == 1.0
+
+
+class TestNegativeSampleBudget:
+    """A negative sample count is a caller bug, not a default request."""
+
+    def test_truth_probability_rejects_negative(self, triangle_db, rng):
+        with pytest.raises(ProbabilityError, match="sample budget must be >= 0"):
+            estimate_truth_probability(
+                triangle_db, FOQuery("exists x. S(x)"), rng, samples=-1
+            )
+
+    def test_hamming_rejects_negative(self, triangle_db, rng):
+        with pytest.raises(ProbabilityError, match="got -5"):
+            estimate_reliability_hamming(
+                triangle_db, FOQuery("exists x. S(x)"), rng, samples=-5
+            )
+
+    def test_zero_still_means_hoeffding_default(self, certain_db, rng):
+        # The documented sentinel: 0 derives the budget from (eps, delta).
+        value = estimate_truth_probability(
+            certain_db,
+            FOQuery("exists x. S(x)"),
+            rng,
+            epsilon=0.25,
+            delta=0.25,
+            samples=0,
+        )
+        assert value == 1.0

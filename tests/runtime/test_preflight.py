@@ -1,0 +1,118 @@
+"""Cost preflight: refuse hopeless runs before doing any work."""
+
+import pytest
+
+from repro import obs
+from repro.logic.evaluator import FOQuery
+from repro.obs.recorder import StatsRecorder
+from repro.reliability.exact import truth_probability
+from repro.reliability.montecarlo import estimate_truth_probability
+from repro.runtime.budget import Budget, apply
+from repro.runtime.preflight import (
+    grounding_cost,
+    preflight_grounding,
+    preflight_samples,
+    preflight_worlds,
+    worlds_cost,
+)
+from repro.util.errors import CostRefused
+from repro.workloads.random_db import random_unreliable_database
+from repro.util.rng import make_rng
+
+
+class TestWorldsPreflight:
+    def test_cost_formula(self):
+        assert worlds_cost(0) == 1
+        assert worlds_cost(10) == 1024
+
+    def test_fits_returns_estimate(self):
+        assert preflight_worlds(3, Budget(max_worlds=8)) == 8
+
+    def test_refuses_over_limit_with_estimate(self):
+        with pytest.raises(CostRefused) as exc_info:
+            preflight_worlds(4, Budget(max_worlds=15))
+        refusal = exc_info.value
+        assert refusal.estimate == 16
+        assert refusal.limit == 15
+        # The message names the predicted world count (satellite spec).
+        assert "2^4 = 16 worlds" in str(refusal)
+
+    def test_default_budget_guards_at_max_atoms(self):
+        preflight_worlds(20)  # 2^20: exactly at the default guard
+        with pytest.raises(CostRefused):
+            preflight_worlds(21)
+
+    def test_uncapped_budget_allows_anything(self):
+        huge = preflight_worlds(64, Budget(max_atoms=None))
+        assert huge == 1 << 64
+
+    def test_refusal_counted_in_obs(self):
+        with obs.use(StatsRecorder()) as recorder:
+            with pytest.raises(CostRefused):
+                preflight_worlds(5, Budget(max_worlds=2))
+            counters = recorder.summary()["counters"]
+        assert counters["preflight.worlds_refused"] == 1
+
+
+class TestGroundingPreflight:
+    def test_cost_formula(self):
+        # |templates| * n^|vars|
+        assert grounding_cost(10, 2, 3) == 300
+
+    def test_no_default_cap(self):
+        assert preflight_grounding(100, 4, 50) == 50 * 100**4
+
+    def test_refuses_over_budget(self):
+        with pytest.raises(CostRefused) as exc_info:
+            preflight_grounding(10, 3, 2, Budget(max_ground_clauses=1000))
+        assert exc_info.value.estimate == 2000
+        assert exc_info.value.limit == 1000
+
+
+class TestSamplesPreflight:
+    def test_uncapped_passes_through(self):
+        assert preflight_samples(10**9) == 10**9
+
+    def test_refuses_when_allowance_too_small(self):
+        budget = Budget(max_samples=100)
+        budget.consume(samples=40)
+        with pytest.raises(CostRefused) as exc_info:
+            preflight_samples(61, budget)
+        assert exc_info.value.limit == 60
+
+    def test_fits_within_remaining(self):
+        assert preflight_samples(60, Budget(max_samples=100)) == 60
+
+
+class TestEnginePreflightIntegration:
+    """The engines actually consult the preflights (satellite guard)."""
+
+    def test_worlds_method_refuses_many_atoms(self):
+        # 25 uncertain atoms -> 2^25 predicted worlds > the 2^20 default
+        # guard; the engine must refuse *before* enumerating anything.
+        rng = make_rng(7)
+        db = random_unreliable_database(
+            rng, 5, {"E": 2}, density=1.0, uncertain_fraction=1.0
+        )
+        assert len(db.uncertain_atoms()) == 25
+        query = FOQuery("exists x y. E(x, y)")
+        with pytest.raises(CostRefused) as exc_info:
+            truth_probability(db, query, method="worlds")
+        assert exc_info.value.estimate == 1 << 25
+        assert str(1 << 25) in str(exc_info.value)
+
+    def test_worlds_method_allowed_with_uncapped_budget(self, triangle_db):
+        query = FOQuery("exists x y. E(x, y)")
+        with apply(Budget(max_atoms=None)):
+            value = truth_probability(triangle_db, query, method="worlds")
+        assert value == 1
+
+    def test_sampler_refuses_undersized_allowance(self, triangle_db):
+        query = FOQuery("exists x y. E(x, y)")
+        with apply(Budget(max_samples=10)):
+            with pytest.raises(CostRefused):
+                # Hoeffding needs far more than 10 samples at this
+                # epsilon/delta, so the run is refused up front.
+                estimate_truth_probability(
+                    triangle_db, query, make_rng(1), epsilon=0.05, delta=0.05
+                )

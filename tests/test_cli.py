@@ -154,3 +154,137 @@ class TestAnalyzeCommand:
         code = main(["analyze", db_file, "E(x, y)", "--free", "x", "y"])
         assert code == 0
         assert "quantifier-free" in capsys.readouterr().out
+
+
+class TestErrorReporting:
+    """ReproError -> one-line `error: ...` on stderr and exit code 2."""
+
+    def test_malformed_query(self, db_file, capsys):
+        code = main(["compute", db_file, "exists x. E(x,"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.out == ""
+        err = captured.err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_mu_out_of_unit_interval(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text(
+            "universe 'a' 'b'\n"
+            "relation E 2\n"
+            "tuple E 'a' 'b'\n"
+            "error E 3/2 'a' 'b'\n"
+        )
+        code = main(["compute", str(bad), "exists x y. E(x, y)"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "3/2" in captured.err
+
+    def test_exceeded_deadline_is_reported_not_raised(self, db_file, capsys):
+        # An impossible-to-meet max-cost on a non-degrading subcommand
+        # surfaces as the standard one-line error.
+        code = main(
+            ["compute", db_file, "exists x y. E(x, y)",
+             "--method", "worlds", "--max-cost", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: " in captured.err
+        assert "worlds" in captured.err
+
+
+class TestRunCommand:
+    def test_exact_answers_with_provenance(self, db_file, capsys):
+        code = main(["run", db_file, "exists x y. E(x, y) & S(y)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact: ok" in out
+        assert "[exact]" in out
+        assert "reliability =" in out
+
+    def test_degrades_under_max_cost(self, tmp_path, capsys):
+        # 20 uncertain atoms -> 2^20 worlds: exact is refused at a
+        # 100k cap, while the Monte-Carlo Hoeffding budget (~29 samples
+        # at eps=delta=0.2) fits comfortably.
+        from repro.util.rng import make_rng
+        from repro.workloads.random_db import random_unreliable_database
+
+        db = random_unreliable_database(
+            make_rng(5), 4, {"E": 2, "S": 1}, density=0.5,
+            uncertain_fraction=1.0,
+        )
+        path = tmp_path / "big.txt"
+        path.write_text(encode_unreliable_database(db))
+        code = main(
+            ["run", str(path),
+             "exists x y. E(x, y) & S(y) | exists x. S(x)",
+             "--max-cost", "100000", "--epsilon", "0.2", "--delta", "0.2",
+             "--deadline", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact: cost_refused" in out
+        assert "lifted: fragment_mismatch" in out
+        assert "[additive]" in out
+
+    def test_custom_chain_and_quantity(self, db_file, capsys):
+        code = main(
+            ["run", db_file, "exists x y. E(x, y)",
+             "--engine-chain", "montecarlo",
+             "--quantity", "probability",
+             "--epsilon", "0.2", "--delta", "0.2", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probability =" in out
+        assert "via montecarlo" in out
+
+    def test_unknown_engine_in_chain_reports_error(self, db_file, capsys):
+        code = main(
+            ["run", db_file, "exists x y. E(x, y)",
+             "--engine-chain", "exact,warp_drive"]
+        )
+        assert code == 2
+        assert "warp_drive" in capsys.readouterr().err
+
+    def test_exhausted_chain_reports_error(self, db_file, capsys):
+        # lifted alone cannot answer a k-ary query.
+        code = main(
+            ["run", db_file, "E(x, y)", "--free", "x", "y",
+             "--engine-chain", "lifted"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: " in captured.err
+        assert "lifted" in captured.err
+
+    def test_stats_include_runtime_counters(self, db_file, capsys):
+        code = main(
+            ["run", db_file, "exists x y. E(x, y)", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime.attempts" in out
+        assert "runtime.completed" in out
+
+
+class TestBudgetFlags:
+    def test_max_cost_caps_samples_too(self, db_file, capsys):
+        # The sampler preflights its Hoeffding budget against max-cost.
+        code = main(
+            ["estimate", db_file, "exists x y. E(x, y)",
+             "--estimator", "hamming", "--max-cost", "10"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "samples" in captured.err
+
+    def test_generous_budget_passes(self, db_file, capsys):
+        code = main(
+            ["compute", db_file, "exists x y. E(x, y)",
+             "--deadline", "30", "--max-cost", "1000000"]
+        )
+        assert code == 0
+        assert "reliability" in capsys.readouterr().out
