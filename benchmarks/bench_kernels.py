@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Benchmark: bit-parallel kernels vs scalar loops (E1/E4/E9 workloads).
+
+Measures the three kernel families introduced in ``repro.kernels``:
+
+* **E1 Monte-Carlo truth probability** — world sampling on a random
+  n=24 database.  Scalar samples one world per RNG draw; batched packs
+  :data:`repro.kernels.bitops.BATCH_BITS` worlds into per-atom integer
+  columns and evaluates the grounded query with AND/OR/popcount.
+* **E4/E9 Karp–Luby** — DNF cover sampling, scalar vs batched vs
+  sharded (multiprocessing fan-out; identical results per seed).
+* **Gray-code exact enumeration** — a 16-atom world enumeration via
+  one-flip Gray steps with incremental ``Fraction`` weights, compared
+  against the ``itertools.product`` sweep; the two sums must be
+  *bit-identical* (both exact rationals).
+
+Results go to ``BENCH_kernels.json`` at the repo root.  ``--smoke``
+runs a tiny version (suitable for CI): it checks the batched Karp–Luby
+kernel clears a 2x speedup on the E9 rare-union case and that a
+10-atom Gray sweep matches the product sweep bit-identically, exiting
+nonzero otherwise.
+
+Usage::
+
+    python benchmarks/bench_kernels.py [--samples 100000] [--repeats 3]
+    python benchmarks/bench_kernels.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from repro.kernels import clear_caches
+from repro.kernels.gray import (
+    gray_enumeration_probability,
+    product_enumeration_probability,
+)
+from repro.logic.evaluator import FOQuery
+from repro.propositional.formula import DNF, Clause, Literal
+from repro.propositional.karp_luby import karp_luby_samples
+from repro.reliability.montecarlo import estimate_truth_probability
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+E1_QUERY = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+
+
+def _median_seconds(thunk, repeats: int):
+    value = thunk()  # warm-up: compilation cache, imports
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = thunk()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), value
+
+
+def _e1_db(size: int):
+    return random_unreliable_database(
+        make_rng(size), size, {"E": 2, "S": 1}, density=0.3, error="1/16"
+    )
+
+
+def bench_e1_truth(size: int, samples: int, repeats: int, shards: int) -> dict:
+    """Monte-Carlo truth probability: scalar vs batched vs sharded."""
+    db = _e1_db(size)
+    args = (min(3, size - 1), min(17, size - 1))
+
+    def run(kernel: str, n_shards: int = 1):
+        return lambda: estimate_truth_probability(
+            db,
+            E1_QUERY,
+            make_rng(7),
+            samples=samples,
+            args=args,
+            kernel=kernel,
+            shards=n_shards,
+        )
+
+    scalar_s, scalar_v = _median_seconds(run("scalar"), repeats)
+    batched_s, batched_v = _median_seconds(run("batched"), repeats)
+    sharded_s, sharded_v = _median_seconds(
+        run("batched", shards), repeats
+    )
+    single = run("batched")()
+    return {
+        "workload": f"E1 MC truth probability, n={size}, {samples} samples",
+        "scalar_s": round(scalar_s, 6),
+        "batched_s": round(batched_s, 6),
+        "sharded_s": round(sharded_s, 6),
+        "shards": shards,
+        "speedup_batched": round(scalar_s / batched_s, 2),
+        "speedup_sharded": round(scalar_s / sharded_s, 2),
+        "scalar_estimate": scalar_v,
+        "batched_estimate": batched_v,
+        "shard_invariant": sharded_v == single,
+    }
+
+
+def _rare_union(width: int, clauses: int = 5):
+    """The E9 workload: a union of rare conjunctive events."""
+    built = []
+    for index in range(clauses):
+        variables = [f"v{index}_{j}" for j in range(width)]
+        built.append(Clause(Literal(v, True) for v in variables))
+    dnf = DNF(built)
+    return dnf, {v: Fraction(1, 4) for v in dnf.variables}
+
+
+def _kdnf(variables: int, clauses: int, width: int):
+    """The E4 workload: random k-DNF over a shared variable pool."""
+    rng = make_rng(variables * clauses)
+    pool = [f"x{i}" for i in range(variables)]
+    built = []
+    for _ in range(clauses):
+        chosen = rng.sample(pool, width)
+        built.append(
+            Clause(Literal(v, rng.random() < 0.7) for v in chosen)
+        )
+    dnf = DNF(built)
+    return dnf, {v: Fraction(1, 3) for v in dnf.variables}
+
+
+def bench_karp_luby(
+    name: str, dnf, probs, samples: int, repeats: int, shards: int
+) -> dict:
+    def run(kernel: str, n_shards: int = 1):
+        return lambda: karp_luby_samples(
+            dnf, probs, samples, make_rng(11), kernel=kernel, shards=n_shards
+        ).estimate
+
+    scalar_s, scalar_v = _median_seconds(run("scalar"), repeats)
+    batched_s, batched_v = _median_seconds(run("batched"), repeats)
+    sharded_s, sharded_v = _median_seconds(run("batched", shards), repeats)
+    return {
+        "workload": name,
+        "clauses": len(dnf.clauses),
+        "variables": len(dnf.variables),
+        "samples": samples,
+        "scalar_s": round(scalar_s, 6),
+        "batched_s": round(batched_s, 6),
+        "sharded_s": round(sharded_s, 6),
+        "shards": shards,
+        "speedup_batched": round(scalar_s / batched_s, 2),
+        "speedup_sharded": round(scalar_s / sharded_s, 2),
+        "scalar_estimate": scalar_v,
+        "batched_estimate": batched_v,
+        "shard_invariant": sharded_v == batched_v,
+    }
+
+
+def bench_gray(atom_count: int, repeats: int) -> dict:
+    """Gray-code vs itertools.product on one exact enumeration."""
+    db = random_unreliable_database(
+        make_rng(atom_count),
+        atom_count,
+        {"S": 1},
+        density=0.5,
+        error="1/8",
+    )
+    atoms = sorted(db.uncertain_atoms(), key=repr)[:atom_count]
+    target = atoms[0]
+    predicate = lambda world: world.holds(target)
+
+    product_s, product_v = _median_seconds(
+        lambda: product_enumeration_probability(db, atoms, predicate),
+        repeats,
+    )
+    gray_s, gray_v = _median_seconds(
+        lambda: gray_enumeration_probability(db, atoms, predicate),
+        repeats,
+    )
+    return {
+        "workload": f"exact enumeration over {len(atoms)} atoms "
+        f"({2 ** len(atoms)} worlds)",
+        "product_s": round(product_s, 6),
+        "gray_s": round(gray_s, 6),
+        "speedup_gray": round(product_s / gray_s, 2),
+        "bit_identical": gray_v == product_v,
+        "value": str(gray_v),
+    }
+
+
+def measure(samples: int, repeats: int, shards: int) -> dict:
+    clear_caches()
+    e1 = bench_e1_truth(24, samples, repeats, shards)
+    e4_dnf, e4_probs = _kdnf(40, 12, 4)
+    e4 = bench_karp_luby(
+        "E4 Karp-Luby on random 4-DNF", e4_dnf, e4_probs,
+        samples, repeats, shards,
+    )
+    e9_dnf, e9_probs = _rare_union(10)
+    e9 = bench_karp_luby(
+        "E9 Karp-Luby on rare unions (width 10)", e9_dnf, e9_probs,
+        samples, repeats, shards,
+    )
+    gray = bench_gray(16, repeats)
+    ok = (
+        e1["speedup_batched"] >= 5.0
+        and e1["shard_invariant"]
+        and e4["shard_invariant"]
+        and e9["shard_invariant"]
+        and gray["bit_identical"]
+        and gray["speedup_gray"] >= 1.0
+    )
+    return {
+        "benchmark": "kernels",
+        "samples": samples,
+        "repeats": repeats,
+        "e1_truth": e1,
+        "e4_karp_luby": e4,
+        "e9_karp_luby": e9,
+        "gray_enumeration": gray,
+        "thresholds": {
+            "e1_speedup_batched_min": 5.0,
+            "gray_speedup_min": 1.0,
+        },
+        "pass": ok,
+    }
+
+
+def smoke() -> int:
+    """CI lane: tiny E9 case (batched must clear 2x scalar) plus a
+    10-atom Gray/product bit-identity check."""
+    clear_caches()
+    dnf, probs = _rare_union(8, clauses=4)
+    result = bench_karp_luby(
+        "E9 smoke: rare unions (width 8)", dnf, probs,
+        samples=20000, repeats=3, shards=1,
+    )
+    result["threshold_speedup"] = 2.0
+    gray = bench_gray(10, repeats=1)
+    result["gray_bit_identical"] = gray["bit_identical"]
+    result["pass"] = (
+        result["speedup_batched"] >= 2.0
+        and result["shard_invariant"]
+        and gray["bit_identical"]
+    )
+    print(json.dumps(result, indent=2))
+    if not result["pass"]:
+        print(
+            "FAIL: batched Karp-Luby under 2x scalar, or Gray sweep "
+            "not bit-identical, on the smoke case"
+        )
+        return 1
+    print("smoke OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--samples", type=int, default=100000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI workload; exit nonzero if batched < 2x scalar",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+        ),
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+    result = measure(args.samples, args.repeats, args.shards)
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {args.out}")
+    return 0 if result["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

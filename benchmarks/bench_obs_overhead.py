@@ -3,14 +3,19 @@
 
 The observability layer promises that instrumented engines cost roughly
 nothing when observability is off (the default :class:`NullRecorder`)
-and <5% when a :class:`StatsRecorder` aggregates counters.  This script
-measures both on the E1 workload — quantifier-free reliability, the
+and <5% when a :class:`StatsRecorder` aggregates counters, with a
+buffered JSONL sink adding at most 10% (one joined write per 256
+events; see ``repro.obs.sink.JsonlSink``).  This script measures both
+on the E1 workload — quantifier-free reliability, the
 library's hottest polynomial path, whose inner loop
 (``_atom_enumeration_probability``) runs thousands of times per call —
 and writes the result to ``BENCH_obs_overhead.json`` at the repo root.
 
-Timings are the median of ``--repeats`` runs after a warm-up.  The
-reported overheads compare:
+Timings are the *minimum* over ``--repeats`` interleaved runs after a
+warm-up — the workload is deterministic, so timer noise is strictly
+additive and the minimum is the best estimator of true cost (the same
+reasoning as ``timeit``'s documented recommendation).  The reported
+overheads compare:
 
 * ``stats_vs_null`` — StatsRecorder (counters only) vs. NullRecorder;
 * ``traced_vs_null`` — StatsRecorder with a JSONL sink to ``os.devnull``
@@ -26,7 +31,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import statistics
 import time
 from pathlib import Path
 
@@ -46,31 +50,39 @@ def _workload(size: int):
     return lambda: reliability(db, QUERY, method="qf")
 
 
-def _median_seconds(thunk, repeats: int) -> float:
-    thunk()  # warm-up: populate caches, import machinery, etc.
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        thunk()
-        times.append(time.perf_counter() - start)
-    return statistics.median(times)
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
 
 
 def measure(size: int, repeats: int) -> dict:
     run = _workload(size)
 
-    with obs.use(obs.NullRecorder()):
-        null_s = _median_seconds(run, repeats)
-
-    with obs.use(obs.StatsRecorder()):
-        stats_s = _median_seconds(run, repeats)
-
     devnull = open(os.devnull, "w")
     try:
-        with obs.use(obs.StatsRecorder(sink=obs.JsonlSink(devnull))):
-            traced_s = _median_seconds(run, repeats)
+        recorders = {
+            "null": obs.NullRecorder(),
+            "stats": obs.StatsRecorder(),
+            "traced": obs.StatsRecorder(sink=obs.JsonlSink(devnull)),
+        }
+        times = {name: [] for name in recorders}
+        # Warm up each configuration (caches, imports), then interleave
+        # the timed runs round-robin so clock-frequency drift and cache
+        # warmth bias no single configuration.
+        for recorder in recorders.values():
+            with obs.use(recorder):
+                run()
+        for _ in range(repeats):
+            for name, recorder in recorders.items():
+                with obs.use(recorder):
+                    times[name].append(_timed(run))
     finally:
         devnull.close()
+
+    null_s = min(times["null"])
+    stats_s = min(times["stats"])
+    traced_s = min(times["traced"])
 
     def pct(measured: float, baseline: float) -> float:
         return round(100.0 * (measured - baseline) / baseline, 3)
@@ -89,8 +101,8 @@ def measure(size: int, repeats: int) -> dict:
             "stats_vs_null": pct(stats_s, null_s),
             "traced_vs_null": pct(traced_s, null_s),
         },
-        "threshold_pct": 5.0,
-        "pass": stats_s <= null_s * 1.05,
+        "threshold_pct": {"stats_vs_null": 5.0, "traced_vs_null": 10.0},
+        "pass": stats_s <= null_s * 1.05 and traced_s <= null_s * 1.10,
     }
 
 

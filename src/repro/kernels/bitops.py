@@ -1,0 +1,108 @@
+"""Big-int bit columns: the data layout of every batched kernel.
+
+A *column* is one Python integer whose bit ``s`` holds a propositional
+variable's value in sample ``s``.  A batch of ``S`` worlds over ``V``
+variables is then just ``V`` integers of ``S`` bits each, and a DNF
+clause is evaluated for all ``S`` worlds with ``len(clause)`` AND ops.
+
+Two primitives live here:
+
+* :func:`popcount` — ``int.bit_count`` where available (3.10+), with a
+  ``bin().count`` fallback for 3.9;
+* :func:`bernoulli_column` — ``S`` independent Bernoulli(p) bits from
+  a ``random.Random``, exact for any float ``p`` via its (finite)
+  dyadic expansion: the column is the lane-wise comparison ``U < p``
+  of a uniform bit-stream against the bits of ``p``, processed from
+  the deepest bit up, which costs one ``getrandbits(S)`` per bit of
+  ``p`` (at most 54) instead of ``S`` calls to ``rng.random()``.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Tuple, Union
+
+# Default batch width: worlds evaluated per column batch.  4096 bits is
+# 64 machine words per big-int op — wide enough to amortise interpreter
+# overhead, small enough that per-batch checkpoint/trace granularity
+# stays useful.
+BATCH_BITS = 4096
+
+try:  # Python >= 3.10
+    (0).bit_count
+
+    def popcount(value: int) -> int:
+        """Number of set bits in a nonnegative integer."""
+        return value.bit_count()
+
+except AttributeError:  # pragma: no cover - exercised on 3.9 only
+
+    def popcount(value: int) -> int:
+        """Number of set bits in a nonnegative integer."""
+        return bin(value).count("1")
+
+
+def full_mask(width: int) -> int:
+    """The all-ones column of the given width."""
+    return (1 << width) - 1
+
+
+def dyadic_bits(probability: Union[float, Fraction]) -> Tuple[int, ...]:
+    """The binary expansion of a dyadic probability, most significant first.
+
+    Floats are dyadic rationals, so ``Fraction(float(p))`` is *exact*
+    and its denominator is a power of two; the returned tuple ``b`` has
+    ``p == sum(b[i] / 2**(i+1))``.  Returns ``()`` for ``p <= 0`` and
+    ``p >= 1`` — callers special-case deterministic variables.
+    """
+    exact = Fraction(float(probability))
+    if exact <= 0 or exact >= 1:
+        return ()
+    length = exact.denominator.bit_length() - 1
+    numerator = exact.numerator
+    return tuple((numerator >> (length - 1 - i)) & 1 for i in range(length))
+
+
+def bernoulli_column(
+    rng: random.Random, width: int, bits: Tuple[int, ...], full: int
+) -> int:
+    """``width`` independent Bernoulli bits with P(1) given by ``bits``.
+
+    ``bits`` is the dyadic expansion from :func:`dyadic_bits`; an empty
+    expansion means deterministic 0.  Lane ``s`` compares a fresh
+    uniform bit-stream against the expansion: starting from the deepest
+    bit, ``lt`` tracks "stream suffix < p suffix", and one more
+    significant bit updates it to *less* when the p-bit is 1 and the
+    stream bit is 0, *greater* in the opposite case, and *carry* on a
+    tie.  The result is exactly ``P(lane) = p`` per lane, matching the
+    scalar ``rng.random() < p`` distribution.
+    """
+    if not bits:
+        return 0
+    less = 0
+    for bit in reversed(bits):
+        stream = rng.getrandbits(width)
+        if bit:
+            less = (~stream & full) | (stream & less)
+        else:
+            less = ~stream & less
+    return less & full
+
+
+def iter_set_bits(mask: int):
+    """Yield the positions of the set bits of ``mask``, ascending.
+
+    Chunks the big-int into 64-bit words first so the per-bit work runs
+    on machine-word ints instead of repeatedly shifting the full-width
+    column.
+    """
+    base = 0
+    while mask:
+        word = mask & 0xFFFFFFFFFFFFFFFF
+        while word:
+            low = word & -word
+            yield base + low.bit_length() - 1
+            word ^= low
+        mask >>= 64
+        base += 64

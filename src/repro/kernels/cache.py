@@ -1,0 +1,84 @@
+"""The compilation cache: compile once, reuse across calls.
+
+Grounding a query (Theorem 5.4) and compiling the resulting DNF into a
+bitmask plan are pure functions of the database and the query, yet
+every ``run``/``analyze``/benchmark invocation used to redo them.  This
+module provides one process-wide bounded LRU shared by all kernels.
+
+Keys are *equality-checked* structures, never bare hashes: a key is a
+tuple of a kind tag, the database fingerprint (the observed
+:class:`~repro.relational.structure.Structure`, the explicit ``mu``
+table as a frozenset of items, and the default error), and the query
+object (formulas and :class:`FOQuery` are immutable and hashable).
+Hash collisions therefore cannot alias two different compilations.
+
+Hits, misses, and evictions are visible as ``kernels.cache.hits`` /
+``.misses`` / ``.evictions`` counters.  The default capacity is
+:data:`DEFAULT_CAPACITY` entries (see docs/PERFORMANCE.md); entries
+are whole compiled artefacts, so the bound is on count, not bytes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro import obs
+
+# Bounded LRU size, in entries.  A compiled plan is retained per
+# (database fingerprint, query, kind) triple.  Hamming/reliability
+# sweeps ground one instantiated formula per tuple — n**k entries, 576
+# for a binary query on n=24 — so the bound must comfortably exceed
+# that or repeat runs thrash instead of hitting; 1024 covers n <= 32
+# while each entry stays a few-clause DNF.
+DEFAULT_CAPACITY = 1024
+
+_MISSING = object()
+
+
+class LruCache:
+    """A tiny ordered-dict LRU with observability counters."""
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        ``factory`` failures propagate and cache nothing, so an aborted
+        compilation (``BudgetExceeded``, ``CostRefused``) never poisons
+        the cache.
+        """
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self._entries.move_to_end(key)
+            obs.inc("kernels.cache.hits")
+            return value
+        obs.inc("kernels.cache.misses")
+        value = factory()
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            obs.inc("kernels.cache.evictions")
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: The process-wide compilation cache shared by grounding and plans.
+compilation_cache = LruCache()
+
+
+def clear_caches() -> None:
+    """Drop every cached compilation (tests call this between cases)."""
+    compilation_cache.clear()

@@ -1,0 +1,60 @@
+"""Multiprocessing fan-out over batch payloads.
+
+The batched kernels reduce every estimator to an ordered list of pure
+``(plan, base_seed, batch_index, width)`` jobs, which makes process
+fan-out trivial: any partition of the jobs over any number of workers
+produces the same results, because randomness is derived from the batch
+index (see :func:`repro.kernels.sampling.batch_rng`) and the driver
+combines results in index order.
+
+Workers never touch the runtime budget — the parent charges
+``checkpoint(samples=width)`` per batch as results are combined, so one
+global budget fairly accounts for all shards at batch granularity.
+
+Fan-out is strictly best-effort: any pool failure (no fork support,
+pickling trouble, a dying worker) is recorded as a
+``kernels.shard.fallbacks`` counter and the caller silently reruns the
+batches sequentially.  Plans, being tuples of atoms/ints over
+``__slots__`` classes, pickle cheaply.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence
+
+from repro import obs
+
+
+def _pool_context():
+    # fork shares the compiled plan pages with the workers; fall back to
+    # the platform default (spawn) where fork does not exist.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_jobs(
+    worker, payloads: Sequence[tuple], shards: int
+) -> Optional[List]:
+    """Run ``worker(*payload)`` for every payload over a process pool.
+
+    Returns results in payload order, or ``None`` when the pool could
+    not be used — the caller falls back to sequential execution.
+    ``worker`` must be a module-level function (picklable by name).
+    """
+    processes = max(1, min(shards, len(payloads)))
+    if processes == 1:
+        return None
+    with obs.span("kernels.shard_fanout", shards=processes, jobs=len(payloads)):
+        try:
+            context = _pool_context()
+            with context.Pool(processes=processes) as pool:
+                results = pool.starmap(worker, payloads, chunksize=1)
+        except Exception:
+            obs.inc("kernels.shard.fallbacks")
+            return None
+    obs.inc("kernels.shard.jobs", len(payloads))
+    obs.gauge("kernels.shard.workers", processes)
+    return results

@@ -68,7 +68,15 @@ class NullRecorder:
 
 
 class _Span:
-    """A live span: times a block and reports to its recorder on exit."""
+    """A live span: times a block and reports to its recorder on exit.
+
+    Exited spans return to a per-recorder free list and are reused by
+    the next ``span()`` call — hot loops open thousands of spans and
+    the allocation per block is measurable.  The only constraint this
+    puts on callers is the natural one: use a span as a ``with`` block
+    and do not re-enter it after exit (the object may since have been
+    handed out again).
+    """
 
     __slots__ = ("recorder", "name", "attrs", "start", "depth")
 
@@ -81,16 +89,17 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         recorder = self.recorder
-        self.depth = len(recorder._span_stack)
-        recorder._span_stack.append(self.name)
+        self.depth = recorder._span_depth
+        recorder._span_depth = self.depth + 1
         self.start = recorder._clock()
         return self
 
     def __exit__(self, *exc_info) -> bool:
         recorder = self.recorder
-        duration = recorder._clock() - self.start
-        recorder._span_stack.pop()
-        recorder._finish_span(self, duration)
+        end = recorder._clock()
+        recorder._span_depth = self.depth
+        recorder._finish_span(self, end - self.start, end)
+        recorder._span_pool.append(self)
         return False
 
 
@@ -108,18 +117,33 @@ class StatsRecorder:
         self.sink = sink
         self._clock = clock
         self._epoch = clock()
-        self._span_stack: list = []
+        self._span_depth = 0
+        self._span_pool: list = []
+        # Span-duration histograms, memoised per span name: hot loops
+        # close thousands of spans and the f-string + registry lookup
+        # per close is measurable (see BENCH_obs_overhead.json).
+        self._span_seconds: Dict[str, Any] = {}
+        # Sink capabilities, resolved once: ``emit_span`` is the
+        # dict-free span fast path, ``flush`` the buffered-sink drain.
+        self._emit_span = getattr(sink, "emit_span", None)
+        self._sink_flush = getattr(sink, "flush", None)
 
     # -- aggregation ---------------------------------------------------- #
 
     def inc(self, name: str, amount=1) -> None:
-        self.registry.counter(name).inc(amount)
+        counter = self.registry.counters.get(name)
+        if counter is None:
+            counter = self.registry.counter(name)
+        counter.value += amount
 
     def gauge(self, name: str, value) -> None:
         self.registry.gauge(name).set(value)
 
     def observe(self, name: str, value) -> None:
-        self.registry.histogram(name).observe(value)
+        histogram = self.registry.histograms.get(name)
+        if histogram is None:
+            histogram = self.registry.histogram(name)
+        histogram.observe(value)
 
     # -- tracing -------------------------------------------------------- #
 
@@ -140,21 +164,43 @@ class StatsRecorder:
             )
 
     def span(self, name: str, **attrs) -> _Span:
+        pool = self._span_pool
+        if pool:
+            span = pool.pop()
+            span.name = name
+            span.attrs = attrs
+            return span
         return _Span(self, name, attrs)
 
-    def _finish_span(self, span: _Span, duration: float) -> None:
-        self.registry.histogram(f"{span.name}.seconds").observe(duration)
+    def _finish_span(self, span: _Span, duration: float, end: float) -> None:
+        histogram = self._span_seconds.get(span.name)
+        if histogram is None:
+            histogram = self.registry.histogram(f"{span.name}.seconds")
+            self._span_seconds[span.name] = histogram
+        histogram.observe(duration)
         if self.sink is not None:
-            record: Dict[str, Any] = {
-                "ts": round(self._timestamp(), 9),
-                "type": "span",
-                "name": span.name,
-                "dur_s": round(duration, 9),
-                "depth": span.depth,
-            }
-            if span.attrs:
-                record["attrs"] = span.attrs
-            self.sink.emit(record)
+            emit_span = self._emit_span
+            if emit_span is not None:
+                emit_span(end - self._epoch, span.name, duration,
+                          span.depth, span.attrs)
+            else:
+                record: Dict[str, Any] = {
+                    "ts": round(end - self._epoch, 9),
+                    "type": "span",
+                    "name": span.name,
+                    "dur_s": round(duration, 9),
+                    "depth": span.depth,
+                }
+                if span.attrs:
+                    record["attrs"] = span.attrs
+                self.sink.emit(record)
+            if span.depth == 0:
+                # A top-level span closing means one engine call is
+                # complete; push buffered trace records to disk so the
+                # file is readable between calls (buffered sinks only).
+                flush = self._sink_flush
+                if flush is not None:
+                    flush()
 
     # -- lifecycle ------------------------------------------------------ #
 

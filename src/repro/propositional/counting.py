@@ -43,6 +43,7 @@ def probability_enumerate(dnf: DNF, probs: ProbMap) -> Fraction:
     variables = sorted(dnf.variables, key=repr)
     total = Fraction(0)
     for values in product((False, True), repeat=len(variables)):
+        checkpoint(worlds=1)
         assignment = dict(zip(variables, values))
         if dnf.satisfied_by(assignment):
             weight = Fraction(1)

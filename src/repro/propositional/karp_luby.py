@@ -31,6 +31,13 @@ from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro.kernels.bitops import dyadic_bits
+from repro.kernels.plan import compile_dnf_plan
+from repro.kernels.sampling import (
+    KlPlan,
+    sample_kl_batches,
+    sample_naive_batches,
+)
 from repro.propositional.formula import DNF, Variable
 from repro.runtime.budget import checkpoint
 from repro.runtime.preflight import preflight_samples
@@ -43,6 +50,10 @@ RngLike = Union[random.Random, Seed]
 # Convergence traces partition the sample budget into at most this many
 # running-estimate events (see docs/OBSERVABILITY.md).
 TRACE_BATCHES = 64
+
+# The scalar fallback loops charge the runtime budget in chunks of this
+# many samples; BudgetExceeded is accurate to within one chunk.
+CHECKPOINT_CHUNK = 64
 
 
 def _clause_weights(dnf: DNF, probs: Mapping[Variable, ProbLike]) -> List[float]:
@@ -114,10 +125,21 @@ def karp_luby_samples(
     samples: int,
     rng: RngLike,
     method: str = "coverage",
+    kernel: str = "batched",
+    shards: int = 1,
 ) -> KarpLubyEstimate:
-    """Karp–Luby with an explicit sample budget (for benchmark sweeps)."""
+    """Karp–Luby with an explicit sample budget (for benchmark sweeps).
+
+    ``kernel="batched"`` (the default) draws and evaluates samples in
+    bit-parallel column batches (see docs/PERFORMANCE.md);
+    ``kernel="scalar"`` keeps the per-sample loop for comparison.
+    ``shards`` fans batches out over worker processes; results are
+    identical for a fixed seed regardless of shard count.
+    """
     if method not in ("coverage", "canonical"):
         raise QueryError(f"unknown Karp-Luby method {method!r}")
+    if kernel not in ("batched", "scalar"):
+        raise QueryError(f"unknown Karp-Luby kernel {kernel!r}")
     if samples <= 0:
         raise ProbabilityError(f"sample budget must be positive, got {samples}")
     if dnf.is_true():
@@ -150,9 +172,29 @@ def karp_luby_samples(
     trace = obs.enabled()
     stride = max(1, samples // TRACE_BATCHES)
 
+    if kernel == "batched":
+        plan = compile_dnf_plan(dnf)
+        kl_plan = KlPlan(
+            plan.clauses,
+            tuple(dyadic_bits(float_probs[v]) for v in plan.variables),
+            cumulative,
+            total_weight,
+            method,
+        )
+        accumulator = sample_kl_batches(kl_plan, rng, samples, shards=shards)
+        obs.inc("karp_luby.samples", samples)
+        estimate = total_weight * accumulator / samples
+        return KarpLubyEstimate(
+            min(estimate, 1.0), samples, total_weight, method
+        )
+
     accumulator = 0.0
+    pending = 0
     for drawn in range(1, samples + 1):
-        checkpoint(samples=1)
+        pending += 1
+        if pending >= CHECKPOINT_CHUNK or drawn == samples:
+            checkpoint(samples=pending)
+            pending = 0
         # Pick a clause proportionally to its weight.
         target = rng.random() * total_weight
         index = _bisect(cumulative, target)
@@ -206,6 +248,8 @@ def naive_probability_estimate(
     probs: Mapping[Variable, ProbLike],
     samples: int,
     rng: RngLike,
+    kernel: str = "batched",
+    shards: int = 1,
 ) -> float:
     """Plain Monte Carlo baseline: sample assignments, count hits.
 
@@ -213,16 +257,28 @@ def naive_probability_estimate(
     small-probability formulas blows up — the failure mode Karp–Luby was
     invented to avoid and the contrast measured in experiment E9.
     """
+    if kernel not in ("batched", "scalar"):
+        raise QueryError(f"unknown sampling kernel {kernel!r}")
     if samples <= 0:
         raise ProbabilityError(f"sample budget must be positive, got {samples}")
     rng = as_rng(rng)
     variables = sorted(dnf.variables, key=repr)
     float_probs = {v: float(probs[v]) for v in variables}
+    if kernel == "batched":
+        plan = compile_dnf_plan(dnf)
+        bits = tuple(dyadic_bits(float_probs[v]) for v in plan.variables)
+        return sample_naive_batches(
+            plan.clauses, bits, rng, samples, shards=shards
+        )
     trace = obs.enabled()
     stride = max(1, samples // TRACE_BATCHES)
     hits = 0
+    pending = 0
     for drawn in range(1, samples + 1):
-        checkpoint(samples=1)
+        pending += 1
+        if pending >= CHECKPOINT_CHUNK or drawn == samples:
+            checkpoint(samples=pending)
+            pending = 0
         assignment = {
             variable: rng.random() < float_probs[variable]
             for variable in variables

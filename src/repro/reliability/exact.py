@@ -24,6 +24,10 @@ from itertools import product
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro.kernels.gray import (
+    gray_dnf_probability,
+    gray_enumeration_probability,
+)
 from repro.logic.classify import is_existential, is_quantifier_free, is_universal
 from repro.logic.evaluator import FOQuery, evaluate
 from repro.logic.fo import Formula, instantiate, neg
@@ -135,14 +139,29 @@ def _qf_truth_probability(db: UnreliableDatabase, formula: Formula) -> Fraction:
     """Proposition 3.1's engine for one quantifier-free sentence.
 
     Only the (constantly many) atoms occurring in the sentence matter;
-    enumerate their joint values, weight by ``nu``, and evaluate.
+    enumerate their joint values, weight by ``nu``, and evaluate.  A
+    ground quantifier-free sentence is vacuously existential, so it
+    grounds to a (cached) DNF whose marginal probability equals the
+    enumeration sum exactly — letting the Gray-code walk update clause
+    state incrementally instead of re-evaluating the formula per world.
+    Formulas whose grounding is refused fall back to the generic walk.
     """
+    from repro.util.errors import CostRefused
+
     atoms = _formula_atoms(db, formula)
     with obs.span("exact.qf", atoms=len(atoms)):
         obs.observe("exact.relevant_atoms", len(atoms))
-        return _atom_enumeration_probability(
-            db, atoms, lambda world: evaluate(world, formula)
-        )
+        try:
+            dnf = ground_existential_to_dnf(db, formula).dnf
+        except (CostRefused, QueryError):
+            return _atom_enumeration_probability(
+                db, atoms, lambda world: evaluate(world, formula)
+            )
+        if dnf.is_true():
+            return Fraction(1)
+        if dnf.is_false():
+            return Fraction(0)
+        return gray_dnf_probability(db, dnf)
 
 
 def _formula_atoms(db: UnreliableDatabase, formula: Formula) -> Tuple[Atom, ...]:
@@ -203,30 +222,11 @@ def _atom_enumeration_probability(
     """``Pr[predicate(B)]`` enumerating only the given uncertain atoms.
 
     Every other atom keeps its deterministic actual value.  Cost:
-    ``2 ** len(atoms)`` world evaluations.
+    ``2 ** len(atoms)`` world evaluations, walked in Gray-code order —
+    one atom flip and one exact weight update per world (see
+    :mod:`repro.kernels.gray`).
     """
-    base = db.observed_world()
-    total = Fraction(0)
-    evaluated = 0
-    for pattern in product((False, True), repeat=len(atoms)):
-        checkpoint(worlds=1)
-        probability = Fraction(1)
-        flips = []
-        for atom, flipped in zip(atoms, pattern):
-            error = db.mu(atom)
-            if flipped:
-                probability *= error
-                flips.append(atom)
-            else:
-                probability *= 1 - error
-        if probability == 0:
-            continue
-        world = base.flip_all(flips) if flips else base
-        evaluated += 1
-        if predicate(world):
-            total += probability
-    obs.inc("exact.worlds_enumerated", evaluated)
-    return total
+    return gray_enumeration_probability(db, atoms, predicate)
 
 
 def _dnf_truth_probability(db: UnreliableDatabase, formula: Formula) -> Fraction:

@@ -18,6 +18,7 @@ from itertools import product
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.kernels.cache import compilation_cache
 from repro.logic.evaluator import FOQuery
 from repro.logic.fo import (
     AtomF,
@@ -65,9 +66,23 @@ def ground_existential_to_dnf(
     atoms fold to constants (a clause containing a false deterministic
     literal is dropped; true literals vanish).
 
+    Results are memoised in the kernels compilation cache keyed on the
+    database fingerprint and the sentence AST, so repeated runs of the
+    same query skip re-grounding entirely (``kernels.cache.hits``);
+    grounding counters fire only on actual grounding work.
+
     Raises :class:`QueryError` if the sentence is not existential (the
     caller handles universal sentences by negating).
     """
+    key = ("grounding", db.fingerprint(), sentence)
+    return compilation_cache.get_or_create(
+        key, lambda: _ground_uncached(db, sentence)
+    )
+
+
+def _ground_uncached(
+    db: UnreliableDatabase, sentence: Formula
+) -> GroundingResult:
     with obs.span("grounding.ground"):
         variables, matrix = existential_parts(sentence)
         clause_templates = dnf_clauses(matrix)
@@ -184,7 +199,12 @@ def relevant_atoms(db: UnreliableDatabase, query) -> Tuple[Atom, ...]:
         formula = query
     if formula is None:
         return db.uncertain_atoms()
-    from repro.logic.fo import relations_used
 
-    used = relations_used(formula)
-    return tuple(a for a in db.uncertain_atoms() if a.relation in used)
+    def compute() -> Tuple[Atom, ...]:
+        from repro.logic.fo import relations_used
+
+        used = relations_used(formula)
+        return tuple(a for a in db.uncertain_atoms() if a.relation in used)
+
+    key = ("relevant_atoms", db.fingerprint(), formula)
+    return compilation_cache.get_or_create(key, compute)

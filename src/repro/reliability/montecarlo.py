@@ -22,6 +22,11 @@ import random
 from typing import Any, Sequence, Union
 
 from repro import obs
+from repro.kernels.plan import compile_hamming_plan, compile_truth_plan
+from repro.kernels.sampling import (
+    sample_hamming_batches,
+    sample_truth_batches,
+)
 from repro.logic.evaluator import FOQuery
 from repro.logic.fo import Formula
 from repro.reliability.exact import as_query
@@ -37,6 +42,18 @@ RngLike = Union[random.Random, Seed]
 # Convergence traces partition the sample budget into at most this many
 # running-estimate events (see docs/OBSERVABILITY.md).
 TRACE_BATCHES = 64
+
+# The scalar fallback loops charge the runtime budget in chunks of this
+# many samples; BudgetExceeded is accurate to within one chunk.
+CHECKPOINT_CHUNK = 64
+
+_KERNELS = ("auto", "batched", "scalar")
+
+
+def _kernel_choice(kernel: str) -> str:
+    if kernel not in _KERNELS:
+        raise QueryError(f"unknown sampling kernel {kernel!r}")
+    return kernel
 
 
 def _half_width(count: int, delta: float) -> float:
@@ -81,13 +98,24 @@ def estimate_truth_probability(
     delta: float = 0.05,
     samples: int = 0,
     args: Sequence[Any] = (),
+    kernel: str = "auto",
+    shards: int = 1,
 ) -> float:
     """Estimate ``Pr[B |= psi(args)]`` by direct world sampling.
 
     ``samples`` overrides the Hoeffding count when positive (benchmark
     sweeps fix budgets explicitly).  ``rng`` may be a ``random.Random``
     or a bare seed.
+
+    ``kernel`` selects the sampling loop: ``"auto"`` compiles
+    first-order queries to a bit-parallel batched kernel (see
+    docs/PERFORMANCE.md) and falls back to the scalar per-world loop
+    for everything else; ``"scalar"`` forces the fallback;
+    ``"batched"`` raises if the query does not compile.  ``shards``
+    fans batched sample batches out over worker processes
+    (deterministic for a fixed seed regardless of shard count).
     """
+    kernel = _kernel_choice(kernel)
     query = as_query(query)
     args = tuple(args)
     if len(args) != query.arity:
@@ -99,9 +127,23 @@ def estimate_truth_probability(
     trace = obs.enabled()
     stride = max(1, budget // TRACE_BATCHES)
     with obs.span("montecarlo.truth_probability", budget=budget):
+        if kernel != "scalar":
+            plan = compile_truth_plan(db, query, args)
+            if plan is not None:
+                return sample_truth_batches(
+                    plan, rng, budget, delta, shards=shards
+                )
+            if kernel == "batched":
+                raise QueryError(
+                    "query does not compile to a batched sampling kernel"
+                )
         hits = 0
+        pending = 0
         for drawn in range(1, budget + 1):
-            checkpoint(samples=1)
+            pending += 1
+            if pending >= CHECKPOINT_CHUNK or drawn == budget:
+                checkpoint(samples=pending)
+                pending = 0
             world = db.sample(rng)
             if query.evaluate(world, args):
                 hits += 1
@@ -123,6 +165,8 @@ def estimate_reliability_hamming(
     epsilon: float = 0.05,
     delta: float = 0.05,
     samples: int = 0,
+    kernel: str = "auto",
+    shards: int = 1,
 ) -> float:
     """Estimate ``R_psi`` by sampling worlds and averaging Hamming distance.
 
@@ -130,21 +174,39 @@ def estimate_reliability_hamming(
     so Hoeffding's bound applies to the mean and the returned value is
     within ``epsilon`` of ``R_psi`` with probability at least
     ``1 - delta``.  ``rng`` may be a ``random.Random`` or a bare seed.
+    ``kernel`` and ``shards`` select the batched bit-parallel loop as in
+    :func:`estimate_truth_probability` (all ``n ** k`` per-tuple plans
+    share each sampled column batch).
     """
+    kernel = _kernel_choice(kernel)
     query = as_query(query)
     n = db.universe_size
     cells = n**query.arity
     if cells == 0:
         raise QueryError("reliability undefined on an empty universe")
     rng = as_rng(rng)
-    observed_answers = query.answers(db.structure)
     budget = _sample_budget(samples, epsilon, delta)
     trace = obs.enabled()
     stride = max(1, budget // TRACE_BATCHES)
     with obs.span("montecarlo.hamming", budget=budget, cells=cells):
+        if kernel != "scalar":
+            plan = compile_hamming_plan(db, query)
+            if plan is not None:
+                return sample_hamming_batches(
+                    plan, rng, budget, delta, shards=shards
+                )
+            if kernel == "batched":
+                raise QueryError(
+                    "query does not compile to a batched sampling kernel"
+                )
+        observed_answers = query.answers(db.structure)
         total = 0.0
+        pending = 0
         for drawn in range(1, budget + 1):
-            checkpoint(samples=1)
+            pending += 1
+            if pending >= CHECKPOINT_CHUNK or drawn == budget:
+                checkpoint(samples=pending)
+                pending = 0
             world = db.sample(rng)
             actual_answers = query.answers(world)
             distance = len(observed_answers.symmetric_difference(actual_answers))

@@ -34,8 +34,14 @@ from repro.relational.schema import RelationSymbol, Vocabulary
 from repro.reliability.approx import AdditiveEstimate
 from repro.reliability.exact import as_query, _instantiated
 from repro.reliability.unreliable import UnreliableDatabase
+from repro.runtime.budget import checkpoint
+from repro.runtime.preflight import preflight_samples
 from repro.util.errors import ProbabilityError, QueryError
 from repro.util.rationals import RationalLike, parse_probability
+
+# The sampling loop charges the runtime budget in chunks of this many
+# samples; BudgetExceeded is accurate to within one chunk.
+CHECKPOINT_CHUNK = 64
 
 # Fresh names for the padding gadget.  They only clash if the user's
 # vocabulary already uses them; pad_database validates and lets the caller
@@ -175,8 +181,15 @@ def padded_truth_probability(
     )
     half_epsilon = epsilon / 2.0
     t = padding_sample_count(xi, half_epsilon, delta)
+    # Refuse up front when the active budget cannot fit the run.
+    preflight_samples(t)
     hits = 0
-    for _ in range(t):
+    pending = 0
+    for drawn in range(1, t + 1):
+        pending += 1
+        if pending >= CHECKPOINT_CHUNK or drawn == t:
+            checkpoint(samples=pending)
+            pending = 0
         world = padded_db.sample(rng)
         if padded_query.evaluate(world):
             hits += 1

@@ -37,7 +37,7 @@ class UnreliableDatabase:
       (observed value certainly wrong, so the actual value is its flip).
     """
 
-    __slots__ = ("_structure", "_mu", "_default", "_uncertain")
+    __slots__ = ("_structure", "_mu", "_default", "_uncertain", "_fingerprint")
 
     def __init__(
         self,
@@ -74,6 +74,7 @@ class UnreliableDatabase:
                 if 0 < probability < 1:
                     uncertain.append(atom)
         self._uncertain: Tuple[Atom, ...] = tuple(sorted(uncertain, key=repr))
+        self._fingerprint: Optional[Tuple] = None
 
     # ------------------------------------------------------------------ #
 
@@ -99,6 +100,23 @@ class UnreliableDatabase:
     def uncertain_atoms(self) -> Tuple[Atom, ...]:
         """Atoms with ``0 < mu < 1``, in a fixed sorted order."""
         return self._uncertain
+
+    def fingerprint(self) -> Tuple:
+        """A hashable, equality-checked identity for compilation caching.
+
+        Two databases with equal fingerprints assign the same ``nu`` to
+        every atom, so any compiled artefact (grounded DNF, bitmask
+        plan, relevant-atom set) is interchangeable between them.  Used
+        as a :mod:`repro.kernels.cache` key component; computed lazily
+        and memoised because the structure hash walks every relation.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = (
+                self._structure,
+                frozenset(self._mu.items()),
+                self._default,
+            )
+        return self._fingerprint
 
     def certain_flips(self) -> Tuple[Atom, ...]:
         """Atoms with ``mu == 1`` — deterministically wrong observations."""

@@ -4,10 +4,23 @@ from fractions import Fraction
 
 import pytest
 
+from repro.kernels.cache import clear_caches
 from repro.relational.atoms import Atom
 from repro.relational.builder import StructureBuilder
 from repro.reliability.unreliable import UnreliableDatabase
 from repro.util.rng import make_rng
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernel_caches():
+    """Isolate tests from the process-global compilation cache.
+
+    Counter assertions (grounding, kernels.cache.*) would otherwise
+    depend on which tests ran earlier in the process.
+    """
+    clear_caches()
+    yield
+    clear_caches()
 
 
 @pytest.fixture

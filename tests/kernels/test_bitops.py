@@ -1,0 +1,100 @@
+"""Bit-column primitives: popcount, dyadic expansion, Bernoulli columns."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.kernels.bitops import (
+    BATCH_BITS,
+    bernoulli_column,
+    dyadic_bits,
+    full_mask,
+    iter_set_bits,
+    popcount,
+)
+
+
+def test_popcount_matches_bin_count():
+    rng = random.Random(1)
+    for _ in range(50):
+        value = rng.getrandbits(rng.randint(1, 4096))
+        assert popcount(value) == bin(value).count("1")
+    assert popcount(0) == 0
+    assert popcount(full_mask(BATCH_BITS)) == BATCH_BITS
+
+
+def test_full_mask():
+    assert full_mask(1) == 1
+    assert full_mask(8) == 0xFF
+    assert full_mask(64) == (1 << 64) - 1
+
+
+def test_dyadic_bits_reconstruct_the_probability():
+    rng = random.Random(2)
+    for _ in range(100):
+        p = rng.random()
+        bits = dyadic_bits(p)
+        value = Fraction(0)
+        for k, bit in enumerate(bits, start=1):
+            value += Fraction(bit, 2**k)
+        assert value == Fraction(p)
+
+
+def test_dyadic_bits_degenerate_probabilities():
+    assert dyadic_bits(0.0) == ()
+    assert dyadic_bits(1.0) == ()
+    assert dyadic_bits(-0.5) == ()
+    assert dyadic_bits(1.5) == ()
+
+
+def test_dyadic_bits_exact_halves():
+    assert dyadic_bits(0.5) == (1,)
+    assert dyadic_bits(0.25) == (0, 1)
+    assert dyadic_bits(0.75) == (1, 1)
+
+
+def test_bernoulli_column_matches_scalar_stream():
+    """The column kernel is a drop-in for ``rng.random() < p`` lanes.
+
+    Not the same stream (the column kernel consumes ``getrandbits``),
+    but the *distribution* must match exactly: the per-lane probability
+    of a set bit is the dyadic expansion of ``p``.
+    """
+    width = 20000
+    full = full_mask(width)
+    for p in (0.5, 0.25, 1.0 / 3.0, 0.9):
+        bits = dyadic_bits(p)
+        column = bernoulli_column(random.Random(7), width, bits, full)
+        rate = popcount(column) / width
+        assert abs(rate - p) < 0.02, (p, rate)
+
+
+def test_bernoulli_column_stays_in_width():
+    full = full_mask(64)
+    column = bernoulli_column(random.Random(3), 64, dyadic_bits(0.7), full)
+    assert column & ~full == 0
+
+
+def test_bernoulli_column_empty_bits_is_zero():
+    assert bernoulli_column(random.Random(3), 64, (), full_mask(64)) == 0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bernoulli_column_exact_dyadic_rate(seed):
+    """For p = 1/2 each lane is one fair coin — match a replayed stream."""
+    width = 256
+    full = full_mask(width)
+    column = bernoulli_column(random.Random(seed), width, (1,), full)
+    replay = random.Random(seed).getrandbits(width)
+    # p = 1/2 sets the lane exactly when the stream bit is 0 (the lane
+    # value is *less than* the p-bit).
+    assert column == ~replay & full
+
+
+def test_iter_set_bits_round_trip():
+    rng = random.Random(11)
+    for _ in range(20):
+        value = rng.getrandbits(300)
+        assert sum(1 << i for i in iter_set_bits(value)) == value
+    assert list(iter_set_bits(0)) == []

@@ -1,0 +1,127 @@
+"""The compilation cache: LRU behaviour, counters, and engine reuse."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import obs
+from repro.kernels.cache import (
+    DEFAULT_CAPACITY,
+    LruCache,
+    clear_caches,
+    compilation_cache,
+)
+from repro.relational.atoms import Atom
+from repro.reliability.exact import truth_probability
+from repro.reliability.grounding import ground_existential_to_dnf
+from repro.logic.parser import parse
+
+
+def test_get_or_create_calls_factory_once():
+    cache = LruCache(capacity=4)
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return "value"
+
+    assert cache.get_or_create("k", factory) == "value"
+    assert cache.get_or_create("k", factory) == "value"
+    assert len(calls) == 1
+
+
+def test_lru_eviction_order():
+    cache = LruCache(capacity=2)
+    cache.get_or_create("a", lambda: 1)
+    cache.get_or_create("b", lambda: 2)
+    # Touch "a" so "b" is the least recently used.
+    cache.get_or_create("a", lambda: -1)
+    cache.get_or_create("c", lambda: 3)
+    assert len(cache) == 2
+    calls = []
+    cache.get_or_create("b", lambda: calls.append(1) or 2)
+    assert calls == [1]  # "b" was evicted, factory ran again
+
+
+def test_capacity_is_bounded():
+    cache = LruCache(capacity=8)
+    for index in range(50):
+        cache.get_or_create(index, lambda: index)
+    assert len(cache) == 8
+
+
+def test_default_capacity_is_documented_value():
+    assert DEFAULT_CAPACITY == 1024
+    assert LruCache().capacity == 1024
+
+
+def test_factory_failure_caches_nothing():
+    cache = LruCache(capacity=4)
+
+    def boom():
+        raise RuntimeError("refused")
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_create("k", boom)
+    assert len(cache) == 0
+    # A later success goes through.
+    assert cache.get_or_create("k", lambda: 7) == 7
+
+
+def test_hit_miss_counters():
+    recorder = obs.StatsRecorder()
+    cache = LruCache(capacity=1)
+    with obs.use(recorder):
+        cache.get_or_create("a", lambda: 1)  # miss
+        cache.get_or_create("a", lambda: 1)  # hit
+        cache.get_or_create("b", lambda: 2)  # miss + eviction
+    counters = recorder.summary()["counters"]
+    assert counters["kernels.cache.misses"] == 2
+    assert counters["kernels.cache.hits"] == 1
+    assert counters["kernels.cache.evictions"] == 1
+
+
+def test_clear_caches_empties_the_global_cache():
+    compilation_cache.get_or_create(("test", "sentinel"), lambda: 1)
+    assert len(compilation_cache) > 0
+    clear_caches()
+    assert len(compilation_cache) == 0
+
+
+def test_grounding_is_memoised_per_database(triangle_db):
+    sentence = parse("exists x. exists y. E(x, y) & S(y)")
+    recorder = obs.StatsRecorder()
+    with obs.use(recorder):
+        first = ground_existential_to_dnf(triangle_db, sentence)
+        second = ground_existential_to_dnf(triangle_db, sentence)
+    assert first is second
+    counters = recorder.summary()["counters"]
+    assert counters["kernels.cache.hits"] >= 1
+
+
+def test_repeated_query_hits_the_cache(triangle_db):
+    # Non-hierarchical, so the exact engine takes the grounded-DNF path
+    # (the lifted engine never grounds and has nothing to cache).
+    query = "exists x. exists y. E(x, y) & S(x) & S(y)"
+    recorder = obs.StatsRecorder()
+    with obs.use(recorder):
+        first = truth_probability(triangle_db, query)
+        hits_before = recorder.summary()["counters"].get(
+            "kernels.cache.hits", 0
+        )
+        second = truth_probability(triangle_db, query)
+        hits_after = recorder.summary()["counters"]["kernels.cache.hits"]
+    assert first == second
+    assert hits_after > hits_before
+
+
+def test_cache_distinguishes_databases(triangle_db, triangle):
+    from repro.reliability.unreliable import UnreliableDatabase
+
+    other = UnreliableDatabase(
+        triangle, {Atom("S", ("b",)): Fraction(1, 2)}
+    )
+    query = "exists x. S(x)"
+    assert truth_probability(triangle_db, query) != truth_probability(
+        other, query
+    )

@@ -1,0 +1,114 @@
+"""Gray-code enumeration: bit-identical to the product sweep, always.
+
+The incremental weight updates multiply and divide exact ``Fraction``
+ratios, so the per-world weights — and therefore the sums — must equal
+the ``itertools.product`` sweep *exactly*, not approximately.
+"""
+
+import random
+from fractions import Fraction
+
+from repro import obs
+from repro.kernels.gray import (
+    gray_dnf_probability,
+    gray_enumeration_probability,
+    product_enumeration_probability,
+)
+from repro.propositional.counting import probability_enumerate
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder
+from repro.reliability.grounding import ground_existential_to_dnf
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.logic.parser import parse
+
+
+def _random_db(rng, size):
+    builder = StructureBuilder(list(range(size)))
+    builder.relation("E", 2)
+    builder.relation("S", 1)
+    for i in range(size):
+        for j in range(size):
+            if rng.random() < 0.4:
+                builder.add("E", (i, j))
+        if rng.random() < 0.5:
+            builder.add("S", (i,))
+    structure = builder.build()
+    mu = {}
+    for i in range(size):
+        for j in range(size):
+            if rng.random() < 0.5:
+                mu[Atom("E", (i, j))] = Fraction(rng.randint(1, 7), 8)
+        if rng.random() < 0.5:
+            mu[Atom("S", (i,))] = Fraction(rng.randint(1, 7), 8)
+    return UnreliableDatabase(structure, mu)
+
+
+def test_gray_matches_product_exactly_on_random_databases():
+    rng = random.Random(42)
+    for _ in range(15):
+        db = _random_db(rng, rng.randint(2, 3))
+        atoms = sorted(db.uncertain_atoms(), key=repr)[:8]
+        if not atoms:
+            continue
+        target = atoms[0]
+        predicate = lambda world: world.holds(target)
+        gray = gray_enumeration_probability(db, atoms, predicate)
+        product = product_enumeration_probability(db, atoms, predicate)
+        assert gray == product
+        assert isinstance(gray, Fraction)
+
+
+def test_gray_empty_atom_list():
+    rng = random.Random(1)
+    db = _random_db(rng, 2)
+    assert gray_enumeration_probability(db, [], lambda w: True) == 1
+    assert gray_enumeration_probability(db, [], lambda w: False) == 0
+
+
+def test_gray_counts_all_worlds():
+    rng = random.Random(7)
+    db = _random_db(rng, 3)
+    atoms = sorted(db.uncertain_atoms(), key=repr)[:5]
+    recorder = obs.StatsRecorder()
+    with obs.use(recorder):
+        gray_enumeration_probability(db, atoms, lambda w: True)
+    counters = recorder.summary()["counters"]
+    assert counters["exact.worlds_enumerated"] == 2 ** len(atoms)
+    if len(atoms) > 1:
+        assert counters["kernels.gray.steps"] == 2 ** len(atoms) - 1
+
+
+def test_gray_dnf_matches_enumeration_oracle():
+    rng = random.Random(9)
+    for _ in range(10):
+        db = _random_db(rng, rng.randint(2, 3))
+        sentence = parse("exists x. exists y. E(x, y) & S(x) & S(y)")
+        try:
+            dnf = ground_existential_to_dnf(db, sentence).dnf
+        except Exception:
+            continue
+        if dnf.is_true() or dnf.is_false():
+            continue
+        probs = {v: db.nu(v) for v in dnf.variables}
+        assert gray_dnf_probability(db, dnf) == probability_enumerate(
+            dnf, probs
+        )
+
+
+def test_gray_dnf_handles_degenerate_probabilities():
+    """nu == 0 or 1 falls back to plain enumeration, same answer."""
+    from repro.propositional.formula import DNF, Clause, Literal
+
+    builder = StructureBuilder(["a", "b"])
+    builder.relation("S", 1)
+    builder.add("S", ("a",))
+    structure = builder.build()
+    # S(a) is certain (nu = 1); S(b) is uncertain with nu = 1/4.
+    db = UnreliableDatabase(structure, {Atom("S", ("b",)): Fraction(1, 4)})
+    certain, uncertain = Atom("S", ("a",)), Atom("S", ("b",))
+    assert db.nu(certain) == 1
+    dnf = DNF(
+        [Clause([Literal(certain, True), Literal(uncertain, False)])]
+    )
+    probs = {v: db.nu(v) for v in dnf.variables}
+    assert gray_dnf_probability(db, dnf) == probability_enumerate(dnf, probs)

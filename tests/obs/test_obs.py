@@ -120,7 +120,7 @@ class TestSpans:
         with pytest.raises(RuntimeError):
             with recorder.span("broken"):
                 raise RuntimeError("boom")
-        assert recorder._span_stack == []
+        assert recorder._span_depth == 0
         assert recorder.summary()["histograms"]["broken.seconds"]["count"] == 1
 
     def test_event_counts_even_without_sink(self):
