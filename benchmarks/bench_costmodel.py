@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Benchmark: calibrated vs static engine-chain ordering.
+
+Fits the per-engine cost model on the seeded calibration workload
+(``repro.runtime.costmodel.calibrate``), then replays a mixed evaluation
+workload through :func:`run_with_fallback` twice — once with the static
+default chain, once with the calibrated model re-ordering each chain
+within guarantee tiers — and compares total wall-clock.
+
+The evaluation workload is built so the static order is expensive: the
+databases carry more uncertain atoms than the ``max_atoms`` cap (exact
+is cost-refused after a preflight), the queries are unions (the lifted
+safe-plan engine mismatches), and the quantity is reliability, where
+Karp-Luby and Monte-Carlo sit in the *same* additive guarantee tier
+(Corollary 5.5) — so a calibrated model may legally move the cheap
+Hoeffding sampler ahead of Karp-Luby's grounding + union sampling.
+
+Results go to ``BENCH_costmodel.json`` at the repo root; ``pass`` is
+true when the calibrated arm beats the static arm on total wall-clock
+and every case still selects an engine whose forecast (``plan_chain``)
+matches the executed selection.
+
+``--smoke`` is the CI lane: a tiny calibration fit plus checks that
+(a) analyze-vs-run agreement holds on every smoke case, and (b) the
+median predicted-vs-observed error of the fitted model stays inside a
+10x band (|log10 ratio| <= 1).
+
+Usage::
+
+    python benchmarks/bench_costmodel.py [--repeats 3] [--cases 12]
+    python benchmarks/bench_costmodel.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.kernels import clear_caches
+from repro.logic.evaluator import FOQuery
+from repro.runtime.budget import Budget
+from repro.runtime.costmodel import calibrate, plan_chain, plan_features
+from repro.runtime.executor import run_with_fallback
+from repro.util.errors import FallbackExhausted
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+# Unions and a k-ary query: outside the safe-plan fragment, so the
+# static chain burns its exact-tier attempts before sampling.
+EVAL_QUERIES = [
+    ("exists x. S(x) | (exists y. E(x, y) & S(y))", []),
+    ("exists x. exists y. E(x, y) & S(y) | exists x. S(x)", []),
+    ("exists y. E(x, y) | S(x)", ["x"]),
+]
+
+EVAL_BUDGET_ATOMS = 16  # below every eval db's atom count: exact refuses
+
+
+def _eval_cases(count: int, epsilon: float, delta: float):
+    cases = []
+    for index in range(count):
+        rng = make_rng(500 + index)
+        db = random_unreliable_database(
+            rng, size=6, relations={"E": 2, "S": 1}, density=0.6,
+            uncertain_fraction=1.0,
+        )
+        assert len(db.uncertain_atoms()) > EVAL_BUDGET_ATOMS
+        text, free = EVAL_QUERIES[index % len(EVAL_QUERIES)]
+        cases.append(
+            {
+                "query": FOQuery(text, free),
+                "db": db,
+                "epsilon": epsilon,
+                "delta": delta,
+                "seed": index,
+            }
+        )
+    return cases
+
+
+def _run_arm(cases, model, repeats: int):
+    """Total wall-clock over the workload, median of ``repeats``."""
+    totals = []
+    details = []
+    for _ in range(repeats):
+        clear_caches()
+        details = []
+        start = time.perf_counter()
+        for case in cases:
+            case_start = time.perf_counter()
+            result = run_with_fallback(
+                case["db"],
+                case["query"],
+                budget=Budget(max_atoms=EVAL_BUDGET_ATOMS),
+                epsilon=case["epsilon"],
+                delta=case["delta"],
+                rng=case["seed"],
+                cost_model=model,
+            )
+            details.append(
+                {
+                    "engine": result.engine,
+                    "attempts": [a.engine for a in result.attempts],
+                    "seconds": round(time.perf_counter() - case_start, 6),
+                }
+            )
+        totals.append(time.perf_counter() - start)
+    return statistics.median(totals), details
+
+
+def _agreement(cases, model):
+    """Fraction of cases where plan_chain's pick matches run's engine."""
+    agreed = 0
+    for case in cases:
+        plan = plan_chain(
+            case["db"],
+            case["query"],
+            budget=Budget(max_atoms=EVAL_BUDGET_ATOMS),
+            epsilon=case["epsilon"],
+            delta=case["delta"],
+            cost_model=model,
+        )
+        try:
+            result = run_with_fallback(
+                case["db"],
+                case["query"],
+                budget=Budget(max_atoms=EVAL_BUDGET_ATOMS),
+                epsilon=case["epsilon"],
+                delta=case["delta"],
+                rng=case["seed"],
+                cost_model=model,
+            )
+            selected = result.engine
+        except FallbackExhausted:
+            selected = None
+        agreed += plan.selected == selected
+    return agreed / len(cases)
+
+
+def _prediction_errors(cases, model):
+    """|log10(observed / predicted)| for the engine each case selects."""
+    errors = []
+    for case in cases:
+        features = plan_features(
+            case["db"], case["query"],
+            epsilon=case["epsilon"], delta=case["delta"],
+        )
+        start = time.perf_counter()
+        result = run_with_fallback(
+            case["db"],
+            case["query"],
+            budget=Budget(max_atoms=EVAL_BUDGET_ATOMS),
+            epsilon=case["epsilon"],
+            delta=case["delta"],
+            rng=case["seed"],
+            cost_model=model,
+        )
+        observed = max(
+            result.attempts[-1].elapsed, time.perf_counter() - start, 1e-7
+        )
+        predicted = model.predict_seconds(result.engine, features)
+        if predicted > 0 and predicted != float("inf"):
+            import math
+
+            errors.append(abs(math.log10(observed / predicted)))
+    return errors
+
+
+def measure(cases_count: int, repeats: int, epsilon: float, delta: float):
+    clear_caches()
+    train_start = time.perf_counter()
+    model = calibrate(seed=0, repeats=2)
+    train_seconds = time.perf_counter() - train_start
+
+    cases = _eval_cases(cases_count, epsilon, delta)
+    static_s, static_details = _run_arm(cases, None, repeats)
+    calibrated_s, calibrated_details = _run_arm(cases, model, repeats)
+    agreement = _agreement(cases, model)
+
+    ok = calibrated_s < static_s and agreement == 1.0
+    return {
+        "benchmark": "costmodel",
+        "workload": (
+            f"{cases_count} union/k-ary reliability cases, n=6 dbs, "
+            f"max_atoms={EVAL_BUDGET_ATOMS}, eps={epsilon}, delta={delta}"
+        ),
+        "calibrated_engines": sorted(model.engines),
+        "train_seconds": round(train_seconds, 3),
+        "static_total_s": round(static_s, 6),
+        "calibrated_total_s": round(calibrated_s, 6),
+        "speedup": round(static_s / calibrated_s, 2),
+        "analyze_run_agreement": agreement,
+        "static_cases": static_details,
+        "calibrated_cases": calibrated_details,
+        "pass": ok,
+    }
+
+
+def smoke() -> int:
+    """CI lane: tiny fit, analyze/run agreement, 10x prediction band."""
+    clear_caches()
+    model = calibrate(seed=0, repeats=1)
+    if not model.engines:
+        print("FAIL: calibration workload fitted no engine")
+        return 1
+    cases = _eval_cases(4, epsilon=0.2, delta=0.2)
+    agreement = _agreement(cases, model)
+    errors = _prediction_errors(cases, model)
+    median_error = statistics.median(errors) if errors else float("inf")
+    result = {
+        "benchmark": "costmodel-smoke",
+        "calibrated_engines": sorted(model.engines),
+        "analyze_run_agreement": agreement,
+        "median_abs_log10_error": round(median_error, 3),
+        "threshold_band": 1.0,
+        "pass": agreement == 1.0 and median_error <= 1.0,
+    }
+    print(json.dumps(result, indent=2))
+    if not result["pass"]:
+        print(
+            "FAIL: analyze/run disagreement or predictions outside the "
+            "10x band on the smoke workload"
+        )
+        return 1
+    print("smoke OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cases", type=int, default=12)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--epsilon", type=float, default=0.05)
+    parser.add_argument("--delta", type=float, default=0.05)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI workload; exit nonzero when the fitted model "
+        "misforecasts the selection or misses the 10x band",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_costmodel.json"
+        ),
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+    result = measure(args.cases, args.repeats, args.epsilon, args.delta)
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {args.out}")
+    return 0 if result["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

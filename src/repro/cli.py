@@ -14,6 +14,9 @@ Examples::
     python -m repro estimate db.txt "forall x. exists y. E(x, y)" \\
         --estimator padding
     python -m repro run db.txt "exists x y. E(x, y)" --deadline 5
+    python -m repro calibrate --out calibration.json
+    python -m repro run db.txt "exists x y. E(x, y)" \\
+        --calibration calibration.json
     python -m repro inspect db.txt
 
 Every subcommand accepts ``--stats`` (print engine-internal counters —
@@ -44,6 +47,7 @@ from repro.reliability.padding import padded_reliability
 from repro.reliability.report import analyze
 from repro.runtime import Budget
 from repro.runtime import apply as apply_budget
+from repro.runtime import costmodel
 from repro.runtime.executor import DEFAULT_CHAIN, run_with_fallback
 from repro.util.errors import ReproError
 
@@ -101,12 +105,30 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _calibration_model(args: argparse.Namespace):
+    """The cost model named by ``--calibration``, or ``None``.
+
+    A bad file degrades to the closed-form model inside
+    :func:`repro.runtime.costmodel.load_or_fallback` — the command
+    still runs (``costmodel.fallback`` counts the degradation).
+    """
+    path = getattr(args, "calibration", None)
+    if path is None:
+        return None
+    return costmodel.load_or_fallback(path)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     db = _load(args.database)
     query = _query(args)
     rng = random.Random(args.seed) if args.seed is not None else None
     report = analyze(
-        db, query, rng=rng, epsilon=args.epsilon, delta=args.delta
+        db,
+        query,
+        rng=rng,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        cost_model=_calibration_model(args),
     )
     print(report.render())
     return 0
@@ -126,8 +148,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         delta=args.delta,
         rng=random.Random(args.seed),
+        cost_model=_calibration_model(args),
     )
     print(result.describe())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    model = costmodel.calibrate(
+        epsilon=args.epsilon,
+        delta=args.delta,
+        rng=args.seed,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    model.save(args.out)
+    print(f"calibration written to {args.out}")
+    for name in sorted(model.engines):
+        calibration = model.engines[name]
+        print(
+            f"  {name}: {calibration.observations} observations, "
+            f"rmse {calibration.rmse:.3f} (log-seconds)"
+        )
+    if not model.engines:
+        print("  (no engine collected enough timings; closed forms apply)")
     return 0
 
 
@@ -291,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable estimators with this seed (omit to force exact)",
     )
+    analyze_cmd.add_argument(
+        "--calibration",
+        metavar="PATH",
+        help="cost-model calibration file (from `repro calibrate`) used "
+        "for the run recommendation",
+    )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
     run = sub.add_parser(
@@ -318,7 +368,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epsilon", type=float, default=0.05)
     run.add_argument("--delta", type=float, default=0.05)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--calibration",
+        metavar="PATH",
+        help="cost-model calibration file (from `repro calibrate`); "
+        "orders the chain by predicted cost within guarantee tiers",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    calibrate_cmd = sub.add_parser(
+        "calibrate",
+        help="fit per-engine cost models on a seeded workload and save "
+        "a calibration file for `run`/`analyze` --calibration",
+        parents=[observability],
+    )
+    calibrate_cmd.add_argument(
+        "--out",
+        default="calibration.json",
+        metavar="PATH",
+        help="calibration file to write (default: calibration.json)",
+    )
+    calibrate_cmd.add_argument("--epsilon", type=float, default=0.1)
+    calibrate_cmd.add_argument("--delta", type=float, default=0.1)
+    calibrate_cmd.add_argument("--seed", type=int, default=0)
+    calibrate_cmd.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="times each workload case is run per engine (mixes cold- "
+        "and warm-cache timings)",
+    )
+    calibrate_cmd.set_defaults(handler=_cmd_calibrate)
 
     inspect = sub.add_parser(
         "inspect", help="summarise a database file", parents=[observability]

@@ -90,20 +90,27 @@ def plan_batches(budget: int, trace: bool) -> List[Tuple[int, int]]:
     return batches
 
 
-def _execute(worker, payloads, shards: int) -> Iterator:
+def _execute(worker, payloads, shards: int, shared: tuple = ()) -> Iterator:
     """Run batch payloads, fanned out over ``shards`` processes if asked.
 
     Sequential execution is lazy (a generator), so the driver's
     ``checkpoint`` runs *before* each batch is computed; a sharded run
     computes everything up front and the driver charges the budget as
     it combines results, still in batch order.
+
+    ``shared`` carries the leading worker arguments common to every
+    batch (the compiled plan): shipped once per worker process in a
+    sharded run instead of pickled into every payload, so workers never
+    recompile and the payloads stay ``(base, index, width)`` triples.
     """
     if shards > 1 and len(payloads) > 1:
         from repro.kernels.shard import run_jobs
 
-        results = run_jobs(worker, payloads, shards)
+        results = run_jobs(worker, payloads, shards, shared=shared or None)
         if results is not None:
             return iter(results)
+    if shared:
+        return (worker(*shared, *payload) for payload in payloads)
     return (worker(*payload) for payload in payloads)
 
 
@@ -144,8 +151,8 @@ def sample_truth_batches(
         return plan.constant
     base = rng.getrandbits(64)
     batches = plan_batches(budget, trace)
-    payloads = [(plan, base, index, width) for index, width in batches]
-    results = _execute(truth_batch_hits, payloads, shards)
+    payloads = [(base, index, width) for index, width in batches]
+    results = _execute(truth_batch_hits, payloads, shards, shared=(plan,))
     hits = 0
     drawn = 0
     with obs.span("kernels.batched", kernel="truth", batches=len(batches)):
@@ -208,8 +215,8 @@ def sample_hamming_batches(
     trace = obs.enabled()
     base = rng.getrandbits(64)
     batches = plan_batches(budget, trace)
-    payloads = [(plan, base, index, width) for index, width in batches]
-    results = _execute(hamming_batch_distance, payloads, shards)
+    payloads = [(base, index, width) for index, width in batches]
+    results = _execute(hamming_batch_distance, payloads, shards, shared=(plan,))
     total = 0.0
     drawn = 0
     cells = plan.cells
@@ -324,8 +331,8 @@ def sample_kl_batches(
     trace = obs.enabled()
     base = rng.getrandbits(64)
     batches = plan_batches(samples, trace)
-    payloads = [(plan, base, index, width) for index, width in batches]
-    results = _execute(kl_batch, payloads, shards)
+    payloads = [(base, index, width) for index, width in batches]
+    results = _execute(kl_batch, payloads, shards, shared=(plan,))
     accumulator = 0.0
     drawn = 0
     with obs.span("kernels.batched", kernel="karp_luby", batches=len(batches)):
@@ -373,8 +380,8 @@ def sample_naive_batches(
     trace = obs.enabled()
     base = rng.getrandbits(64)
     batches = plan_batches(samples, trace)
-    payloads = [(clauses, bits, base, index, width) for index, width in batches]
-    results = _execute(naive_batch_hits, payloads, shards)
+    payloads = [(base, index, width) for index, width in batches]
+    results = _execute(naive_batch_hits, payloads, shards, shared=(clauses, bits))
     hits = 0
     drawn = 0
     with obs.span("kernels.batched", kernel="naive_mc", batches=len(batches)):

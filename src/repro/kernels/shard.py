@@ -11,6 +11,14 @@ Workers never touch the runtime budget — the parent charges
 ``checkpoint(samples=width)`` per batch as results are combined, so one
 global budget fairly accounts for all shards at batch granularity.
 
+The compiled plan is *shared*, not repeated: callers pass it once via
+``shared`` and each worker receives it through the pool initializer (one
+pickle per worker process), while the per-batch payloads shrink to
+``(base_seed, batch_index, width)`` triples.  Workers therefore never
+recompile — the parent compiles once through the
+:mod:`repro.kernels.cache` LRU and ``kernels.cache.misses`` stays flat
+no matter how many shards fan out.
+
 Fan-out is strictly best-effort: any pool failure (no fork support,
 pickling trouble, a dying worker) is recorded as a
 ``kernels.shard.fallbacks`` counter and the caller silently reruns the
@@ -25,6 +33,10 @@ from typing import List, Optional, Sequence
 
 from repro import obs
 
+#: Per-worker shared arguments, installed once by the pool initializer
+#: and prepended to every payload by :func:`_shared_call`.
+_SHARED: tuple = ()
+
 
 def _pool_context():
     # fork shares the compiled plan pages with the workers; fall back to
@@ -35,14 +47,26 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _init_shared(shared: tuple) -> None:
+    global _SHARED
+    _SHARED = shared
+
+
+def _shared_call(worker, *payload):
+    return worker(*_SHARED, *payload)
+
+
 def run_jobs(
-    worker, payloads: Sequence[tuple], shards: int
+    worker, payloads: Sequence[tuple], shards: int, shared: Optional[tuple] = None
 ) -> Optional[List]:
-    """Run ``worker(*payload)`` for every payload over a process pool.
+    """Run ``worker(*shared, *payload)`` for every payload over a pool.
 
     Returns results in payload order, or ``None`` when the pool could
     not be used — the caller falls back to sequential execution.
     ``worker`` must be a module-level function (picklable by name).
+    ``shared`` holds leading arguments identical across payloads (the
+    compiled plan); it is shipped once per worker process instead of
+    once per payload.
     """
     processes = max(1, min(shards, len(payloads)))
     if processes == 1:
@@ -50,8 +74,17 @@ def run_jobs(
     with obs.span("kernels.shard_fanout", shards=processes, jobs=len(payloads)):
         try:
             context = _pool_context()
-            with context.Pool(processes=processes) as pool:
-                results = pool.starmap(worker, payloads, chunksize=1)
+            if shared:
+                jobs = [(worker, *payload) for payload in payloads]
+                with context.Pool(
+                    processes=processes,
+                    initializer=_init_shared,
+                    initargs=(shared,),
+                ) as pool:
+                    results = pool.starmap(_shared_call, jobs, chunksize=1)
+            else:
+                with context.Pool(processes=processes) as pool:
+                    results = pool.starmap(worker, payloads, chunksize=1)
         except Exception:
             obs.inc("kernels.shard.fallbacks")
             return None

@@ -53,7 +53,16 @@ EXACT_DNF_LIMIT = 48
 
 @dataclass
 class ReliabilityReport:
-    """Structured result of :func:`analyze`."""
+    """Structured result of :func:`analyze`.
+
+    ``recommended_engine``/``recommended_chain`` come from the
+    budget-aware executor dry-run (:func:`repro.runtime.costmodel.plan_chain`)
+    under the same budget and cost model ``repro run`` would use, so the
+    recommendation names the engine a ``run`` of the same request would
+    actually answer with (``None`` when the whole chain would be
+    refused).  ``plan`` is the full :class:`~repro.runtime.costmodel.ChainPlan`
+    with per-engine forecasts and predicted seconds.
+    """
 
     fragment: str
     engine: str
@@ -64,6 +73,9 @@ class ReliabilityReport:
     samples: int
     absolutely_reliable: Optional[bool]
     fragile_atoms: List[Tuple[Any, float]] = field(default_factory=list)
+    recommended_engine: Optional[str] = None
+    recommended_chain: Tuple[str, ...] = ()
+    plan: Optional[Any] = None
 
     @property
     def is_exact(self) -> bool:
@@ -88,6 +100,14 @@ class ReliabilityReport:
             lines.append("most fragile atoms:")
             for atom, score in self.fragile_atoms:
                 lines.append(f"  {atom}  (score {score:.4f})")
+        if self.recommended_chain:
+            recommended = self.recommended_engine or "(chain exhausted)"
+            lines.append(
+                f"run would select: {recommended} "
+                f"(chain: {' > '.join(self.recommended_chain)})"
+            )
+            if self.plan is not None:
+                lines.append(self.plan.describe())
         return "\n".join(lines)
 
 
@@ -98,12 +118,23 @@ def analyze(
     epsilon: float = 0.05,
     delta: float = 0.05,
     fragile_limit: int = 3,
+    chain: Optional[Any] = None,
+    budget: Optional[Any] = None,
+    cost_model: Optional[Any] = None,
 ) -> ReliabilityReport:
     """Classify, dispatch, compute — the one-call entry point.
 
     ``rng`` is only needed when an estimator ends up being used; omitting
     it forces exact computation and raises :class:`QueryError` when no
     exact engine is feasible within the interactive limits.
+
+    The report additionally carries a budget-aware *recommendation*:
+    the engine :func:`repro.runtime.run_with_fallback` would select for
+    the same request, simulated under ``budget`` (the active budget by
+    default), ``chain`` (the default chain by default) and
+    ``cost_model`` (a :class:`~repro.runtime.costmodel.CostModel`, a
+    calibration-file path, or the active model) — so advice and
+    execution cannot drift apart.
     """
     query = as_query(query)
     formula = query.formula if isinstance(query, FOQuery) else None
@@ -187,6 +218,19 @@ def analyze(
             logger.warning("fragile-atom analysis skipped: %s", exc)
             fragile = []
 
+    from repro.runtime.costmodel import plan_chain
+
+    plan = plan_chain(
+        db,
+        query,
+        chain=chain,
+        budget=budget,
+        quantity="reliability",
+        epsilon=epsilon,
+        delta=delta,
+        cost_model=cost_model,
+    )
+
     return ReliabilityReport(
         fragment=fragment,
         engine=engine,
@@ -197,4 +241,7 @@ def analyze(
         samples=samples,
         absolutely_reliable=absolute,
         fragile_atoms=fragile,
+        recommended_engine=plan.selected,
+        recommended_chain=plan.chain,
+        plan=plan,
     )

@@ -73,6 +73,12 @@ __all__ = [
     "SlowdownFault",
     "ExceptionFault",
     "inject",
+    "costmodel",
+    "CostModel",
+    "plan_chain",
+    "plan_features",
+    "calibrate",
+    "load_or_fallback",
 ]
 
 _EXECUTOR_NAMES = {
@@ -84,6 +90,13 @@ _EXECUTOR_NAMES = {
     "ENGINES",
 }
 _FAULT_NAMES = {"Fault", "TimeoutFault", "SlowdownFault", "ExceptionFault", "inject"}
+_COSTMODEL_NAMES = {
+    "CostModel",
+    "plan_chain",
+    "plan_features",
+    "calibrate",
+    "load_or_fallback",
+}
 
 
 def __getattr__(name):
@@ -97,4 +110,7 @@ def __getattr__(name):
     if name in _FAULT_NAMES or name == "faults":
         module = importlib.import_module("repro.runtime.faults")
         return module if name == "faults" else getattr(module, name)
+    if name in _COSTMODEL_NAMES or name == "costmodel":
+        module = importlib.import_module("repro.runtime.costmodel")
+        return module if name == "costmodel" else getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -30,6 +30,7 @@ the full attempt log; everything is mirrored into :mod:`repro.obs`
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -48,6 +49,7 @@ from repro.reliability.montecarlo import (
     estimate_reliability_hamming,
     estimate_truth_probability,
 )
+from repro.runtime import costmodel
 from repro.runtime.budget import Budget, active_budget, apply
 from repro.runtime.preflight import preflight_worlds
 from repro.util.errors import (
@@ -223,6 +225,22 @@ ENGINES: Dict[str, Callable[..., _Answer]] = {
 }
 
 
+def _record_prediction_error(model, engine, features, elapsed) -> None:
+    """Mirror a successful attempt's predicted-vs-observed cost into obs.
+
+    ``costmodel.prediction_error`` is the absolute log10 ratio of
+    observed to predicted seconds (0 = perfect, 1 = off by 10x) — the
+    quantity the calibration smoke lane bounds.
+    """
+    predicted = model.predict_seconds(engine, features)
+    obs.inc("costmodel.predictions")
+    if not (predicted > 0 and math.isfinite(predicted)):
+        return
+    ratio = max(elapsed, 1e-9) / predicted
+    obs.observe("costmodel.prediction_error", abs(math.log10(ratio)))
+    obs.gauge("costmodel.last_ratio", ratio)
+
+
 def _classify_failure(exc: Exception) -> Tuple[str, str]:
     if isinstance(exc, CostRefused):
         return "cost_refused", "runtime.cost_refused"
@@ -240,6 +258,7 @@ def run_with_fallback(
     epsilon: float = 0.05,
     delta: float = 0.05,
     rng: RngLike = 0,
+    cost_model=None,
 ) -> RuntimeResult:
     """Answer ``quantity`` for ``query``, degrading across ``chain``.
 
@@ -254,6 +273,16 @@ def run_with_fallback(
     2.2, any arity) or ``"probability"`` (``Pr[B |= psi]``, Boolean
     queries only).  ``epsilon``/``delta`` parameterize the sampling
     engines; ``rng`` is a ``random.Random`` or bare seed.
+
+    ``cost_model`` is a :class:`repro.runtime.costmodel.CostModel`, a
+    calibration-file path, or ``None`` (the module-level active model;
+    usually none is installed).  With a model, the chain is re-ordered
+    by predicted cost *within guarantee tiers* before the walk (see
+    docs/ROBUSTNESS.md); without one, the chain runs exactly as given.
+    Prediction errors surface as ``costmodel.*`` metrics, and every
+    attempt's features/timing become a ``runtime.attempt.cost`` trace
+    event when observability is on — the raw material ``repro
+    calibrate`` fits from.
 
     Raises :class:`FallbackExhausted` (with the attempt log attached)
     when no engine in the chain produced an answer.
@@ -275,6 +304,12 @@ def run_with_fallback(
             "quantity='probability' needs a Boolean (0-ary) query; "
             "use quantity='reliability' for k-ary queries"
         )
+    model = costmodel.resolve_model(cost_model)
+    features = None
+    if model is not None or obs.enabled():
+        features = costmodel.plan_features(db, query, quantity, epsilon, delta)
+    if model is not None:
+        chain = model.order_chain(chain, features, quantity)
     request = _Request(quantity, epsilon, delta, as_rng(rng))
     scope = apply(budget) if budget is not None else nullcontext()
     attempts = []
@@ -315,11 +350,31 @@ def run_with_fallback(
                         outcome=outcome,
                         detail=str(exc),
                     )
+                    if features is not None:
+                        obs.event(
+                            "runtime.attempt.cost",
+                            engine=name,
+                            outcome=outcome,
+                            seconds=attempt_elapsed,
+                            **features,
+                        )
                     attempts.append(
                         Attempt(name, outcome, str(exc), attempt_elapsed)
                     )
                     continue
                 attempt_elapsed = time.perf_counter() - attempt_start
+                if features is not None:
+                    obs.event(
+                        "runtime.attempt.cost",
+                        engine=name,
+                        outcome="ok",
+                        seconds=attempt_elapsed,
+                        **features,
+                    )
+                if model is not None:
+                    _record_prediction_error(
+                        model, name, features, attempt_elapsed
+                    )
                 attempts.append(Attempt(name, "ok", "", attempt_elapsed))
                 result = RuntimeResult(
                     value=answer.value,

@@ -23,6 +23,20 @@ def _fresh_kernel_caches():
     clear_caches()
 
 
+@pytest.fixture(autouse=True)
+def _no_active_cost_model():
+    """Keep the module-level cost model inert between tests.
+
+    A test that installs a calibrated model must not silently reorder
+    the executor chains of every later test in the process.
+    """
+    from repro.runtime import costmodel
+
+    previous = costmodel.set_model(None)
+    yield
+    costmodel.set_model(previous)
+
+
 @pytest.fixture
 def rng():
     return make_rng(12345)

@@ -1,0 +1,93 @@
+"""Shard fan-out: shared-payload plumbing and compilation-cache flatness.
+
+The ROADMAP item this pins: the fan-out payload ships the compiled plan
+*once per worker* (pool initializer) instead of once per batch, so the
+parent compiles exactly one plan through the LRU and
+``kernels.cache.misses`` stays flat no matter how many shards run.
+"""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.kernels.cache import clear_caches
+from repro.kernels.plan import compile_truth_plan
+from repro.kernels.shard import run_jobs
+from repro.obs.recorder import StatsRecorder
+from repro.reliability.montecarlo import estimate_truth_probability
+from repro.util.rng import make_rng
+
+QUERY = "exists x. exists y. E(x, y) & S(y)"
+
+
+def _scale(factor, base, index, width):
+    # Stands in for a batch worker: (shared..., *payload) calling
+    # convention, deterministic in the payload.
+    return factor * (base + index * width)
+
+
+def _boom(base, index, width):
+    raise RuntimeError("worker exploded")
+
+
+class TestRunJobs:
+    def test_shared_and_unshared_paths_agree(self):
+        payloads = [(100, index, 7) for index in range(8)]
+        shared = run_jobs(_scale, payloads, shards=4, shared=(3,))
+        unshared = run_jobs(
+            _scale, [(3, *payload) for payload in payloads], shards=4
+        )
+        expected = [_scale(3, *payload) for payload in payloads]
+        # Either path may return None (pool unavailable) — but when a
+        # pool ran, results must be exact and in payload order.
+        assert shared is None or shared == expected
+        assert unshared is None or unshared == expected
+
+    def test_single_shard_declines_the_pool(self):
+        assert run_jobs(_scale, [(1, 0, 1)], shards=1, shared=(2,)) is None
+        assert run_jobs(_scale, [], shards=8) is None
+
+    def test_worker_failure_falls_back(self):
+        with obs.use(StatsRecorder()) as recorder:
+            result = run_jobs(_boom, [(0, i, 1) for i in range(4)], shards=2)
+        assert result is None
+        counters = recorder.summary()["counters"]
+        assert counters.get("kernels.shard.fallbacks", 0) == 1
+
+
+class TestSharedPlanPayload:
+    def test_compiled_plan_is_picklable(self, triangle_db):
+        plan = compile_truth_plan(triangle_db, QUERY)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+    def test_cache_misses_flat_across_shard_counts(self, triangle_db):
+        # The parent compiles (grounding + plan) exactly as often no
+        # matter how wide the fan-out: workers receive the plan via the
+        # pool initializer and never touch the cache.
+        def misses(shards):
+            clear_caches()
+            with obs.use(StatsRecorder()) as recorder:
+                estimate_truth_probability(
+                    triangle_db, QUERY, make_rng(5), samples=4096,
+                    shards=shards,
+                )
+            return recorder.summary()["counters"]["kernels.cache.misses"]
+
+        baseline = misses(1)
+        assert baseline >= 1
+        for shards in (2, 4, 8):
+            assert misses(shards) == baseline
+
+    def test_sharded_estimate_identical_to_sequential(self, triangle_db):
+        baseline = estimate_truth_probability(
+            triangle_db, QUERY, make_rng(5), samples=4096
+        )
+        for shards in (2, 3, 4):
+            assert (
+                estimate_truth_probability(
+                    triangle_db, QUERY, make_rng(5), samples=4096, shards=shards
+                )
+                == baseline
+            )

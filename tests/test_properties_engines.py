@@ -183,3 +183,73 @@ def test_bdd_canonicity(dnf):
             node = diagram.conj(node, leaf)
         rebuilt = diagram.disj(rebuilt, node)
     assert rebuilt == root1
+
+
+# ---------------------------------------------------------------------------
+# Calibrated chain ordering: tier-safety under arbitrary calibrations.
+
+from repro.runtime.costmodel import (  # noqa: E402
+    FEATURE_NAMES,
+    CostModel,
+    EngineCalibration,
+    engine_guarantee,
+)
+
+_ENGINE_NAMES = ("exact", "lifted", "karp_luby", "montecarlo")
+_weights = st.lists(
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    min_size=len(FEATURE_NAMES) + 1,
+    max_size=len(FEATURE_NAMES) + 1,
+)
+_calibrations = st.dictionaries(
+    st.sampled_from(_ENGINE_NAMES),
+    st.builds(
+        EngineCalibration,
+        weights=_weights.map(tuple),
+        observations=st.integers(min_value=3, max_value=50),
+        rmse=st.floats(min_value=0.0, max_value=10.0),
+    ),
+)
+_chains = st.lists(st.sampled_from(_ENGINE_NAMES), min_size=1, max_size=8)
+_features = st.fixed_dictionaries(
+    {
+        name: st.floats(
+            min_value=0.0, max_value=1e30, allow_nan=False
+        )
+        for name in FEATURE_NAMES
+    }
+)
+
+
+def _tier_runs(chain, quantity):
+    """Maximal consecutive same-tier runs as (tier, engine-multiset)."""
+    runs = []
+    for engine in chain:
+        tier = engine_guarantee(engine, quantity)
+        if runs and runs[-1][0] == tier:
+            runs[-1][1].append(engine)
+        else:
+            runs.append((tier, [engine]))
+    return [(tier, sorted(names)) for tier, names in runs]
+
+
+@given(
+    _calibrations,
+    _chains,
+    _features,
+    st.sampled_from(["reliability", "probability"]),
+)
+@settings(max_examples=200, deadline=None)
+def test_order_chain_permutes_only_within_guarantee_tiers(
+    calibrations, chain, features, quantity
+):
+    """Adversarial calibrations (NaN/inf/huge weights) may reorder a
+    chain only inside maximal same-tier runs: the tier sequence and each
+    run's engine multiset are invariant, so the executor's degradation
+    contract (exact > relative > additive) survives any cost table."""
+    model = CostModel(dict(calibrations), source="property-fuzz")
+    ordered = model.order_chain(tuple(chain), features, quantity)
+    assert sorted(ordered) == sorted(chain)
+    assert _tier_runs(ordered, quantity) == _tier_runs(chain, quantity)
+    # Ordering is deterministic: same inputs, same permutation.
+    assert ordered == model.order_chain(tuple(chain), features, quantity)
