@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Benchmark: speculative racing vs the sequential fallback walk.
+
+The workload is the pathological case racing exists for: the first
+engine of the chain (exact, the strongest tier) stalls — scripted here
+with a ``SlowdownFault`` — while a cheaper equal-tier engine could have
+answered immediately.  The sequential walk pays the full stall before
+falling through; the racing executor launches the next engine after
+``overlap * fair_share`` seconds and takes its answer as soon as no
+stronger contender is still running.
+
+Both arms run the same seeded cases and must produce identical
+engines and values (racing never changes an answer, only who computes
+it).  Results go to ``BENCH_racing.json`` at the repo root; ``pass``
+requires the racing arm to beat the sequential arm on total wall-clock
+with answers agreeing case for case.
+
+A second section times the adaptive batch width
+(:func:`repro.kernels.bitops.pick_batch_bits`): drawing a 64-sample
+batch at its narrowed width vs the old fixed :data:`BATCH_BITS` column,
+over a wide plan.  ``pass`` additionally requires the narrow draw to
+be cheaper — tiny sample counts no longer pay full-column cost.
+
+``--smoke`` is the CI lane: one stalled case, and racing must win.
+
+Usage::
+
+    python benchmarks/bench_racing.py [--cases 4] [--repeats 3]
+    python benchmarks/bench_racing.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.kernels import clear_caches
+from repro.kernels.bitops import (
+    BATCH_BITS,
+    bernoulli_column,
+    dyadic_bits,
+    full_mask,
+    pick_batch_bits,
+)
+from repro.logic.evaluator import FOQuery
+from repro.runtime import faults
+from repro.runtime.executor import run_with_fallback
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+QUERY = FOQuery("exists x. exists y. E(x, y) & S(y)")
+
+STALL_SECONDS = 0.6  # the scripted stall on the first (exact) engine
+OVERLAP = 0.25  # racing arm: next engine launches at 0.25 * fair share
+
+
+def _cases(count: int):
+    cases = []
+    for index in range(count):
+        rng = make_rng(900 + index)
+        db = random_unreliable_database(
+            rng, size=4, relations={"E": 2, "S": 1}, density=0.4
+        )
+        cases.append({"db": db, "seed": index})
+    return cases
+
+
+def _run_arm(cases, repeats: int, stall: float, race):
+    """Total wall-clock with the first engine stalled; median of repeats."""
+    totals = []
+    details = []
+    for _ in range(repeats):
+        clear_caches()
+        details = []
+        start = time.perf_counter()
+        for case in cases:
+            case_start = time.perf_counter()
+            with faults.inject({"exact": faults.SlowdownFault(seconds=stall)}):
+                result = run_with_fallback(
+                    case["db"],
+                    QUERY,
+                    rng=case["seed"],
+                    race=race,
+                )
+            details.append(
+                {
+                    "engine": result.engine,
+                    "guarantee": result.guarantee,
+                    "value": result.value,
+                    "attempts": [
+                        (a.engine, a.outcome) for a in result.attempts
+                    ],
+                    "seconds": round(time.perf_counter() - case_start, 6),
+                }
+            )
+        totals.append(time.perf_counter() - start)
+    return statistics.median(totals), details
+
+
+def _batch_width_trial(budget: int, lanes: int, repeats: int):
+    """Seconds to draw one ``budget``-sample batch: adaptive vs fixed."""
+    bits = [dyadic_bits(0.3)] * lanes
+    narrow = pick_batch_bits(budget, lanes)
+
+    def draw(width: int) -> float:
+        rng = make_rng(7)
+        full = full_mask(width)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for b in bits:
+                bernoulli_column(rng, width, b, full)
+        return (time.perf_counter() - start) / repeats
+
+    return {
+        "budget": budget,
+        "lanes": lanes,
+        "adaptive_width": narrow,
+        "fixed_width": BATCH_BITS,
+        "adaptive_seconds": round(draw(narrow), 6),
+        "fixed_seconds": round(draw(BATCH_BITS), 6),
+    }
+
+
+def measure(cases_count: int, repeats: int, stall: float, overlap: float):
+    cases = _cases(cases_count)
+    sequential_s, sequential_details = _run_arm(cases, repeats, stall, False)
+    racing_s, racing_details = _run_arm(cases, repeats, stall, overlap)
+
+    # Racing may answer via a *different* engine of the same guarantee
+    # tier (that is the point); the value and tier must not change.
+    agreement = all(
+        s["guarantee"] == r["guarantee"] and s["value"] == r["value"]
+        for s, r in zip(sequential_details, racing_details)
+    )
+    width = _batch_width_trial(budget=64, lanes=200, repeats=20)
+    width_ok = (
+        width["adaptive_width"] < width["fixed_width"]
+        and width["adaptive_seconds"] < width["fixed_seconds"]
+    )
+
+    ok = racing_s < sequential_s and agreement and width_ok
+    return {
+        "benchmark": "racing",
+        "workload": (
+            f"{cases_count} reliability cases, n=4 dbs, exact stalled "
+            f"{stall}s, overlap={overlap}"
+        ),
+        "sequential_total_s": round(sequential_s, 6),
+        "racing_total_s": round(racing_s, 6),
+        "speedup": round(sequential_s / racing_s, 2),
+        "answers_agree": agreement,
+        "batch_width": width,
+        "batch_width_pass": width_ok,
+        "sequential_cases": sequential_details,
+        "racing_cases": racing_details,
+        "pass": ok,
+    }
+
+
+def smoke() -> int:
+    """CI lane: one stalled case; racing must win with the same answer."""
+    cases = _cases(1)
+    sequential_s, seq_details = _run_arm(cases, 1, 0.4, False)
+    racing_s, race_details = _run_arm(cases, 1, 0.4, 0.1)
+    agree = (
+        seq_details[0]["guarantee"] == race_details[0]["guarantee"]
+        and seq_details[0]["value"] == race_details[0]["value"]
+    )
+    result = {
+        "benchmark": "racing-smoke",
+        "sequential_s": round(sequential_s, 6),
+        "racing_s": round(racing_s, 6),
+        "answers_agree": agree,
+        "pass": racing_s < sequential_s and agree,
+    }
+    print(json.dumps(result, indent=2))
+    if not result["pass"]:
+        print("FAIL: racing did not beat the stalled sequential walk")
+        return 1
+    print("smoke OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cases", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--stall", type=float, default=STALL_SECONDS)
+    parser.add_argument("--overlap", type=float, default=OVERLAP)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI workload; exit nonzero unless racing beats the "
+        "stalled sequential walk with an identical answer",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_racing.json"
+        ),
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+    result = measure(args.cases, args.repeats, args.stall, args.overlap)
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {args.out}")
+    return 0 if result["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,34 @@ from typing import Tuple, Union
 # stays useful.
 BATCH_BITS = 4096
 
+# Floor of the adaptive width: below one machine word per column the
+# big-int layout stops paying for itself.
+MIN_BATCH_BITS = 64
+
+# Working-set target of one batch, in bits: all per-variable columns of
+# a batch should together stay around this size (~256 KiB) so very wide
+# Hamming plans narrow their columns for locality instead of streaming
+# every column through cache once per clause op.
+TARGET_WORKING_BITS = 1 << 21
+
+
+def pick_batch_bits(budget: int, lanes: int = 1) -> int:
+    """Adaptive batch width from the plan size and the sample budget.
+
+    ``lanes`` is the number of live bit columns (plan variables); the
+    width is narrowed from :data:`BATCH_BITS` so that ``lanes * width``
+    stays near :data:`TARGET_WORKING_BITS` (never below
+    :data:`MIN_BATCH_BITS`), and never exceeds the remaining sample
+    ``budget`` — a tiny sample count draws one narrow column, not a
+    full :data:`BATCH_BITS`-wide one.
+    """
+    cap = BATCH_BITS
+    if lanes > 0:
+        cap = max(MIN_BATCH_BITS, min(cap, TARGET_WORKING_BITS // lanes))
+    if budget > 0:
+        cap = min(cap, budget)
+    return max(1, cap)
+
 try:  # Python >= 3.10
     (0).bit_count
 

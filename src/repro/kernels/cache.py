@@ -20,6 +20,7 @@ are whole compiled artefacts, so the bound is on count, not bytes.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -37,42 +38,67 @@ _MISSING = object()
 
 
 class LruCache:
-    """A tiny ordered-dict LRU with observability counters."""
+    """A tiny ordered-dict LRU with observability counters.
 
-    __slots__ = ("capacity", "_entries")
+    Thread-safe for the racing executor: dictionary operations run
+    under a lock, but the ``factory`` itself runs *outside* it — a
+    racer parked at a cooperative checkpoint mid-compilation (the
+    virtual-clock scheduler's lock-step yield) must not hold the cache
+    lock against its siblings.  Counters reflect cache truth, not
+    attempts: a miss is counted only when a computed value is actually
+    inserted, so a racer cancelled mid-compilation (its factory raises
+    ``BudgetExceeded``) leaves no entry *and* no miss, and two racers
+    compiling the same key concurrently count one miss and one hit —
+    the first insert wins and the duplicate value is discarded.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on a miss.
 
         ``factory`` failures propagate and cache nothing, so an aborted
         compilation (``BudgetExceeded``, ``CostRefused``) never poisons
-        the cache.
+        the cache — and never counts a miss.
         """
-        value = self._entries.get(key, _MISSING)
-        if value is not _MISSING:
-            self._entries.move_to_end(key)
-            obs.inc("kernels.cache.hits")
-            return value
-        obs.inc("kernels.cache.misses")
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                obs.inc("kernels.cache.hits")
+                return value
         value = factory()
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            obs.inc("kernels.cache.evictions")
+        with self._lock:
+            cached = self._entries.get(key, _MISSING)
+            if cached is not _MISSING:
+                # A concurrent racer compiled the same key first; keep
+                # its entry (callers may already hold references to it).
+                self._entries.move_to_end(key)
+                obs.inc("kernels.cache.hits")
+                return cached
+            obs.inc("kernels.cache.misses")
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                obs.inc("kernels.cache.evictions")
         return value
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 #: The process-wide compilation cache shared by grounding and plans.

@@ -1,7 +1,9 @@
 """Batched sample loops over bit columns.
 
-Each driver partitions a sample budget into batches of at most
-:data:`~repro.kernels.bitops.BATCH_BITS` worlds, draws every batch as
+Each driver partitions a sample budget into batches of an adaptive
+width (:func:`~repro.kernels.bitops.pick_batch_bits`: at most
+:data:`~repro.kernels.bitops.BATCH_BITS` worlds, narrower for wide
+plans and tiny budgets), draws every batch as
 per-variable Bernoulli columns, and evaluates the compiled clause plan
 with big-int AND/OR/popcount — a few hundred interpreter operations
 per batch instead of a few thousand per *sample*.
@@ -27,9 +29,9 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.kernels.bitops import (
-    BATCH_BITS,
     bernoulli_column,
     full_mask,
+    pick_batch_bits,
     popcount,
 )
 from repro.kernels.plan import (
@@ -70,13 +72,19 @@ def draw_columns(
     return [bernoulli_column(rng, width, b, full) for b in bits]
 
 
-def plan_batches(budget: int, trace: bool) -> List[Tuple[int, int]]:
+def plan_batches(
+    budget: int, trace: bool, lanes: int = 1
+) -> List[Tuple[int, int]]:
     """Split a sample budget into ``(index, width)`` batches.
 
-    With tracing on, batches are capped at the trace stride so the
-    convergence curve keeps its ~:data:`TRACE_BATCHES` points.
+    The width is adaptive (:func:`~repro.kernels.bitops.pick_batch_bits`):
+    ``lanes`` — the plan's live column count — narrows wide plans for
+    locality, and a tiny budget yields one narrow batch instead of a
+    full-width column.  With tracing on, batches are additionally
+    capped at the trace stride so the convergence curve keeps its
+    ~:data:`TRACE_BATCHES` points.
     """
-    cap = BATCH_BITS
+    cap = pick_batch_bits(budget, lanes)
     if trace:
         cap = min(cap, max(1, budget // TRACE_BATCHES))
     batches = []
@@ -150,7 +158,7 @@ def sample_truth_batches(
         obs.inc("montecarlo.samples", budget)
         return plan.constant
     base = rng.getrandbits(64)
-    batches = plan_batches(budget, trace)
+    batches = plan_batches(budget, trace, lanes=len(plan.bits))
     payloads = [(base, index, width) for index, width in batches]
     results = _execute(truth_batch_hits, payloads, shards, shared=(plan,))
     hits = 0
@@ -214,7 +222,7 @@ def sample_hamming_batches(
 
     trace = obs.enabled()
     base = rng.getrandbits(64)
-    batches = plan_batches(budget, trace)
+    batches = plan_batches(budget, trace, lanes=len(plan.bits))
     payloads = [(base, index, width) for index, width in batches]
     results = _execute(hamming_batch_distance, payloads, shards, shared=(plan,))
     total = 0.0
@@ -330,7 +338,7 @@ def sample_kl_batches(
     """Batched Karp–Luby accumulator over the full sample budget."""
     trace = obs.enabled()
     base = rng.getrandbits(64)
-    batches = plan_batches(samples, trace)
+    batches = plan_batches(samples, trace, lanes=len(plan.bits))
     payloads = [(base, index, width) for index, width in batches]
     results = _execute(kl_batch, payloads, shards, shared=(plan,))
     accumulator = 0.0
@@ -379,7 +387,7 @@ def sample_naive_batches(
     """Batched naive Monte-Carlo estimate of ``Pr[dnf]``."""
     trace = obs.enabled()
     base = rng.getrandbits(64)
-    batches = plan_batches(samples, trace)
+    batches = plan_batches(samples, trace, lanes=len(bits))
     payloads = [(base, index, width) for index, width in batches]
     results = _execute(naive_batch_hits, payloads, shards, shared=(clauses, bits))
     hits = 0

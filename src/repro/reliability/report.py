@@ -121,6 +121,7 @@ def analyze(
     chain: Optional[Any] = None,
     budget: Optional[Any] = None,
     cost_model: Optional[Any] = None,
+    race: Optional[Any] = None,
 ) -> ReliabilityReport:
     """Classify, dispatch, compute — the one-call entry point.
 
@@ -134,7 +135,11 @@ def analyze(
     default), ``chain`` (the default chain by default) and
     ``cost_model`` (a :class:`~repro.runtime.costmodel.CostModel`, a
     calibration-file path, or the active model) — so advice and
-    execution cannot drift apart.
+    execution cannot drift apart.  ``race`` (``True`` or an overlap
+    fraction) makes the recommendation simulate the speculative race
+    a ``run --race`` of the same request would hold: the recommended
+    engine is then the predicted race *winner* and ``report.plan.race``
+    carries the full :class:`~repro.runtime.costmodel.RaceForecast`.
     """
     query = as_query(query)
     formula = query.formula if isinstance(query, FOQuery) else None
@@ -229,6 +234,7 @@ def analyze(
         epsilon=epsilon,
         delta=delta,
         cost_model=cost_model,
+        race=race,
     )
 
     return ReliabilityReport(

@@ -17,7 +17,13 @@ that landscape into an execution policy instead of a crash report:
   type, and the attempt log;
 * :mod:`repro.runtime.faults` — deterministic fault injection
   (timeout / slowdown / exception) wrapping engine entry points, so
-  tests can prove every degradation path fires.
+  tests can prove every degradation path fires — plus the
+  deterministic virtual-clock :class:`VirtualScheduler` that replays
+  racing interleavings bit-for-bit;
+* :mod:`repro.runtime.racing` — speculative engine racing for
+  ``run_with_fallback(..., race=...)``: staggered concurrent attempts,
+  tier-aware winner selection, loser cancellation through the budget
+  checkpoints.
 
 See ``docs/ROBUSTNESS.md`` for the full story.
 
@@ -73,12 +79,18 @@ __all__ = [
     "SlowdownFault",
     "ExceptionFault",
     "inject",
+    "VirtualScheduler",
     "costmodel",
     "CostModel",
     "plan_chain",
     "plan_features",
     "calibrate",
     "load_or_fallback",
+    "racing",
+    "ThreadScheduler",
+    "use_scheduler",
+    "race_sleep",
+    "DEFAULT_OVERLAP",
 ]
 
 _EXECUTOR_NAMES = {
@@ -89,13 +101,26 @@ _EXECUTOR_NAMES = {
     "GUARANTEE_ORDER",
     "ENGINES",
 }
-_FAULT_NAMES = {"Fault", "TimeoutFault", "SlowdownFault", "ExceptionFault", "inject"}
+_FAULT_NAMES = {
+    "Fault",
+    "TimeoutFault",
+    "SlowdownFault",
+    "ExceptionFault",
+    "inject",
+    "VirtualScheduler",
+}
 _COSTMODEL_NAMES = {
     "CostModel",
     "plan_chain",
     "plan_features",
     "calibrate",
     "load_or_fallback",
+}
+_RACING_NAMES = {
+    "ThreadScheduler",
+    "use_scheduler",
+    "race_sleep",
+    "DEFAULT_OVERLAP",
 }
 
 
@@ -113,4 +138,7 @@ def __getattr__(name):
     if name in _COSTMODEL_NAMES or name == "costmodel":
         module = importlib.import_module("repro.runtime.costmodel")
         return module if name == "costmodel" else getattr(module, name)
+    if name in _RACING_NAMES or name == "racing":
+        module = importlib.import_module("repro.runtime.racing")
+        return module if name == "racing" else getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

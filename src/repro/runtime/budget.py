@@ -23,6 +23,7 @@ loop underneath it.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
@@ -349,27 +350,233 @@ class SlicedBudget:
         )
 
 
+class CancelToken:
+    """A cross-thread cancellation flag checked at budget checkpoints.
+
+    The racing executor hands every speculative engine attempt a token;
+    cancelling it makes the racer's next cooperative checkpoint raise
+    :class:`BudgetExceeded`, so losers unwind through exactly the same
+    path as a blown deadline — no new control flow inside the engines.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.reason = ""
+
+    def cancel(self, reason: str = "") -> None:
+        """Set the flag (idempotent); the first reason given sticks."""
+        if reason and not self.reason:
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` if the token was cancelled."""
+        if self._event.is_set():
+            raise BudgetExceeded(
+                self.reason or "attempt cancelled by the racing executor"
+            )
+
+
+class RacerBudget:
+    """A per-racer view of a shared budget for speculative racing.
+
+    Like :class:`SlicedBudget` this duck-types the :class:`Budget`
+    surface the engines and preflights consult, but it is built for
+    *concurrent* attempts:
+
+    * consumption ledgers (``worlds``/``samples``/``ground_clauses``)
+      are **private** — concurrent racers never mutate shared counters,
+      so cap checks cannot depend on thread interleaving;
+    * ``sample_headroom`` pre-partitions the parent's ``max_samples``:
+      racer *i* sees ``cap - sum(predicted needs of earlier racers)``,
+      the same cumulative accounting ``plan_chain`` simulates, which is
+      what keeps the racing forecast exact;
+    * ``token`` is a :class:`CancelToken` checked on every
+      :meth:`consume` — the cross-thread cancel flag;
+    * ``on_checkpoint`` is an optional hook run first on every
+      :meth:`consume` — the deterministic virtual-clock scheduler uses
+      it as its lock-step yield point.
+
+    The parent's *deadline* stays shared (wall clock is one resource no
+    partition can split); an optional per-racer slice deadline bounds
+    the racer's own wall-clock share.
+    """
+
+    __slots__ = (
+        "parent",
+        "token",
+        "slice_deadline",
+        "sample_headroom",
+        "worlds",
+        "ground_clauses",
+        "samples",
+        "_hook",
+    )
+
+    def __init__(
+        self,
+        parent: "Budget",
+        token: CancelToken,
+        slice_seconds: Optional[float] = None,
+        sample_headroom: Optional[int] = None,
+        on_checkpoint: Optional[Callable[[], None]] = None,
+    ):
+        self.parent = parent
+        self.token = token
+        self.slice_deadline = (
+            Deadline(slice_seconds, parent._clock)
+            if slice_seconds is not None
+            else None
+        )
+        if sample_headroom is not None:
+            sample_headroom = max(0, int(sample_headroom))
+        self.sample_headroom = sample_headroom
+        self.worlds = 0
+        self.ground_clauses = 0
+        self.samples = 0
+        self._hook = on_checkpoint
+
+    def start(self) -> "RacerBudget":
+        if self.slice_deadline is not None:
+            self.slice_deadline.start()
+        return self
+
+    @property
+    def _clock(self) -> Clock:
+        return self.parent._clock
+
+    def sliced(self, seconds: float) -> "SlicedBudget":
+        return SlicedBudget(self, seconds)
+
+    @property
+    def deadline(self) -> Optional[Deadline]:
+        if self.slice_deadline is not None:
+            return self.slice_deadline
+        return self.parent.deadline
+
+    @property
+    def max_worlds(self) -> Optional[int]:
+        return self.parent.max_worlds
+
+    @property
+    def max_ground_clauses(self) -> Optional[int]:
+        return self.parent.max_ground_clauses
+
+    @property
+    def max_samples(self) -> Optional[int]:
+        if self.sample_headroom is not None:
+            return self.sample_headroom
+        return self.parent.max_samples
+
+    @property
+    def max_atoms(self) -> Optional[int]:
+        return self.parent.max_atoms
+
+    def world_limit(self) -> Optional[int]:
+        return self.parent.world_limit()
+
+    def remaining_samples(self) -> Optional[int]:
+        cap = self.max_samples
+        if cap is None:
+            return None
+        return max(0, cap - self.samples)
+
+    def remaining_time(self) -> Optional[float]:
+        remaining = self.parent.remaining_time()
+        if self.slice_deadline is not None:
+            slice_left = self.slice_deadline.remaining()
+            remaining = (
+                slice_left if remaining is None else min(remaining, slice_left)
+            )
+        return remaining
+
+    def consume(self, worlds: int = 0, samples: int = 0, clauses: int = 0) -> None:
+        if self._hook is not None:
+            self._hook()
+        self.token.check()
+        if worlds:
+            self.worlds += worlds
+            cap = self.max_worlds
+            if cap is not None and self.worlds > cap:
+                raise BudgetExceeded(
+                    f"world budget exhausted: {self.worlds} worlds "
+                    f"evaluated, cap is {cap}"
+                )
+        if samples:
+            self.samples += samples
+            cap = self.max_samples
+            if cap is not None and self.samples > cap:
+                raise BudgetExceeded(
+                    f"sample budget exhausted: {self.samples} samples "
+                    f"drawn, cap is {cap}"
+                )
+        if clauses:
+            self.ground_clauses += clauses
+            cap = self.max_ground_clauses
+            if cap is not None and self.ground_clauses > cap:
+                raise BudgetExceeded(
+                    f"grounding budget exhausted: {self.ground_clauses} "
+                    f"clauses instantiated, cap is {cap}"
+                )
+        parent_deadline = self.parent.deadline
+        if parent_deadline is not None:
+            parent_deadline.check()
+        if self.slice_deadline is not None:
+            self.slice_deadline.check()
+
+    def __repr__(self) -> str:
+        bits = []
+        if self.slice_deadline is not None:
+            bits.append(f"slice={self.slice_deadline.seconds:g}s")
+        if self.sample_headroom is not None:
+            bits.append(f"headroom={self.sample_headroom}")
+        if self.token.cancelled:
+            bits.append("cancelled")
+        return f"RacerBudget({', '.join(bits) or 'unsliced'} of {self.parent!r})"
+
+
 #: The budget in force when none is applied: no running caps, only the
 #: default preflight atom guard.  Checkpoints under it are no-ops.
 DEFAULT_BUDGET = Budget()
 
-_active: Budget = DEFAULT_BUDGET
+
+class _ActiveBudget(threading.local):
+    """Thread-local active budget.
+
+    Thread-local (not a bare module global) so concurrent racing
+    attempts each see their own :class:`RacerBudget`: an engine running
+    in one racer thread must never charge — or be cancelled by — a
+    sibling's budget.  Fresh threads start at :data:`DEFAULT_BUDGET`,
+    so single-threaded behaviour is unchanged.
+    """
+
+    def __init__(self):
+        self.budget: Budget = DEFAULT_BUDGET
+
+
+_active = _ActiveBudget()
 
 
 def active_budget() -> Budget:
     """The currently active budget (:data:`DEFAULT_BUDGET` by default)."""
-    return _active
+    return _active.budget
 
 
 def set_budget(budget: Optional[Budget]) -> Budget:
     """Install ``budget`` as active; returns the previous one.
 
-    ``None`` restores :data:`DEFAULT_BUDGET`.  Prefer :func:`apply` —
-    it restores the previous budget automatically.
+    ``None`` restores :data:`DEFAULT_BUDGET`.  The active budget is
+    **per thread** (see :class:`_ActiveBudget`).  Prefer :func:`apply`
+    — it restores the previous budget automatically.
     """
-    global _active
-    previous = _active
-    _active = budget if budget is not None else DEFAULT_BUDGET
+    previous = _active.budget
+    _active.budget = budget if budget is not None else DEFAULT_BUDGET
     return previous
 
 
@@ -398,4 +605,4 @@ def checkpoint(worlds: int = 0, samples: int = 0, clauses: int = 0) -> None:
     returns immediately.  Raises :class:`BudgetExceeded` when a cap of
     the active budget is crossed.
     """
-    _active.consume(worlds=worlds, samples=samples, clauses=clauses)
+    _active.budget.consume(worlds=worlds, samples=samples, clauses=clauses)

@@ -83,6 +83,7 @@ __all__ = [
     "EngineCalibration",
     "CostModel",
     "EngineForecast",
+    "RaceForecast",
     "ChainPlan",
     "plan_features",
     "engine_guarantee",
@@ -623,6 +624,29 @@ class EngineForecast:
 
 
 @dataclass(frozen=True)
+class RaceForecast:
+    """The simulated race: who launches when, who wins, who is wasted.
+
+    Produced by ``plan_chain(..., race=...)`` — an event simulation of
+    :func:`repro.runtime.racing.run_race` over the model's predicted
+    per-engine seconds.  ``outcomes`` maps every engine in the chain to
+    its predicted fate: ``"won"``, ``"preempted"``, ``"cancelled"``,
+    ``"not_launched"``, or a failure outcome (``"cost_refused"``,
+    ``"fragment_mismatch"``, ``"budget_exceeded"``).
+    ``finish_seconds`` gives each launched engine's predicted completion
+    time on the race clock; ``elapsed_seconds`` is the predicted race
+    wall-clock (the winner's decision time).
+    """
+
+    winner: Optional[str]
+    overlap: float
+    launch_order: Tuple[str, ...]
+    outcomes: Mapping[str, str]
+    finish_seconds: Mapping[str, float]
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
 class ChainPlan:
     """The simulated walk: ordered chain, forecasts, selected engine."""
 
@@ -630,6 +654,7 @@ class ChainPlan:
     selected: Optional[str]
     forecasts: Tuple[EngineForecast, ...]
     features: Mapping[str, float]
+    race: Optional[RaceForecast] = None
 
     def describe(self) -> str:
         lines = []
@@ -643,6 +668,13 @@ class ChainPlan:
             if forecast.detail:
                 line += f" — {forecast.detail}"
             lines.append(line)
+        if self.race is not None:
+            lines.append(
+                f"race (overlap={self.race.overlap:g}): "
+                f"winner={self.race.winner or 'none'} "
+                f"~{self.race.elapsed_seconds:.3g}s, "
+                f"launched {', '.join(self.race.launch_order) or 'nothing'}"
+            )
         return "\n".join(lines)
 
 
@@ -809,6 +841,171 @@ def _forecast_montecarlo(
     return "ok", "", needed
 
 
+def _forecast_engine(
+    db, query, quantity, epsilon, delta, budget, features, name, samples_used
+) -> Tuple[str, str, int]:
+    """Dispatch to the per-engine forecast: (outcome, detail, samples)."""
+    if name == "exact":
+        return _forecast_exact(db, query, budget, features)
+    if name == "lifted":
+        return _forecast_lifted(db, query, budget, features)
+    if name == "karp_luby":
+        return _forecast_karp_luby(
+            db, query, quantity, epsilon, delta, budget, samples_used
+        )
+    return _forecast_montecarlo(
+        db, query, quantity, epsilon, delta, budget, samples_used
+    )
+
+
+class _SimRacer:
+    """Mutable per-engine state of the racing simulation."""
+
+    __slots__ = ("index", "name", "rank", "outcome", "detail", "finish", "predicted")
+
+    def __init__(self, index: int, name: str, rank: int, predicted: float):
+        self.index = index
+        self.name = name
+        self.rank = rank
+        self.outcome: Optional[str] = None
+        self.detail = ""
+        self.finish: Optional[float] = None
+        self.predicted = predicted
+
+
+def _simulate_race(
+    db, query, chain, budget, quantity, epsilon, delta, scorer, features, overlap
+) -> RaceForecast:
+    """Event-simulate :func:`repro.runtime.racing.run_race` on model time.
+
+    The simulation replays the racing driver's loop exactly — launch
+    stagger (``overlap`` of the fair-share slice, or of the nominal
+    share without a deadline), instant completions for preflight
+    refusals and fragment mismatches, ``predicted_seconds`` completions
+    for engines forecast ``ok``, cumulative chain-order sample
+    reservations (the same ``_forecast_*`` arithmetic the executor's
+    reservations reuse), equal-time completions processed before
+    launches, early launch on a failure cascade, and the
+    winner/held/preempt rules of ``on_complete``.  Under budgets made of
+    caps (no deadline) and a cost model whose predictions match the
+    engines' stall times, the forecast winner is the race winner — the
+    racing differential harness scripts exactly that correspondence.
+    """
+    from repro.runtime.racing import NOMINAL_SHARE_SECONDS
+
+    total = len(chain)
+    deadline = budget.deadline_seconds
+    racers = [
+        _SimRacer(
+            index,
+            name,
+            _GUARANTEE_RANK.get(engine_guarantee(name, quantity), 3),
+            scorer.predict_seconds(name, features),
+        )
+        for index, name in enumerate(chain)
+    ]
+    pending = list(racers)
+    contenders: List[_SimRacer] = []
+    events: List[_SimRacer] = []  # launched, completion not yet processed
+    launch_order: List[str] = []
+    held: Optional[_SimRacer] = None
+    winner: Optional[_SimRacer] = None
+    samples_reserved = 0
+    t = 0.0
+    next_launch_at = 0.0
+
+    def launch(racer: _SimRacer) -> None:
+        nonlocal samples_reserved, next_launch_at
+        remaining = None if deadline is None else deadline - t
+        if remaining is not None and remaining <= 0:
+            racer.outcome = "budget_exceeded"
+            racer.detail = "deadline exhausted before the engine started"
+            racer.finish = t
+            return
+        share = None if remaining is None else remaining / (total - racer.index)
+        outcome, detail, spent = _forecast_engine(
+            db, query, quantity, epsilon, delta, budget, features,
+            racer.name, samples_reserved,
+        )
+        samples_reserved += spent
+        if outcome == "ok":
+            racer.finish = t + racer.predicted
+            if share is not None and racer.predicted > share:
+                outcome = "budget_exceeded"
+                detail = f"predicted {racer.predicted:.3g}s over {share:.3g}s slice"
+            elif deadline is not None and racer.finish > deadline:
+                outcome = "budget_exceeded"
+                detail = f"predicted finish {racer.finish:.3g}s past the deadline"
+        else:
+            racer.finish = t
+        racer.outcome = outcome
+        racer.detail = detail
+        launch_order.append(racer.name)
+        contenders.append(racer)
+        events.append(racer)
+        next_launch_at = t + overlap * (
+            share if share is not None else NOMINAL_SHARE_SECONDS
+        )
+
+    def on_complete(racer: _SimRacer) -> None:
+        nonlocal held, winner, next_launch_at
+        if racer in contenders:
+            contenders.remove(racer)
+        if racer.outcome == "ok":
+            for other in list(contenders):
+                if other.rank >= racer.rank:
+                    other.outcome = "cancelled"
+                    other.detail = f"preempted by {racer.name!r}"
+                    contenders.remove(other)
+                    if other in events:
+                        events.remove(other)
+            for other in pending:
+                other.outcome = "not_launched"
+            pending.clear()
+            if held is not None:
+                held.outcome = "preempted"
+                held.detail = f"preempted by stronger engine {racer.name!r}"
+            held = racer
+        elif not contenders and held is None and pending:
+            next_launch_at = t
+
+        if held is not None and not any(r.rank < held.rank for r in contenders):
+            winner = held
+            held = None
+
+    while winner is None and (pending or events):
+        while pending and winner is None and (not contenders or t >= next_launch_at):
+            launch(pending.pop(0))
+        if winner is not None or not events:
+            continue
+        racer = min(events, key=lambda r: (r.finish, r.index))
+        if pending and contenders and next_launch_at < racer.finish:
+            # The driver's wait times out at the launch target first.
+            t = max(t, next_launch_at)
+            continue
+        events.remove(racer)
+        t = max(t, racer.finish)
+        on_complete(racer)
+
+    for racer in contenders:
+        racer.outcome = "cancelled"
+        racer.detail = racer.detail or "cancelled when the race was decided"
+    for racer in pending:
+        racer.outcome = "not_launched"
+    if winner is not None:
+        winner.outcome = "won"
+    return RaceForecast(
+        winner=winner.name if winner is not None else None,
+        overlap=overlap,
+        launch_order=tuple(launch_order),
+        outcomes={racer.name: racer.outcome or "not_launched" for racer in racers},
+        finish_seconds={
+            racer.name: racer.finish for racer in racers if racer.finish is not None
+        },
+        elapsed_seconds=t,
+    )
+
+
 def plan_chain(
     db,
     query: Any,
@@ -818,6 +1015,7 @@ def plan_chain(
     epsilon: float = 0.05,
     delta: float = 0.05,
     cost_model: Union[None, CostModel, str, "os.PathLike"] = None,
+    race: Union[None, bool, float] = None,
 ) -> ChainPlan:
     """Dry-run the fallback executor: predict its walk without running it.
 
@@ -836,6 +1034,12 @@ def plan_chain(
     The caller's budget is never consumed: simulation-side grounding
     runs under a neutral budget (and warms the compilation cache the
     real run then hits).
+
+    ``race`` mirrors the executor's parameter: ``True`` (or an overlap
+    fraction) simulates the speculative race instead of the sequential
+    walk — the returned plan carries a :class:`RaceForecast` in
+    ``plan.race``, ``selected`` is the predicted race winner, and each
+    engine's forecast outcome is its predicted fate in the race.
     """
     from repro.runtime.executor import DEFAULT_CHAIN, ENGINES
 
@@ -863,6 +1067,31 @@ def plan_chain(
     if model is not None:
         chain = model.order_chain(chain, features, quantity)
     scorer = model if model is not None else CostModel()
+
+    if race is not None and race is not False:
+        from repro.runtime.racing import DEFAULT_OVERLAP
+
+        overlap = DEFAULT_OVERLAP if race is True else float(race)
+        if not (overlap >= 0.0 and math.isfinite(overlap)):
+            raise ResourceError(
+                f"race overlap must be a finite fraction >= 0, got {race!r}"
+            )
+        forecast = _simulate_race(
+            db, query, chain, budget, quantity, epsilon, delta,
+            scorer, features, overlap,
+        )
+        race_forecasts = tuple(
+            EngineForecast(
+                name,
+                engine_guarantee(name, quantity),
+                forecast.outcomes[name],
+                scorer.predict_seconds(name, features),
+            )
+            for name in chain
+        )
+        return ChainPlan(
+            chain, forecast.winner, race_forecasts, features, race=forecast
+        )
 
     forecasts: List[EngineForecast] = []
     selected: Optional[str] = None

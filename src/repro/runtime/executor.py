@@ -249,6 +249,19 @@ def _classify_failure(exc: Exception) -> Tuple[str, str]:
     return "fragment_mismatch", "runtime.fragment_mismatch"
 
 
+def _attempt_rng(base: int, engine: str) -> random.Random:
+    """The deterministic generator of one engine attempt.
+
+    Derived from a single 64-bit draw of the caller's ``rng`` plus the
+    engine *name* — never from sibling attempts' consumption — so an
+    engine's value is identical whether it runs alone, after failed
+    predecessors in a sequential chain, or concurrently in a race.
+    That independence is what lets the racing property tests assert
+    value equality against solo sequential runs.
+    """
+    return random.Random(f"{base:x}:attempt:{engine}")
+
+
 def run_with_fallback(
     db,
     query: QueryLike,
@@ -259,6 +272,7 @@ def run_with_fallback(
     delta: float = 0.05,
     rng: RngLike = 0,
     cost_model=None,
+    race: Union[bool, float, None] = False,
 ) -> RuntimeResult:
     """Answer ``quantity`` for ``query``, degrading across ``chain``.
 
@@ -283,6 +297,15 @@ def run_with_fallback(
     attempt's features/timing become a ``runtime.attempt.cost`` trace
     event when observability is on — the raw material ``repro
     calibrate`` fits from.
+
+    ``race`` turns on speculative racing (see
+    :mod:`repro.runtime.racing` and docs/ROBUSTNESS.md): instead of
+    walking the chain sequentially, engines launch concurrently with a
+    stagger of ``overlap * fair_share`` and the first answer at least
+    as strong as every still-running contender wins.  ``True`` uses
+    :data:`~repro.runtime.racing.DEFAULT_OVERLAP`; a float in
+    ``[0, 1]`` sets the overlap fraction directly (0 launches
+    everything at once).
 
     Raises :class:`FallbackExhausted` (with the attempt log attached)
     when no engine in the chain produced an answer.
@@ -310,12 +333,29 @@ def run_with_fallback(
         features = costmodel.plan_features(db, query, quantity, epsilon, delta)
     if model is not None:
         chain = model.order_chain(chain, features, quantity)
-    request = _Request(quantity, epsilon, delta, as_rng(rng))
+    overlap: Optional[float] = None
+    if race is not None and race is not False:
+        from repro.runtime import racing
+
+        overlap = racing.DEFAULT_OVERLAP if race is True else float(race)
+        if not (0.0 <= overlap and math.isfinite(overlap)):
+            raise ResourceError(
+                f"race overlap must be a finite fraction >= 0, got {race!r}"
+            )
+    rng_base = as_rng(rng).getrandbits(64)
     scope = apply(budget) if budget is not None else nullcontext()
     attempts = []
     started = time.perf_counter()
     with scope:
         run_budget = active_budget()
+        if overlap is not None:
+            from repro.runtime import racing
+
+            return racing.run_race(
+                db, query, chain, run_budget,
+                quantity, epsilon, delta,
+                rng_base, model, features, overlap,
+            )
         with obs.span("runtime.run", engines=len(chain), quantity=quantity):
             for index, name in enumerate(chain):
                 obs.inc("runtime.attempts")
@@ -336,6 +376,9 @@ def run_with_fallback(
                     else:
                         share = remaining / (len(chain) - index)
                         attempt_scope = apply(run_budget.sliced(share))
+                    request = _Request(
+                        quantity, epsilon, delta, _attempt_rng(rng_base, name)
+                    )
                     with attempt_scope:
                         with obs.span("runtime.attempt", engine=name):
                             answer = ENGINES[name](db, query, request)

@@ -35,11 +35,13 @@ Usage::
 
 from __future__ import annotations
 
+import math
 import random
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Mapping, Union
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro import obs
 from repro.runtime.budget import checkpoint
@@ -59,6 +61,7 @@ __all__ = [
     "SlowdownFault",
     "ExceptionFault",
     "inject",
+    "VirtualScheduler",
 ]
 
 
@@ -108,7 +111,13 @@ class SlowdownFault(Fault):
             )
 
     def apply(self, engine: str, real: Callable, *args, **kwargs):
-        time.sleep(self.seconds)
+        from repro.runtime.racing import race_sleep
+
+        # race_sleep is time.sleep outside a race; under the racing
+        # executor it cooperates with cancellation, and under the
+        # virtual-clock scheduler it advances virtual time instead of
+        # sleeping, so scripted interleavings replay instantly.
+        race_sleep(self.seconds)
         checkpoint()
         return real(*args, **kwargs)
 
@@ -179,3 +188,202 @@ def inject(
         yield dict(faults)
     finally:
         executor.ENGINES.update(originals)
+
+
+# ---------------------------------------------------------------------- #
+# the deterministic virtual-clock scheduler
+# ---------------------------------------------------------------------- #
+
+
+class _VirtualEntity:
+    __slots__ = ("index", "name", "resume", "vtime", "finished")
+
+    def __init__(self, index: int, name: str, vtime: float):
+        self.index = index
+        self.name = name
+        self.resume = threading.Event()
+        self.vtime = vtime
+        self.finished = False
+
+
+class VirtualScheduler:
+    """A deterministic lock-step scheduler with a virtual clock.
+
+    Racing is nondeterministic on the wall clock; this scheduler tames
+    it for tests.  Racer threads still exist, but **exactly one runs at
+    a time**: every cooperative budget checkpoint (and every
+    ``SlowdownFault`` stall, routed through
+    :func:`repro.runtime.racing.race_sleep`) parks the racer and hands
+    control back to the driver, which always grants the next turn to
+    the runnable entity with the smallest ``(virtual time, spawn
+    order)``.  Virtual time advances only by scripted amounts — a
+    per-engine ``tick`` per checkpoint plus the ``seconds`` of any
+    ``SlowdownFault`` — so the same fault script and seed replay the
+    same interleaving, winner, value, and counters bit-for-bit.
+
+    Use it as the race scheduler and, for deadline tests, as the budget
+    clock::
+
+        scheduler = faults.VirtualScheduler(ticks={"karp_luby": 0.01})
+        budget = Budget(deadline=2.0, clock=scheduler.now)
+        with racing.use_scheduler(scheduler):
+            result = run_with_fallback(db, query, race=True, budget=budget)
+
+    ``ticks`` maps engine names to virtual seconds per checkpoint
+    (default ``default_tick``, itself defaulting to 0: time then moves
+    only through scripted slowdowns).
+    """
+
+    is_virtual = True
+
+    def __init__(
+        self,
+        ticks: Optional[Mapping[str, float]] = None,
+        default_tick: float = 0.0,
+    ):
+        self._ticks = dict(ticks or {})
+        self._default_tick = float(default_tick)
+        self._entities: List[_VirtualEntity] = []
+        self._lock = threading.Lock()
+        self._wake_driver = threading.Event()
+        self._completions: List[int] = []
+        self._pending: List[int] = []
+        self._driver_time = 0.0
+        self._local = threading.local()
+
+    # -- clock ---------------------------------------------------------- #
+
+    def now(self) -> float:
+        """Virtual seconds: the calling racer's time, or the driver's."""
+        entity = getattr(self._local, "entity", None)
+        if entity is not None:
+            return entity.vtime
+        return self._driver_time
+
+    # -- racer side ----------------------------------------------------- #
+
+    def _yield_turn(self, entity: _VirtualEntity) -> None:
+        entity.resume.clear()
+        self._wake_driver.set()
+        entity.resume.wait()
+
+    def checkpoint(self) -> None:
+        """Budget-checkpoint hook: advance the racer's tick and park."""
+        entity = getattr(self._local, "entity", None)
+        if entity is None:
+            return
+        entity.vtime += self._ticks.get(entity.name, self._default_tick)
+        self._yield_turn(entity)
+
+    def sleep(self, seconds: float) -> None:
+        """A scripted stall: virtual seconds pass, nothing really sleeps."""
+        entity = getattr(self._local, "entity", None)
+        if entity is None:
+            return
+        entity.vtime += seconds
+        self._yield_turn(entity)
+
+    # -- driver side ---------------------------------------------------- #
+
+    def spawn(self, label: str, fn: Callable[[], None]) -> int:
+        entity = _VirtualEntity(len(self._entities), label, self._driver_time)
+        self._entities.append(entity)
+
+        def body():
+            self._local.entity = entity
+            entity.resume.wait()  # first turn is granted by the driver
+            try:
+                fn()
+            finally:
+                entity.finished = True
+                with self._lock:
+                    self._pending.append(entity.index)
+                self._wake_driver.set()
+
+        thread = threading.Thread(
+            target=body, name=f"repro-vracer-{entity.index}-{label}", daemon=True
+        )
+        thread.start()
+        return entity.index
+
+    def _grant(self, entity: _VirtualEntity) -> None:
+        """Run one lock-step turn: resume the entity, wait for its yield."""
+        self._wake_driver.clear()
+        entity.resume.set()
+        self._wake_driver.wait()
+
+    def _collect_pending(self) -> None:
+        with self._lock:
+            if self._pending:
+                self._completions.extend(self._pending)
+                self._pending.clear()
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Advance virtual time until a completion or ``timeout`` passes.
+
+        Lock-step: grants turns to the runnable entity with the least
+        ``(vtime, index)`` key.  A queued completion is *delivered*
+        (driver time advances to its finish time) only once no runnable
+        entity could still produce an earlier event — so the driver
+        observes completions in virtual-time order, never in thread
+        order.  A completion whose finish time lies past the timeout
+        target stays queued: the driver gets its turn (a launch, say)
+        at the target first, exactly as it would on a real clock.
+        """
+        target = math.inf if timeout is None else self._driver_time + timeout
+        while True:
+            self._collect_pending()
+            queued = [self._entities[i] for i in self._completions]
+            runnable = [e for e in self._entities if not e.finished]
+            tc = min(((e.vtime, e.index) for e in queued), default=None)
+            tr = min(((e.vtime, e.index) for e in runnable), default=None)
+            if tc is not None and (tr is None or tc <= tr) and tc[0] <= target:
+                self._driver_time = max(self._driver_time, tc[0])
+                return
+            if tr is None or tr[0] > target:
+                if target is not math.inf:
+                    self._driver_time = max(self._driver_time, target)
+                return
+            self._grant(self._entities[tr[1]])
+
+    def pop_completions(self, include_future: bool = False) -> List[int]:
+        """Completions whose finish time is due, in ``(vtime, index)`` order.
+
+        A completion at a virtual time past the driver's clock is held
+        back until :meth:`wait` advances to it (``include_future=True``
+        overrides — used after :meth:`drain`).
+        """
+        self._collect_pending()
+        if include_future:
+            ready = sorted(
+                self._completions,
+                key=lambda i: (self._entities[i].vtime, i),
+            )
+            self._completions = []
+            return ready
+        ready = sorted(
+            (i for i in self._completions
+             if self._entities[i].vtime <= self._driver_time),
+            key=lambda i: (self._entities[i].vtime, i),
+        )
+        held = set(ready)
+        self._completions = [i for i in self._completions if i not in held]
+        return ready
+
+    def drain(self, entities) -> int:
+        """Step every given entity to completion (fully deterministic).
+
+        The driver clock does not advance: losers finish in their own
+        virtual time, the race's elapsed time stays the winner's.
+        Returns 0 — the virtual scheduler never abandons a thread.
+        """
+        remaining = [
+            self._entities[i] for i in entities
+            if i is not None and not self._entities[i].finished
+        ]
+        while True:
+            runnable = [e for e in remaining if not e.finished]
+            if not runnable:
+                break
+            self._grant(min(runnable, key=lambda e: (e.vtime, e.index)))
+        return 0

@@ -7,10 +7,13 @@ import pytest
 
 from repro.kernels.bitops import (
     BATCH_BITS,
+    MIN_BATCH_BITS,
+    TARGET_WORKING_BITS,
     bernoulli_column,
     dyadic_bits,
     full_mask,
     iter_set_bits,
+    pick_batch_bits,
     popcount,
 )
 
@@ -98,3 +101,25 @@ def test_iter_set_bits_round_trip():
         value = rng.getrandbits(300)
         assert sum(1 << i for i in iter_set_bits(value)) == value
     assert list(iter_set_bits(0)) == []
+
+
+def test_pick_batch_bits_tiny_budget_narrows_to_the_budget():
+    assert pick_batch_bits(1) == 1
+    assert pick_batch_bits(17) == 17
+    assert pick_batch_bits(BATCH_BITS - 1) == BATCH_BITS - 1
+
+
+def test_pick_batch_bits_defaults_to_full_width():
+    assert pick_batch_bits(0) == BATCH_BITS  # 0 = unlimited budget
+    assert pick_batch_bits(10**9) == BATCH_BITS
+    # Up to 512 lanes the working set fits: no narrowing.
+    assert pick_batch_bits(10**9, lanes=512) == BATCH_BITS
+
+
+def test_pick_batch_bits_narrows_for_wide_plans():
+    assert pick_batch_bits(10**9, lanes=1024) == TARGET_WORKING_BITS // 1024
+    assert pick_batch_bits(10**9, lanes=4096) == TARGET_WORKING_BITS // 4096
+    # ... but never below one machine word per column.
+    assert pick_batch_bits(10**9, lanes=10**9) == MIN_BATCH_BITS
+    # The budget cap still applies after lane narrowing.
+    assert pick_batch_bits(48, lanes=10**9) == 48

@@ -125,3 +125,56 @@ def test_cache_distinguishes_databases(triangle_db, triangle):
     assert truth_probability(triangle_db, query) != truth_probability(
         other, query
     )
+
+
+def test_aborted_factory_counts_no_miss():
+    """A racer cancelled mid-compilation leaves no entry and no miss."""
+    from repro.util.errors import BudgetExceeded
+
+    recorder = obs.StatsRecorder()
+    cache = LruCache(capacity=4)
+
+    def cancelled():
+        raise BudgetExceeded("cancelled: lost the race")
+
+    with obs.use(recorder):
+        with pytest.raises(BudgetExceeded):
+            cache.get_or_create("k", cancelled)
+    assert len(cache) == 0
+    counters = recorder.summary().get("counters", {})
+    assert "kernels.cache.misses" not in counters
+    assert "kernels.cache.hits" not in counters
+
+
+def test_concurrent_duplicate_compute_keeps_first_insert():
+    """Two racers compiling one key: one miss, one hit, one entry."""
+    import threading
+
+    recorder = obs.StatsRecorder()
+    cache = LruCache(capacity=4)
+    barrier = threading.Barrier(2)
+    results = [None, None]
+
+    def factory():
+        barrier.wait(timeout=5)  # both threads are mid-factory together
+        return object()
+
+    def worker(slot):
+        results[slot] = cache.get_or_create("k", factory)
+
+    with obs.use(recorder):
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+
+    # The first insert won; the duplicate value was discarded and both
+    # callers hold the same object.
+    assert results[0] is results[1]
+    assert len(cache) == 1
+    counters = recorder.summary()["counters"]
+    assert counters["kernels.cache.misses"] == 1
+    assert counters["kernels.cache.hits"] == 1

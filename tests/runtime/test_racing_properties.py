@@ -1,0 +1,143 @@
+"""Property-based racing tests: arbitrary chains, budgets, fault scripts.
+
+Each Hypothesis example scripts a fault schedule onto the virtual
+clock and checks the executor-level invariants that hold for *every*
+interleaving, not just the hand-picked ones in ``test_racing.py``:
+
+* the winner is an engine from the requested chain;
+* the raced value is bit-identical to the winner's solo sequential
+  value under the same rng seed — losers' partial work never leaks;
+* no *launched* strictly-stronger engine lost the race by cancellation:
+  a stronger contender either fails on its own or wins (tier safety);
+* when the race exhausts, the sequential walk under the same failure
+  faults exhausts too, engine for engine (exhaustion parity).
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.runtime import costmodel, faults, racing
+from repro.runtime.budget import Budget
+from repro.runtime.executor import DEFAULT_CHAIN, run_with_fallback
+from repro.util.errors import FallbackExhausted
+
+QUERY = "exists x. exists y. E(x, y) & S(y)"
+
+FAILURE_OUTCOMES = {"cost_refused", "budget_exceeded", "fragment_mismatch"}
+
+
+def _make_db():
+    builder = StructureBuilder(["a", "b", "c"])
+    builder.relation("E", 2)
+    builder.relation("S", 1)
+    builder.add("E", ("a", "b"))
+    builder.add("E", ("b", "c"))
+    builder.add("S", ("b",))
+    mu = {
+        Atom("E", ("a", "c")): Fraction(1, 10),
+        Atom("E", ("a", "b")): Fraction(1, 4),
+        Atom("S", ("a",)): Fraction(1, 3),
+        Atom("S", ("b",)): Fraction(1, 5),
+    }
+    return UnreliableDatabase(builder.build(), mu)
+
+
+DB = _make_db()
+
+
+def _rank(engine, quantity="reliability"):
+    return racing.GUARANTEE_RANK[costmodel.engine_guarantee(engine, quantity)]
+
+
+FAULTS = st.one_of(
+    st.just(faults.TimeoutFault()),
+    st.just(faults.ExceptionFault()),
+    st.builds(
+        faults.SlowdownFault,
+        seconds=st.floats(0.0, 3.0, allow_nan=False).map(lambda s: round(s, 3)),
+    ),
+)
+
+CHAINS = st.lists(
+    st.sampled_from(DEFAULT_CHAIN), min_size=1, max_size=4, unique=True
+)
+
+SCRIPTS = st.dictionaries(st.sampled_from(DEFAULT_CHAIN), FAULTS, max_size=4)
+
+OVERLAPS = st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0])
+
+SEEDS = st.integers(min_value=0, max_value=2**16)
+
+BUDGETS = st.sampled_from([None, "samples"])
+
+
+def _race(chain, script, overlap, seed, budget_kind):
+    budget = Budget(max_samples=500_000) if budget_kind == "samples" else None
+    with racing.use_scheduler(faults.VirtualScheduler()):
+        with faults.inject(script):
+            try:
+                return run_with_fallback(
+                    DB,
+                    QUERY,
+                    chain=chain,
+                    budget=budget,
+                    rng=seed,
+                    race=overlap,
+                )
+            except FallbackExhausted as exc:
+                return exc
+
+
+@settings(max_examples=50, deadline=None, database=None)
+@given(
+    chain=CHAINS,
+    script=SCRIPTS,
+    overlap=OVERLAPS,
+    seed=SEEDS,
+    budget_kind=BUDGETS,
+)
+def test_race_invariants(chain, script, overlap, seed, budget_kind):
+    outcome = _race(tuple(chain), script, overlap, seed, budget_kind)
+
+    if isinstance(outcome, FallbackExhausted):
+        # Exhaustion parity: every engine failed on its own, so the
+        # sequential walk under the same failure faults (slowdowns
+        # change timing, never outcomes) must exhaust identically.
+        assert [a.engine for a in outcome.attempts] == list(chain)
+        assert all(a.outcome in FAILURE_OUTCOMES for a in outcome.attempts)
+        hard_faults = {
+            name: fault
+            for name, fault in script.items()
+            if not isinstance(fault, faults.SlowdownFault)
+        }
+        try:
+            with faults.inject(hard_faults):
+                run_with_fallback(DB, QUERY, chain=tuple(chain), rng=seed)
+            sequential_attempts = None
+        except FallbackExhausted as exc:
+            sequential_attempts = [(a.engine, a.outcome) for a in exc.attempts]
+        assert sequential_attempts == [
+            (a.engine, a.outcome) for a in outcome.attempts
+        ]
+        return
+
+    # The winner came from the requested chain.
+    assert outcome.engine in chain
+
+    # Tier safety: a launched strictly-stronger engine never loses by
+    # cancellation — it either failed on its own or would have won.
+    winner_rank = _rank(outcome.engine)
+    for attempt in outcome.attempts:
+        if attempt.engine != outcome.engine and _rank(attempt.engine) < winner_rank:
+            assert attempt.outcome in FAILURE_OUTCOMES
+
+    # Value parity: the raced value is exactly the winner's solo
+    # sequential value for the same seed — no loser state leaked in.
+    solo = run_with_fallback(DB, QUERY, chain=(outcome.engine,), rng=seed)
+    assert outcome.value == solo.value
+    assert outcome.guarantee == solo.guarantee
