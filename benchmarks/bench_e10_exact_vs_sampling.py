@@ -26,8 +26,11 @@ from repro.propositional.karp_luby import karp_luby
 from repro.util.rng import make_rng
 from repro.workloads.random_dnf import random_kdnf, random_probabilities
 
-CHAIN_LENGTHS = (8, 32, 128)
-DENSE_SIZES = (15, 20, 25)  # variables; clauses = 3.2 * variables
+from repro.bench.registry import workload
+
+_W = workload("experiments.e10_exact_vs_sampling")
+CHAIN_LENGTHS = tuple(_W["chain_lengths"])
+DENSE_SIZES = tuple(_W["dense_sizes"])  # variables; clauses = 3.2 * variables
 
 
 def _chained_dnf(length, width=4):

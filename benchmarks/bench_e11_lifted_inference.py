@@ -25,10 +25,12 @@ from repro.reliability.lifted import (
 from repro.util.rng import make_rng
 from repro.workloads.random_db import random_unreliable_database
 
+from repro.bench.registry import workload
+
 SAFE = ConjunctiveQuery.from_text("exists x y. R(x) & S(x, y) & T(x)")
 UNSAFE = ConjunctiveQuery.from_text("exists x y. R(x) & S(x, y) & T(y)")
 
-SIZES = (4, 8, 16, 24)
+SIZES = tuple(workload("experiments.e11_lifted")["sizes"])
 
 
 def _database(size):

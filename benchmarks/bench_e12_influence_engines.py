@@ -17,9 +17,10 @@ from repro.logic.evaluator import FOQuery
 from repro.reliability.influence import atom_influence
 from repro.reliability.repair import greedy_verification_plan
 from repro.util.rng import make_rng
+from repro.bench.registry import workload
 from repro.workloads.random_db import random_unreliable_database
 
-SIZES = (3, 4, 5)
+SIZES = tuple(workload("experiments.e12_influence")["sizes"])
 SENTENCE = "exists x y. E(x, y) & S(x) & S(y)"
 
 

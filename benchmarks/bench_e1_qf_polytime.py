@@ -11,6 +11,7 @@ quadruple the time, never square it into the exponent.
 
 import pytest
 
+from repro.bench.registry import workload
 from repro.logic.evaluator import FOQuery
 from repro.reliability.exact import reliability
 from repro.util.rng import make_rng
@@ -18,7 +19,8 @@ from repro.workloads.random_db import random_unreliable_database
 
 QUERY = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
 
-SIZES = (4, 8, 16, 32)
+# The sweep is declared once, in the benchmark registry.
+SIZES = tuple(workload("experiments.e1_qf_reliability")["sizes"])
 
 
 @pytest.mark.parametrize("size", SIZES)

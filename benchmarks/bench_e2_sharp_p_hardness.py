@@ -17,10 +17,11 @@ from repro.reductions.monotone2sat import (
     count_satisfying_assignments,
     sat_count_via_expected_error,
 )
+from repro.bench.registry import workload
 from repro.util.rng import make_rng
 from repro.workloads.random_cnf import random_monotone_2cnf
 
-VARIABLES = (6, 9, 12, 15)
+VARIABLES = tuple(workload("experiments.e2_sat_count")["variables"])
 
 
 @pytest.mark.parametrize("variables", VARIABLES)

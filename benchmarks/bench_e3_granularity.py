@@ -24,10 +24,11 @@ from repro.relational.atoms import Atom
 from repro.reliability.exact import truth_probability
 from repro.reliability.space import scaled_world_counts, world_granularity
 from repro.reliability.unreliable import UnreliableDatabase
+from repro.bench.registry import workload
 from repro.util.rng import make_rng
 from repro.workloads.random_db import random_structure
 
-UNCERTAIN_COUNTS = (4, 8, 12)
+UNCERTAIN_COUNTS = tuple(workload("experiments.e3_tree_walk")["uncertain"])
 QUERY = FOQuery("exists x y. E(x, y) & S(y)")
 
 

@@ -20,8 +20,11 @@ from repro.propositional.karp_luby import karp_luby, sample_count
 from repro.util.rng import make_rng
 from repro.workloads.random_dnf import random_kdnf, random_probabilities
 
-EPSILONS = (0.2, 0.1, 0.05)
-CLAUSE_COUNTS = (8, 16, 32)
+from repro.bench.registry import workload
+
+_W = workload("experiments.e4_fptras")
+EPSILONS = tuple(_W["epsilons"])
+CLAUSE_COUNTS = tuple(_W["clause_counts"])
 
 
 def _instance(seed, variables=12, clauses=8, width=3):

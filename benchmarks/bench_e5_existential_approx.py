@@ -22,9 +22,12 @@ from repro.reliability.grounding import ground_existential_to_dnf
 from repro.util.rng import make_rng
 from repro.workloads.random_db import random_unreliable_database
 
+from repro.bench.registry import workload
+
 QUERY = FOQuery("exists x y. E(x, y) & S(x) & S(y)")
-SIZES = (4, 6, 8)
-EPSILONS = (0.2, 0.1, 0.05)
+_W = workload("experiments.e5_additive")
+SIZES = tuple(_W["sizes"])
+EPSILONS = tuple(_W["epsilon_sweep"])
 
 
 def _database(size, uncertain_fraction=1.0):

@@ -27,9 +27,10 @@ from repro.reductions.fourcolouring import (
 from repro.reliability.exact import expected_error, truth_probability
 from repro.reliability.montecarlo import estimate_truth_probability
 from repro.util.rng import make_rng
+from repro.bench.registry import workload
 from repro.workloads.graphs import complete_graph, random_colourable_graph
 
-NODE_COUNTS = (5, 6, 7)
+NODE_COUNTS = tuple(workload("experiments.e6_ar_decision")["nodes"])
 
 
 @pytest.mark.parametrize("nodes", NODE_COUNTS)

@@ -32,10 +32,12 @@ from repro.reliability.padding import (
 from repro.relational.builder import graph_structure
 from repro.reliability.unreliable import uniform_error
 from repro.util.rng import make_rng
+from repro.bench.registry import workload
 from repro.workloads.graphs import random_digraph
 
-SIZES = (5, 7, 9)
-XIS = (Fraction(1, 10), Fraction(1, 4), Fraction(2, 5))
+_W = workload("experiments.e7_padded")
+SIZES = tuple(_W["sizes"])
+XIS = tuple(Fraction(x) for x in _W["xis"])
 
 
 def _database(size, error=Fraction(1, 10)):

@@ -22,10 +22,12 @@ from repro.metafinite.reliability import (
     metafinite_reliability_qf,
 )
 from repro.util.rng import make_rng
+from repro.bench.registry import workload
 from repro.workloads.scenarios import sensor_scenario
 
-QF_SIZES = (8, 16, 32)
-AGG_SIZES = (4, 8, 10)
+_W = workload("experiments.e8_metafinite")
+QF_SIZES = tuple(_W["qf_sensors"])
+AGG_SIZES = tuple(_W["agg_sizes"])
 
 
 @pytest.mark.parametrize("sensors", QF_SIZES)

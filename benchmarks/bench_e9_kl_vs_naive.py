@@ -27,8 +27,11 @@ from repro.util.rng import make_rng
 
 from fractions import Fraction
 
-WIDTHS = (6, 10, 14)
-BUDGET = 3000
+from repro.bench.registry import workload
+
+_W = workload("experiments.e9_rare_unions")
+WIDTHS = tuple(_W["widths"])
+BUDGET = _W["budget"]
 
 
 def _rare_union(width, clauses=5):

@@ -268,6 +268,17 @@ def main() -> int:
             Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
         ),
     )
+    parser.add_argument(
+        "--history",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
+        ),
+        help="trajectory store for schema-versioned records",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending to the trajectory store",
+    )
     args = parser.parse_args()
     if args.smoke:
         return smoke()
@@ -277,6 +288,14 @@ def main() -> int:
         handle.write("\n")
     print(json.dumps(result, indent=2))
     print(f"wrote {args.out}")
+    if not args.no_history:
+        from repro.bench.convert import convert_kernels
+        from repro.bench.history import History
+
+        count = History(args.history).append_all(
+            convert_kernels(result, source="script")
+        )
+        print(f"appended {count} record(s) to {args.history}")
     return 0 if result["pass"] else 1
 
 

@@ -376,28 +376,54 @@ EXPERIMENTS = {
 }
 
 
-def _run_experiment(name: str) -> dict:
+def _run_experiment(name: str):
     """Run one experiment under its own recorder; never raises.
 
-    The returned record carries wall-clock, success, and the engine
-    metrics the run produced (``repro.obs`` registry snapshot).
+    Returns ``(ok, record)`` where ``record`` is a schema-versioned
+    :class:`repro.bench.BenchResult` carrying wall-clock, the engine
+    metrics the run produced (``repro.obs`` registry snapshot), and the
+    span-tree profile of the run.
     """
-    recorder = obs.StatsRecorder()
-    record = {"experiment": name, "ok": True}
+    from repro.bench.record import (
+        BenchResult,
+        environment_fingerprint,
+        wall_clock_stats,
+    )
+
+    sink = obs.ListSink()
+    recorder = obs.StatsRecorder(sink=sink)
+    ok = True
     start = time.perf_counter()
     with obs.use(recorder):
         try:
             EXPERIMENTS[name]()
         except Exception:
-            record["ok"] = False
+            ok = False
             logger.exception("experiment %s failed", name)
-    record["seconds"] = round(time.perf_counter() - start, 6)
-    record["metrics"] = recorder.summary()
-    counters = record["metrics"]["counters"]
+    elapsed = time.perf_counter() - start
+    record = BenchResult(
+        bench=f"experiments.table_{name.lower()}",
+        group="experiments",
+        workload={"experiment": name, "harness": "run_experiments"},
+        environment=environment_fingerprint(),
+        methodology={
+            "repeats": 1,
+            "warmup": 0,
+            "timer": "perf_counter",
+            "reduce": "median",
+            "quick": False,
+        },
+        wall_clock=wall_clock_stats([elapsed]),
+        metrics=recorder.summary(),
+        profile=obs.profile_spans(sink.events).to_dict(),
+        source="run_experiments",
+    )
+    record.extra = {"ok": ok}
+    counters = record.metrics["counters"]
     if counters:
         shown = ", ".join(f"{key}={value}" for key, value in counters.items())
         print(f"[obs] {name}: {shown}\n")
-    return record
+    return ok, record
 
 
 def main(argv) -> int:
@@ -406,7 +432,14 @@ def main(argv) -> int:
     parser.add_argument(
         "--json",
         metavar="FILE",
-        help="also write per-experiment records (incl. engine metrics)",
+        help="also write schema-versioned per-experiment records "
+        "(incl. engine metrics and span profiles)",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        help="append the records to this trajectory store "
+        "(e.g. BENCH_history.jsonl)",
     )
     args = parser.parse_args(argv)
     logging.basicConfig(
@@ -418,12 +451,20 @@ def main(argv) -> int:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}")
             return 2
-    records = [_run_experiment(name) for name in chosen]
+    outcomes = [_run_experiment(name) for name in chosen]
+    records = [record for _ok, record in outcomes]
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump(records, handle, indent=2, default=str)
+            json.dump(
+                [record.to_dict() for record in records], handle, indent=2
+            )
         print(f"wrote {len(records)} experiment records to {args.json}")
-    return 0 if all(record["ok"] for record in records) else 1
+    if args.history:
+        from repro.bench.history import History
+
+        count = History(args.history).append_all(records)
+        print(f"appended {count} record(s) to {args.history}")
+    return 0 if all(ok for ok, _record in outcomes) else 1
 
 
 if __name__ == "__main__":

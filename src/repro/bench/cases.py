@@ -1,0 +1,839 @@
+"""The built-in benchmark cases: every ``benchmarks/bench_*.py``
+workload, registered declaratively.
+
+Each case is the *whole sweep* of its source script (the pytest files
+keep per-point timing via pytest-benchmark; the registered case is the
+unit the trend store and the regression gate reason about).  The pytest
+benchmark files read their sweep constants back through
+:func:`repro.bench.registry.workload`, so the parameter lists below are
+the single source of workload truth.
+
+Correctness is asserted inside the cases exactly as the scripts do —
+a benchmark that silently computes the wrong answer would poison the
+trajectory with meaningless timings.
+
+Groups:
+
+``experiments``
+    E1–E12, the paper's experiment series (one case per series).
+``kernels``
+    Bit-parallel kernels vs scalar loops (Monte-Carlo worlds,
+    Karp–Luby, Gray-code enumeration).
+``obs``
+    Instrumentation overhead on the hottest polynomial path.
+``runtime``
+    Cost-model calibration quality and speculative racing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from fractions import Fraction
+from typing import Any, Dict, Optional
+
+from repro import obs
+from repro.bench.registry import register
+
+# --------------------------------------------------------------------- #
+# experiments group — the paper's E1..E12 series
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "experiments.e1_qf_reliability",
+    group="experiments",
+    params={"sizes": [4, 8, 16, 32], "density": 0.3, "error": "1/16"},
+    quick={"sizes": [4, 8]},
+    tags=("paper", "exact", "polynomial"),
+)
+def e1_qf_reliability(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Prop 3.1: quantifier-free reliability over growing databases."""
+    from repro.logic.evaluator import FOQuery
+    from repro.reliability.exact import reliability
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    query = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+    values = {}
+    for size in params["sizes"]:
+        db = random_unreliable_database(
+            make_rng(size),
+            size=size,
+            relations={"E": 2, "S": 1},
+            density=params["density"],
+            error=params["error"],
+        )
+        with obs.span("bench.point", size=size):
+            value = reliability(db, query, method="qf")
+        assert 0 < value <= 1
+        values[str(size)] = float(value)
+    return {"reliability": values}
+
+
+@register(
+    "experiments.e2_sat_count",
+    group="experiments",
+    params={"variables": [6, 9, 12, 15]},
+    quick={"variables": [6, 9]},
+    repeats=2,
+    tags=("paper", "hardness"),
+)
+def e2_sat_count(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Prop 3.2: #SAT through exact expected error (exponential)."""
+    from repro.reductions.monotone2sat import (
+        count_satisfying_assignments,
+        sat_count_via_expected_error,
+    )
+    from repro.util.rng import make_rng
+    from repro.workloads.random_cnf import random_monotone_2cnf
+
+    counts = {}
+    for variables in params["variables"]:
+        formula = random_monotone_2cnf(
+            make_rng(variables), variables=variables, clauses=variables
+        )
+        with obs.span("bench.point", variables=variables):
+            count = sat_count_via_expected_error(formula)
+        assert count == count_satisfying_assignments(formula)
+        counts[str(variables)] = int(count)
+    return {"sat_counts": counts}
+
+
+@register(
+    "experiments.e3_tree_walk",
+    group="experiments",
+    params={"uncertain": [4, 8, 12], "size": 4, "density": 0.4},
+    quick={"uncertain": [4, 8]},
+    repeats=2,
+    tags=("paper", "exact"),
+)
+def e3_tree_walk(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Thm 4.2: the FP^#P computation tree, walked literally."""
+    from repro.logic.evaluator import FOQuery
+    from repro.relational.atoms import Atom
+    from repro.reliability.exact import truth_probability
+    from repro.reliability.space import scaled_world_counts, world_granularity
+    from repro.reliability.unreliable import UnreliableDatabase
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_structure
+
+    query = FOQuery("exists x y. E(x, y) & S(y)")
+    checked = []
+    for uncertain in params["uncertain"]:
+        rng = make_rng(uncertain)
+        structure = random_structure(
+            rng, params["size"], {"E": 2, "S": 1}, density=params["density"]
+        )
+        atoms = sorted(structure.atoms(), key=repr)
+        chosen = rng.sample(atoms, uncertain)
+        mu = {atom: Fraction(1, rng.choice([3, 4, 5])) for atom in chosen}
+        db = UnreliableDatabase(structure, mu)
+        g = world_granularity(db)
+        with obs.span("bench.point", uncertain=uncertain):
+            accepted = 0
+            total = 0
+            for world, count in scaled_world_counts(db):
+                total += count
+                if query.evaluate(world, ()):
+                    accepted += count
+        assert total == g
+        assert Fraction(accepted, g) == truth_probability(
+            db, query, method="dnf"
+        )
+        checked.append(uncertain)
+    return {"verified_uncertain_counts": checked}
+
+
+@register(
+    "experiments.e4_fptras",
+    group="experiments",
+    params={
+        "epsilons": [0.2, 0.1, 0.05],
+        "delta": 0.05,
+        "variables": 12,
+        "clauses": 8,
+        "width": 3,
+        # Swept by benchmarks/bench_e4_fptras_kdnf.py (per-point pytest
+        # timings); the registered case times the epsilon sweep.
+        "clause_counts": [8, 16, 32],
+    },
+    quick={"epsilons": [0.2, 0.1]},
+    repeats=2,
+    tags=("paper", "fptras"),
+)
+def e4_fptras(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Thm 5.3: Karp–Luby FPTRAS cost vs 1/epsilon at fixed size."""
+    from repro.propositional.counting import probability_exact
+    from repro.propositional.karp_luby import karp_luby, sample_count
+    from repro.util.rng import make_rng
+    from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+    rng = make_rng(1)
+    dnf = random_kdnf(
+        rng,
+        variables=params["variables"],
+        clauses=params["clauses"],
+        width=params["width"],
+    )
+    probs = random_probabilities(rng, dnf)
+    exact = float(probability_exact(dnf, probs))
+    samples = {}
+    for epsilon in params["epsilons"]:
+        with obs.span("bench.point", epsilon=epsilon):
+            run = karp_luby(
+                dnf, probs, epsilon, params["delta"], make_rng(2),
+                method="coverage",
+            )
+        assert run.samples == sample_count(
+            len(dnf.clauses), epsilon, params["delta"]
+        )
+        assert abs(run.estimate - exact) <= 2 * epsilon * exact
+        samples[str(epsilon)] = run.samples
+    return {"exact": exact, "samples_per_epsilon": samples}
+
+
+@register(
+    "experiments.e5_additive",
+    group="experiments",
+    params={
+        "sizes": [4, 6, 8],
+        "epsilon": 0.1,
+        "delta": 0.1,
+        # Swept by benchmarks/bench_e5_existential_approx.py.
+        "epsilon_sweep": [0.2, 0.1, 0.05],
+    },
+    quick={"sizes": [4, 6]},
+    repeats=1,
+    tags=("paper", "additive"),
+)
+def e5_additive(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Thm 5.4 / Cor 5.5: additive reliability estimation vs size."""
+    from repro.logic.evaluator import FOQuery
+    from repro.reliability.approx import reliability_additive
+    from repro.reliability.exact import reliability
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    query = FOQuery("exists x y. E(x, y) & S(x) & S(y)")
+    errors = {}
+    for size in params["sizes"]:
+        db = random_unreliable_database(
+            make_rng(size),
+            size=size,
+            relations={"E": 2, "S": 1},
+            density=0.3,
+            error_choices=["1/8", "1/5"],
+        )
+        exact = float(reliability(db, query))
+        with obs.span("bench.point", size=size):
+            estimate = reliability_additive(
+                db, query, params["epsilon"], params["delta"],
+                make_rng(1000 + size),
+            )
+        assert abs(estimate.value - exact) <= params["epsilon"]
+        errors[str(size)] = abs(estimate.value - exact)
+    return {"absolute_errors": errors}
+
+
+@register(
+    "experiments.e6_ar_decision",
+    group="experiments",
+    params={"nodes": [5, 6, 7]},
+    quick={"nodes": [5]},
+    repeats=2,
+    tags=("paper", "hardness"),
+)
+def e6_ar_decision(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Lem 5.9: absolute reliability via the 4-colourability reduction."""
+    from repro.reductions.fourcolouring import (
+        four_colourable_via_absolute_reliability,
+        is_four_colourable,
+    )
+    from repro.util.rng import make_rng
+    from repro.workloads.graphs import complete_graph, random_colourable_graph
+
+    decisions = {}
+    for nodes in params["nodes"]:
+        vertex_list, edges = random_colourable_graph(
+            make_rng(nodes), nodes, 4, 0.7
+        )
+        if not edges:
+            continue
+        with obs.span("bench.point", nodes=nodes):
+            decision = four_colourable_via_absolute_reliability(
+                vertex_list, edges
+            )
+        assert decision == is_four_colourable(vertex_list, edges)
+        decisions[str(nodes)] = bool(decision)
+    vertex_list, edges = complete_graph(5)
+    with obs.span("bench.point", nodes="k5"):
+        assert four_colourable_via_absolute_reliability(
+            vertex_list, edges
+        ) is False
+    return {"decisions": decisions}
+
+
+@register(
+    "experiments.e7_padded",
+    group="experiments",
+    params={
+        "sizes": [5, 7, 9],
+        "epsilon": 0.15,
+        "delta": 0.2,
+        # Swept by benchmarks/bench_e7_ptime_estimator.py (xi ablation).
+        "xis": ["1/10", "1/4", "2/5"],
+    },
+    quick={"sizes": [5]},
+    repeats=1,
+    tags=("paper", "ptime"),
+)
+def e7_padded(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Thm 5.12: padded estimation of a Datalog (non-FO) query."""
+    from repro.logic.datalog import reachability_query
+    from repro.relational.builder import graph_structure
+    from repro.reliability.padding import padded_truth_probability
+    from repro.reliability.unreliable import uniform_error
+    from repro.util.rng import make_rng
+    from repro.workloads.graphs import random_digraph
+
+    query = reachability_query()
+    estimates = {}
+    for size in params["sizes"]:
+        nodes, edges = random_digraph(make_rng(size), size, 0.25)
+        db = uniform_error(graph_structure(nodes, edges), Fraction(1, 10))
+        with obs.span("bench.point", size=size):
+            estimate = padded_truth_probability(
+                db, query, params["epsilon"], params["delta"],
+                make_rng(500 + size), args=(0, size - 1),
+            )
+        assert 0.0 <= estimate.value <= 1.0
+        estimates[str(size)] = estimate.value
+    return {"estimates": estimates}
+
+
+@register(
+    "experiments.e8_metafinite",
+    group="experiments",
+    params={
+        "qf_sensors": [8, 16, 32],
+        "agg_sensors": 6,
+        "samples": 4000,
+        # Swept by benchmarks/bench_e8_metafinite.py (exact aggregate).
+        "agg_sizes": [4, 8, 10],
+    },
+    quick={"qf_sensors": [8, 16], "samples": 1000},
+    tags=("paper", "metafinite"),
+)
+def e8_metafinite(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Thm 6.2: metafinite reliability — QF polynomial, aggregate 2^u."""
+    from repro.metafinite.reliability import (
+        estimate_metafinite_reliability,
+        metafinite_reliability,
+        metafinite_reliability_qf,
+    )
+    from repro.util.rng import make_rng
+    from repro.workloads.scenarios import sensor_scenario
+
+    qf_values = {}
+    for sensors in params["qf_sensors"]:
+        scenario = sensor_scenario(make_rng(sensors), sensors=sensors)
+        with obs.span("bench.point", sensors=sensors, mode="qf"):
+            value = metafinite_reliability_qf(
+                scenario.db, scenario.queries["local"]
+            )
+        assert 0 < value <= 1
+        qf_values[str(sensors)] = float(value)
+
+    sensors = params["agg_sensors"]
+    scenario = sensor_scenario(make_rng(sensors), sensors=sensors)
+    query = scenario.queries["alarms"]
+    with obs.span("bench.point", sensors=sensors, mode="aggregate"):
+        exact = float(metafinite_reliability(scenario.db, query))
+    estimate = estimate_metafinite_reliability(
+        scenario.db, query, make_rng(7), samples=params["samples"]
+    )
+    assert abs(estimate - exact) <= 0.05
+    return {"qf": qf_values, "aggregate_exact": exact}
+
+
+@register(
+    "experiments.e9_rare_unions",
+    group="experiments",
+    params={"widths": [6, 10, 14], "budget": 3000, "clauses": 5},
+    quick={"widths": [6, 10], "budget": 1000},
+    tags=("paper", "ablation"),
+)
+def e9_rare_unions(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Karp–Luby vs naive Monte-Carlo on unions of rare events."""
+    from repro.propositional.counting import probability_exact
+    from repro.propositional.formula import DNF, Clause, Literal
+    from repro.propositional.karp_luby import (
+        karp_luby_samples,
+        naive_probability_estimate,
+    )
+    from repro.util.rng import make_rng
+
+    relative_errors = {}
+    for width in params["widths"]:
+        built = []
+        for index in range(params["clauses"]):
+            variables = [f"v{index}_{j}" for j in range(width)]
+            built.append(Clause(Literal(v, True) for v in variables))
+        dnf = DNF(built)
+        probs = {v: Fraction(1, 4) for v in dnf.variables}
+        exact = float(probability_exact(dnf, probs))
+        assert exact > 0
+        with obs.span("bench.point", width=width, estimator="karp_luby"):
+            run = karp_luby_samples(
+                dnf, probs, params["budget"], make_rng(width)
+            )
+        with obs.span("bench.point", width=width, estimator="naive"):
+            naive = naive_probability_estimate(
+                dnf, probs, params["budget"], make_rng(width)
+            )
+        assert abs(run.estimate - exact) / exact <= 0.25
+        relative_errors[str(width)] = {
+            "karp_luby": abs(run.estimate - exact) / exact,
+            "naive_zero": naive == 0.0,
+        }
+    return {"relative_errors": relative_errors}
+
+
+@register(
+    "experiments.e10_exact_vs_sampling",
+    group="experiments",
+    params={
+        "chain_lengths": [8, 32, 128],
+        "dense_variables": 15,
+        "epsilon": 0.05,
+        "delta": 0.05,
+        # Swept by benchmarks/bench_e10_exact_vs_sampling.py.
+        "dense_sizes": [15, 20, 25],
+    },
+    quick={"chain_lengths": [8, 32], "epsilon": 0.1, "delta": 0.1},
+    repeats=1,
+    tags=("paper", "ablation"),
+)
+def e10_exact_vs_sampling(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Shannon expansion vs FPTRAS: chains and the dense-overlap regime."""
+    from repro.propositional.counting import probability_exact
+    from repro.propositional.formula import DNF, Clause, Literal
+    from repro.propositional.karp_luby import karp_luby
+    from repro.util.rng import make_rng
+    from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+    for length in params["chain_lengths"]:
+        clauses = []
+        for index in range(length):
+            variables = [f"v{index * 3 + j}" for j in range(4)]
+            clauses.append(Clause(Literal(v, True) for v in variables))
+        dnf = DNF(clauses)
+        probs = {v: Fraction(1, 3) for v in dnf.variables}
+        with obs.span("bench.point", workload="chain", length=length):
+            value = probability_exact(dnf, probs)
+        assert 0 < value < 1
+
+    variables = params["dense_variables"]
+    rng = make_rng(variables)
+    dnf = random_kdnf(
+        rng, variables=variables, clauses=int(variables * 3.2), width=4
+    )
+    probs = random_probabilities(rng, dnf)
+    with obs.span("bench.point", workload="dense", engine="exact"):
+        exact = float(probability_exact(dnf, probs))
+    with obs.span("bench.point", workload="dense", engine="karp_luby"):
+        run = karp_luby(
+            dnf, probs, params["epsilon"], params["delta"], make_rng(1)
+        )
+    agreement = abs(run.estimate - exact) / exact
+    assert agreement <= 2 * params["epsilon"]
+    return {"dense_exact": exact, "dense_relative_error": agreement}
+
+
+@register(
+    "experiments.e11_lifted",
+    group="experiments",
+    params={"sizes": [4, 8, 16, 24], "agree_sizes": [4, 8]},
+    quick={"sizes": [4, 8], "agree_sizes": [4]},
+    tags=("paper", "lifted"),
+)
+def e11_lifted(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Safe-plan lifted inference vs the grounded exact engine."""
+    from repro.logic.conjunctive import ConjunctiveQuery
+    from repro.reliability.exact import truth_probability
+    from repro.reliability.lifted import lifted_probability
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    safe = ConjunctiveQuery.from_text("exists x y. R(x) & S(x, y) & T(x)")
+
+    def database(size):
+        return random_unreliable_database(
+            make_rng(size),
+            size=size,
+            relations={"R": 1, "S": 2, "T": 1},
+            density=0.3,
+            error="1/6",
+        )
+
+    values = {}
+    for size in params["sizes"]:
+        db = database(size)
+        with obs.span("bench.point", size=size, engine="lifted"):
+            value = lifted_probability(db, safe)
+        assert 0 <= value <= 1
+        values[str(size)] = float(value)
+    for size in params["agree_sizes"]:
+        db = database(size)
+        with obs.span("bench.point", size=size, engine="grounded"):
+            grounded = truth_probability(db, safe.to_formula(), method="dnf")
+        assert grounded == lifted_probability(db, safe)
+    return {"lifted_values": values}
+
+
+@register(
+    "experiments.e12_influence",
+    group="experiments",
+    params={"sizes": [3, 4, 5], "density": 0.4},
+    quick={"sizes": [3, 4]},
+    repeats=2,
+    tags=("paper", "ablation"),
+)
+def e12_influence(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Birnbaum influence: conditioning engine vs compiled ROBDD."""
+    from repro.reliability.influence import atom_influence
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    sentence = "exists x y. E(x, y) & S(x) & S(y)"
+    agreed = []
+    for size in params["sizes"]:
+        db = random_unreliable_database(
+            make_rng(size),
+            size=size,
+            relations={"E": 2, "S": 1},
+            density=params["density"],
+            error_choices=["1/6", "1/4"],
+            uncertain_fraction=1.0,
+        )
+        with obs.span("bench.point", size=size, engine="conditioning"):
+            conditioning = atom_influence(db, sentence, engine="conditioning")
+        with obs.span("bench.point", size=size, engine="bdd"):
+            bdd = atom_influence(db, sentence, engine="bdd")
+        assert conditioning == bdd and conditioning
+        agreed.append(size)
+    return {"agreed_sizes": agreed}
+
+
+# --------------------------------------------------------------------- #
+# kernels group — bit-parallel vs scalar
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "kernels.mc_truth",
+    group="kernels",
+    params={"size": 24, "samples": 30000},
+    quick={"size": 12, "samples": 5000},
+    repeats=2,
+    tags=("kernels",),
+)
+def kernels_mc_truth(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Monte-Carlo truth probability: batched worlds vs the scalar loop."""
+    from repro.kernels import clear_caches
+    from repro.logic.evaluator import FOQuery
+    from repro.reliability.montecarlo import estimate_truth_probability
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    clear_caches()
+    query = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+    size = params["size"]
+    db = random_unreliable_database(
+        make_rng(size), size, {"E": 2, "S": 1}, density=0.3, error="1/16"
+    )
+    args = (min(3, size - 1), min(17, size - 1))
+
+    def run(kernel):
+        return estimate_truth_probability(
+            db, query, make_rng(7), samples=params["samples"],
+            args=args, kernel=kernel,
+        )
+
+    with obs.span("bench.point", kernel="scalar"):
+        start = time.perf_counter()
+        scalar_value = run("scalar")
+        scalar_s = time.perf_counter() - start
+    with obs.span("bench.point", kernel="batched"):
+        start = time.perf_counter()
+        batched_value = run("batched")
+        batched_s = time.perf_counter() - start
+    return {
+        "scalar_s": round(scalar_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup_batched": round(scalar_s / batched_s, 2),
+        "scalar_estimate": scalar_value,
+        "batched_estimate": batched_value,
+    }
+
+
+@register(
+    "kernels.karp_luby",
+    group="kernels",
+    params={"width": 8, "clauses": 4, "samples": 20000},
+    quick={"samples": 5000},
+    repeats=2,
+    tags=("kernels",),
+)
+def kernels_karp_luby(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Karp–Luby cover sampling: batched vs scalar on rare unions."""
+    from repro.kernels import clear_caches
+    from repro.propositional.formula import DNF, Clause, Literal
+    from repro.propositional.karp_luby import karp_luby_samples
+    from repro.util.rng import make_rng
+
+    clear_caches()
+    built = []
+    for index in range(params["clauses"]):
+        variables = [f"v{index}_{j}" for j in range(params["width"])]
+        built.append(Clause(Literal(v, True) for v in variables))
+    dnf = DNF(built)
+    probs = {v: Fraction(1, 4) for v in dnf.variables}
+
+    def run(kernel):
+        return karp_luby_samples(
+            dnf, probs, params["samples"], make_rng(11), kernel=kernel
+        ).estimate
+
+    with obs.span("bench.point", kernel="scalar"):
+        start = time.perf_counter()
+        scalar_value = run("scalar")
+        scalar_s = time.perf_counter() - start
+    with obs.span("bench.point", kernel="batched"):
+        start = time.perf_counter()
+        batched_value = run("batched")
+        batched_s = time.perf_counter() - start
+    return {
+        "scalar_s": round(scalar_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup_batched": round(scalar_s / batched_s, 2),
+        "scalar_estimate": scalar_value,
+        "batched_estimate": batched_value,
+    }
+
+
+@register(
+    "kernels.gray_enumeration",
+    group="kernels",
+    params={"atoms": 16},
+    quick={"atoms": 10},
+    repeats=2,
+    tags=("kernels", "exact"),
+)
+def kernels_gray(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Gray-code exact enumeration vs the itertools.product sweep."""
+    from repro.kernels.gray import (
+        gray_enumeration_probability,
+        product_enumeration_probability,
+    )
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    atom_count = params["atoms"]
+    db = random_unreliable_database(
+        make_rng(atom_count), atom_count, {"S": 1}, density=0.5, error="1/8"
+    )
+    atoms = sorted(db.uncertain_atoms(), key=repr)[:atom_count]
+    target = atoms[0]
+    predicate = lambda world: world.holds(target)
+
+    with obs.span("bench.point", sweep="product"):
+        start = time.perf_counter()
+        product_value = product_enumeration_probability(db, atoms, predicate)
+        product_s = time.perf_counter() - start
+    with obs.span("bench.point", sweep="gray"):
+        start = time.perf_counter()
+        gray_value = gray_enumeration_probability(db, atoms, predicate)
+        gray_s = time.perf_counter() - start
+    assert gray_value == product_value  # exact rationals, bit-identical
+    return {
+        "product_s": round(product_s, 6),
+        "gray_s": round(gray_s, 6),
+        "speedup_gray": round(product_s / gray_s, 2),
+        "bit_identical": True,
+    }
+
+
+# --------------------------------------------------------------------- #
+# obs group — instrumentation overhead
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "obs.overhead",
+    group="obs",
+    params={"size": 24, "repeats": 3},
+    quick={"size": 12, "repeats": 2},
+    repeats=1,
+    tags=("obs",),
+)
+def obs_overhead(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Recorder overhead on E1 qf reliability: null vs stats vs traced."""
+    from repro.logic.evaluator import FOQuery
+    from repro.reliability.exact import reliability
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    query = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+    size = params["size"]
+    db = random_unreliable_database(
+        make_rng(size), size, {"E": 2, "S": 1}, density=0.3, error="1/16"
+    )
+    run = lambda: reliability(db, query, method="qf")
+
+    devnull = open(os.devnull, "w")
+    try:
+        recorders = {
+            "null": obs.NullRecorder(),
+            "stats": obs.StatsRecorder(),
+            "traced": obs.StatsRecorder(sink=obs.JsonlSink(devnull)),
+        }
+        times = {name: [] for name in recorders}
+        for recorder in recorders.values():  # warm-up
+            with obs.use(recorder):
+                run()
+        for _ in range(params["repeats"]):
+            for name, recorder in recorders.items():
+                with obs.use(recorder):
+                    start = time.perf_counter()
+                    run()
+                    times[name].append(time.perf_counter() - start)
+    finally:
+        devnull.close()
+
+    null_s = min(times["null"])
+    stats_s = min(times["stats"])
+    traced_s = min(times["traced"])
+    pct = lambda measured: round(100.0 * (measured - null_s) / null_s, 3)
+    return {
+        "null_recorder_s": round(null_s, 6),
+        "stats_recorder_s": round(stats_s, 6),
+        "traced_recorder_s": round(traced_s, 6),
+        "overhead_pct": {
+            "stats_vs_null": pct(stats_s),
+            "traced_vs_null": pct(traced_s),
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# runtime group — cost model and racing
+# --------------------------------------------------------------------- #
+
+
+@register(
+    "runtime.costmodel",
+    group="runtime",
+    params={"cases": 4, "epsilon": 0.2, "delta": 0.2, "fit_repeats": 1},
+    quick={"cases": 2},
+    repeats=1,
+    tags=("runtime",),
+)
+def runtime_costmodel(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Cost-model calibration: fit, then analyze/run agreement."""
+    from repro.kernels import clear_caches
+    from repro.logic.evaluator import FOQuery
+    from repro.runtime.budget import Budget
+    from repro.runtime.costmodel import calibrate, plan_chain
+    from repro.runtime.executor import run_with_fallback
+    from repro.util.errors import FallbackExhausted
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    clear_caches()
+    with obs.span("bench.point", phase="calibrate"):
+        model = calibrate(seed=0, repeats=params["fit_repeats"])
+    assert model.engines
+
+    queries = [
+        ("exists x. S(x) | (exists y. E(x, y) & S(y))", []),
+        ("exists x. exists y. E(x, y) & S(y) | exists x. S(x)", []),
+    ]
+    budget_atoms = 16
+    agreed = 0
+    for index in range(params["cases"]):
+        db = random_unreliable_database(
+            make_rng(500 + index), size=6, relations={"E": 2, "S": 1},
+            density=0.6, uncertain_fraction=1.0,
+        )
+        text, free = queries[index % len(queries)]
+        query = FOQuery(text, free)
+        kwargs = dict(
+            budget=Budget(max_atoms=budget_atoms),
+            epsilon=params["epsilon"],
+            delta=params["delta"],
+            cost_model=model,
+        )
+        with obs.span("bench.point", phase="evaluate", case=index):
+            plan = plan_chain(db, query, **kwargs)
+            try:
+                result = run_with_fallback(db, query, rng=index, **kwargs)
+                selected = result.engine
+            except FallbackExhausted:
+                selected = None
+        agreed += plan.selected == selected
+    agreement = agreed / params["cases"]
+    assert agreement == 1.0
+    return {
+        "calibrated_engines": sorted(model.engines),
+        "analyze_run_agreement": agreement,
+    }
+
+
+@register(
+    "runtime.racing",
+    group="runtime",
+    params={"stall": 0.4, "overlap": 0.1, "size": 4},
+    quick={"stall": 0.3},
+    repeats=1,
+    warmup=0,
+    tags=("runtime", "threads"),
+)
+def runtime_racing(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Speculative racing vs the sequential walk on a stalled engine."""
+    from repro.kernels import clear_caches
+    from repro.logic.evaluator import FOQuery
+    from repro.runtime import faults
+    from repro.runtime.executor import run_with_fallback
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    query = FOQuery("exists x. exists y. E(x, y) & S(y)")
+    db = random_unreliable_database(
+        make_rng(900), size=params["size"], relations={"E": 2, "S": 1},
+        density=0.4,
+    )
+
+    def arm(race):
+        clear_caches()
+        start = time.perf_counter()
+        with faults.inject(
+            {"exact": faults.SlowdownFault(seconds=params["stall"])}
+        ):
+            result = run_with_fallback(db, query, rng=0, race=race)
+        return time.perf_counter() - start, result
+
+    with obs.span("bench.point", arm="sequential"):
+        sequential_s, sequential = arm(False)
+    with obs.span("bench.point", arm="racing"):
+        racing_s, racing = arm(params["overlap"])
+    assert sequential.guarantee == racing.guarantee
+    assert sequential.value == racing.value
+    assert racing_s < sequential_s
+    return {
+        "sequential_s": round(sequential_s, 6),
+        "racing_s": round(racing_s, 6),
+        "speedup": round(sequential_s / racing_s, 2),
+        "answers_agree": True,
+    }

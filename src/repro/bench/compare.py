@@ -1,0 +1,241 @@
+"""Trend-based regression detection with robust relative bands.
+
+The old CI gates hardcoded a threshold per benchmark ("batched must
+clear 2x scalar") — brittle, machine-dependent, and silent about
+drift.  This module replaces them: a fresh run is compared against the
+*recorded trajectory* of the same benchmark and workload, and flagged
+only when it falls outside a robust band derived from that
+trajectory's own spread.
+
+For a baseline of historical headline timings ``b_1..b_n`` (matching
+``(bench, workload_key)``, most recent ``window`` records):
+
+* centre  = median(b)
+* spread  = MAD(b) * 1.4826  (the robust sigma estimate; 0 for n == 1)
+* band    = max(tolerance * centre, z * spread, absolute_floor)
+
+A fresh timing ``t`` is a **regression** when ``t > centre + band`` and
+an **improvement** when ``t < centre - band``.  The relative
+``tolerance`` floor (default 0.75, i.e. flag past ~1.75x the median)
+absorbs cross-machine noise while still catching the order-of-magnitude
+cliffs that matter (an injected 5x slowdown is far outside the band);
+the ``absolute_floor`` (default 5 ms) keeps micro-benchmarks from
+flagging on scheduler jitter.
+
+Benchmarks with no matching trajectory — brand new, or a changed
+workload (different ``workload_key``) — report ``no-baseline`` and do
+not fail the gate: the run that records them *starts* the trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.bench.history import History
+from repro.bench.record import BenchResult
+
+#: Verdict statuses, in severity order.
+REGRESSION = "regression"
+IMPROVED = "improved"
+OK = "ok"
+NO_BASELINE = "no-baseline"
+
+DEFAULT_TOLERANCE = 0.75
+DEFAULT_WINDOW = 20
+DEFAULT_Z = 3.0
+DEFAULT_ABSOLUTE_FLOOR = 0.005  # seconds
+
+
+@dataclasses.dataclass
+class Verdict:
+    """The comparison outcome for one fresh record."""
+
+    bench: str
+    workload_key: str
+    status: str
+    fresh_seconds: float
+    baseline_median: Optional[float] = None
+    baseline_runs: int = 0
+    band_seconds: Optional[float] = None
+    ratio: Optional[float] = None
+    message: str = ""
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status == REGRESSION
+
+
+@dataclasses.dataclass
+class Comparison:
+    """All verdicts of one gate run."""
+
+    verdicts: List[Verdict]
+    tolerance: float
+    window: int
+
+    @property
+    def regressions(self) -> List[Verdict]:
+        return [verdict for verdict in self.verdicts if verdict.is_regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """A fixed-width report table plus a one-line summary."""
+        lines = [
+            f"{'benchmark':<32} {'status':<12} {'fresh_s':>10} "
+            f"{'base_s':>10} {'ratio':>7} {'runs':>5}  note"
+        ]
+        order = {REGRESSION: 0, IMPROVED: 1, OK: 2, NO_BASELINE: 3}
+        for verdict in sorted(
+            self.verdicts, key=lambda v: (order.get(v.status, 9), v.bench)
+        ):
+            base = (
+                f"{verdict.baseline_median:.6f}"
+                if verdict.baseline_median is not None
+                else "-"
+            )
+            ratio = f"{verdict.ratio:.2f}x" if verdict.ratio is not None else "-"
+            lines.append(
+                f"{verdict.bench:<32} {verdict.status:<12} "
+                f"{verdict.fresh_seconds:>10.6f} {base:>10} {ratio:>7} "
+                f"{verdict.baseline_runs:>5}  {verdict.message}"
+            )
+        counts: Dict[str, int] = {}
+        for verdict in self.verdicts:
+            counts[verdict.status] = counts.get(verdict.status, 0) + 1
+        summary = ", ".join(
+            f"{counts[status]} {status}"
+            for status in (REGRESSION, IMPROVED, OK, NO_BASELINE)
+            if status in counts
+        )
+        lines.append(
+            ("FAIL: " if not self.ok else "PASS: ")
+            + (summary or "nothing compared")
+            + f" (tolerance {self.tolerance:.2f}, window {self.window})"
+        )
+        return "\n".join(lines)
+
+
+def robust_band(
+    baseline: List[float],
+    tolerance: float = DEFAULT_TOLERANCE,
+    z: float = DEFAULT_Z,
+    absolute_floor: float = DEFAULT_ABSOLUTE_FLOOR,
+) -> Tuple[float, float]:
+    """``(median, band)`` for a baseline series (see module docstring)."""
+    centre = statistics.median(baseline)
+    if len(baseline) > 1:
+        mad = statistics.median(
+            [abs(value - centre) for value in baseline]
+        )
+        spread = 1.4826 * mad
+    else:
+        spread = 0.0
+    band = max(tolerance * centre, z * spread, absolute_floor)
+    return centre, band
+
+
+def _as_dict(record: Union[BenchResult, Dict]) -> Dict:
+    return record.to_dict() if isinstance(record, BenchResult) else record
+
+
+def compare_records(
+    fresh: Iterable[Union[BenchResult, Dict]],
+    history_records: Iterable[Dict],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    z: float = DEFAULT_Z,
+    absolute_floor: float = DEFAULT_ABSOLUTE_FLOOR,
+) -> Comparison:
+    """Compare fresh records against a trajectory, one verdict each."""
+    baselines: Dict[Tuple[str, str], List[float]] = {}
+    for record in history_records:
+        key = (record["bench"], record["workload_key"])
+        baselines.setdefault(key, []).append(
+            float(record["wall_clock"]["seconds"])
+        )
+
+    verdicts: List[Verdict] = []
+    for record in fresh:
+        record = _as_dict(record)
+        bench = record["bench"]
+        key = (bench, record["workload_key"])
+        seconds = float(record["wall_clock"]["seconds"])
+        series = baselines.get(key)
+        if not series:
+            same_bench = any(b == bench for b, _ in baselines)
+            verdicts.append(
+                Verdict(
+                    bench=bench,
+                    workload_key=record["workload_key"],
+                    status=NO_BASELINE,
+                    fresh_seconds=seconds,
+                    message=(
+                        "workload changed; trajectory restarts"
+                        if same_bench
+                        else "first record; trajectory starts here"
+                    ),
+                )
+            )
+            continue
+        recent = series[-window:] if window > 0 else series
+        centre, band = robust_band(recent, tolerance, z, absolute_floor)
+        ratio = seconds / centre if centre > 0 else float("inf")
+        if seconds > centre + band:
+            status = REGRESSION
+            message = (
+                f"exceeds median {centre:.6f}s by more than the "
+                f"{band:.6f}s band"
+            )
+        elif seconds < centre - band:
+            status = IMPROVED
+            message = f"below median {centre:.6f}s by more than the band"
+        else:
+            status = OK
+            message = ""
+        verdicts.append(
+            Verdict(
+                bench=bench,
+                workload_key=record["workload_key"],
+                status=status,
+                fresh_seconds=seconds,
+                baseline_median=centre,
+                baseline_runs=len(recent),
+                band_seconds=band,
+                ratio=ratio,
+                message=message,
+            )
+        )
+    return Comparison(verdicts=verdicts, tolerance=tolerance, window=window)
+
+
+def compare_against_history(
+    fresh: Iterable[Union[BenchResult, Dict]],
+    history: Union[History, str],
+    **kwargs,
+) -> Comparison:
+    """Compare fresh records against the stored trajectory."""
+    store = history if isinstance(history, History) else History(history)
+    return compare_records(fresh, store.records(), **kwargs)
+
+
+def self_compare(history: Union[History, str], **kwargs) -> Comparison:
+    """Gate the trajectory against itself: newest record per
+    ``(bench, workload_key)`` versus the records before it.
+
+    This is what ``repro bench compare`` does with no fresh file — a
+    health check that the committed trajectory's tips sit inside their
+    own bands.
+    """
+    store = history if isinstance(history, History) else History(history)
+    fresh: List[Dict] = []
+    baseline: List[Dict] = []
+    for records in store.grouped().values():
+        fresh.append(records[-1])
+        baseline.extend(records[:-1])
+    return compare_records(fresh, baseline, **kwargs)

@@ -1,0 +1,195 @@
+"""Convert the legacy ad-hoc ``BENCH_*.json`` files to schema-v1 records.
+
+Before the unified harness each standalone benchmark wrote its own
+free-form JSON at the repo root.  Those files are the earliest points
+of the repository's performance trajectory, so instead of discarding
+them this module maps each onto one or more :class:`BenchResult`
+records (``source="legacy-convert"``) that seed ``BENCH_history.jsonl``.
+
+The legacy numbers were single headline timings without per-repeat
+samples, metrics snapshots or span profiles; the converted records
+carry what existed (the headline seconds, the free-form payload under
+``extra``) and leave the rest empty.  Workloads are taken verbatim from
+the legacy files, so converted trajectories are keyed separately from
+the registered cases' — the gate never compares a legacy timing against
+a new-style run of a different workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.bench.record import BenchResult, environment_fingerprint
+
+#: The legacy files at the repo root and their converters.
+LEGACY_FILES = (
+    "BENCH_costmodel.json",
+    "BENCH_kernels.json",
+    "BENCH_obs_overhead.json",
+    "BENCH_racing.json",
+)
+
+
+def _legacy_result(
+    bench: str,
+    workload: Dict[str, Any],
+    seconds: float,
+    extra: Dict[str, Any],
+    created_at: Optional[str],
+    source: str = "legacy-convert",
+) -> BenchResult:
+    record = BenchResult(
+        bench=bench,
+        group=bench.split(".", 1)[0],
+        workload=workload,
+        environment=environment_fingerprint(),
+        methodology={
+            "repeats": 1,
+            "warmup": 0,
+            "timer": "perf_counter",
+            "reduce": "legacy",
+            "quick": False,
+        },
+        wall_clock={
+            "seconds": float(seconds),
+            "min": float(seconds),
+            "max": float(seconds),
+            "mean": float(seconds),
+            "stdev": 0.0,
+            "samples": [float(seconds)],
+        },
+        source=source,
+    )
+    record.extra = extra
+    if created_at:
+        record.created_at = created_at
+    return record
+
+
+def convert_costmodel(
+    data: Dict[str, Any], created_at=None, source: str = "legacy-convert"
+) -> List[BenchResult]:
+    """Static vs calibrated chain ordering → two records."""
+    workload = {"legacy": data.get("workload", "costmodel")}
+    shared = {
+        "speedup": data.get("speedup"),
+        "analyze_run_agreement": data.get("analyze_run_agreement"),
+        "calibrated_engines": data.get("calibrated_engines"),
+        "pass": data.get("pass"),
+    }
+    return [
+        _legacy_result(
+            "runtime.costmodel_static", dict(workload, arm="static"),
+            data["static_total_s"], shared, created_at, source,
+        ),
+        _legacy_result(
+            "runtime.costmodel_calibrated", dict(workload, arm="calibrated"),
+            data["calibrated_total_s"], shared, created_at, source,
+        ),
+    ]
+
+
+def convert_kernels(
+    data: Dict[str, Any], created_at=None, source: str = "legacy-convert"
+) -> List[BenchResult]:
+    """One record per kernel section, batched timing as the headline."""
+    records = []
+    base = {"samples": data.get("samples"), "repeats": data.get("repeats")}
+    sections = {
+        "kernels.legacy_e1_truth": ("e1_truth", "batched_s"),
+        "kernels.legacy_e4_karp_luby": ("e4_karp_luby", "batched_s"),
+        "kernels.legacy_e9_karp_luby": ("e9_karp_luby", "batched_s"),
+        "kernels.legacy_gray": ("gray_enumeration", "gray_s"),
+    }
+    for bench, (section_key, seconds_key) in sections.items():
+        section = data.get(section_key)
+        if not section or seconds_key not in section:
+            continue
+        workload = dict(base, legacy=section.get("workload", section_key))
+        records.append(
+            _legacy_result(
+                bench, workload, section[seconds_key], section, created_at,
+                source,
+            )
+        )
+    return records
+
+
+def convert_obs_overhead(
+    data: Dict[str, Any], created_at=None, source: str = "legacy-convert"
+) -> List[BenchResult]:
+    workload = {
+        "legacy": data.get("workload", "obs_overhead"),
+        "repeats": data.get("repeats"),
+    }
+    extra = {
+        "null_recorder_s": data.get("null_recorder_s"),
+        "stats_recorder_s": data.get("stats_recorder_s"),
+        "traced_recorder_s": data.get("traced_recorder_s"),
+        "overhead_pct": data.get("overhead_pct"),
+        "pass": data.get("pass"),
+    }
+    return [
+        _legacy_result(
+            "obs.legacy_overhead", workload,
+            data["traced_recorder_s"], extra, created_at, source,
+        )
+    ]
+
+
+def convert_racing(
+    data: Dict[str, Any], created_at=None, source: str = "legacy-convert"
+) -> List[BenchResult]:
+    workload = {"legacy": data.get("workload", "racing")}
+    extra = {
+        "speedup": data.get("speedup"),
+        "answers_agree": data.get("answers_agree"),
+        "batch_width": data.get("batch_width"),
+        "pass": data.get("pass"),
+    }
+    return [
+        _legacy_result(
+            "runtime.racing_sequential", dict(workload, arm="sequential"),
+            data["sequential_total_s"], extra, created_at, source,
+        ),
+        _legacy_result(
+            "runtime.racing_speculative", dict(workload, arm="racing"),
+            data["racing_total_s"], extra, created_at, source,
+        ),
+    ]
+
+
+_CONVERTERS = {
+    "costmodel": convert_costmodel,
+    "kernels": convert_kernels,
+    "obs_overhead": convert_obs_overhead,
+    "racing": convert_racing,
+}
+
+
+def convert_file(path: str) -> List[BenchResult]:
+    """Convert one legacy file; [] when its shape is unrecognised."""
+    with open(path) as handle:
+        data = json.load(handle)
+    converter = _CONVERTERS.get(data.get("benchmark", ""))
+    if converter is None:
+        return []
+    # File mtime approximates when the legacy run happened.
+    import time
+
+    created_at = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime(os.path.getmtime(path))
+    )
+    return converter(data, created_at)
+
+
+def convert_all(root: str = ".") -> List[BenchResult]:
+    """Convert every legacy ``BENCH_*.json`` present under ``root``."""
+    records: List[BenchResult] = []
+    for name in LEGACY_FILES:
+        path = os.path.join(root, name)
+        if os.path.exists(path):
+            records.extend(convert_file(path))
+    return records

@@ -1,0 +1,164 @@
+"""The declarative benchmark registry.
+
+A :class:`BenchCase` is a named, parameterised workload: a callable
+plus the declared parameter dict it runs with.  The thirteen ad-hoc
+``benchmarks/bench_*.py`` scripts are absorbed here as registered
+cases (see :mod:`repro.bench.cases`), so one runner executes them all,
+every run is recorded in the same schema, and the parameter sweeps the
+pytest benchmark files use come from a single declaration.
+
+Each case declares two parameter profiles:
+
+* ``params`` — the full workload, comparable against the recorded
+  trajectory of full runs;
+* ``quick`` — overrides applied in quick mode (``repro bench run
+  --quick``), sized for CI and the test suite.
+
+Because the merged parameter dict *is* the workload metadata recorded
+in the :class:`~repro.bench.record.BenchResult`, the trend store keys
+full-mode and quick-mode trajectories separately and a parameter
+change automatically starts a fresh trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.errors import ReproError
+
+
+class UnknownBenchmark(ReproError):
+    """Asked for a benchmark id that is not registered."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark: id, workload declaration, runner."""
+
+    bench_id: str
+    group: str
+    fn: Callable[[Dict[str, Any]], Optional[Dict[str, Any]]]
+    params: Dict[str, Any]
+    quick: Dict[str, Any]
+    repeats: int = 3
+    quick_repeats: int = 1
+    warmup: int = 1
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def merged_params(self, quick: bool = False) -> Dict[str, Any]:
+        """The effective workload parameters for a run."""
+        merged = dict(self.params)
+        if quick:
+            merged.update(self.quick)
+            merged["quick"] = True
+        return merged
+
+    def effective_repeats(self, quick: bool = False) -> int:
+        return self.quick_repeats if quick else self.repeats
+
+
+_REGISTRY: Dict[str, BenchCase] = {}
+_CASES_LOADED = False
+
+
+def register(
+    bench_id: str,
+    *,
+    group: str,
+    params: Dict[str, Any],
+    quick: Optional[Dict[str, Any]] = None,
+    repeats: int = 3,
+    quick_repeats: int = 1,
+    warmup: int = 1,
+    description: str = "",
+    tags: Sequence[str] = (),
+) -> Callable:
+    """Decorator: register ``fn`` as the runner of benchmark ``bench_id``.
+
+    ``bench_id`` must be the dotted ``<group>.<name>`` form and unique;
+    double registration is an error (it would silently fork a
+    trajectory).
+    """
+    if "." not in bench_id:
+        raise ValueError(
+            f"bench id must be dotted '<group>.<name>', got {bench_id!r}"
+        )
+    if not bench_id.startswith(group + "."):
+        raise ValueError(
+            f"bench id {bench_id!r} must start with its group {group!r}"
+        )
+
+    def decorator(fn: Callable) -> Callable:
+        if bench_id in _REGISTRY:
+            raise ValueError(f"benchmark {bench_id!r} registered twice")
+        doc = description
+        if not doc and fn.__doc__:
+            lines = fn.__doc__.strip().splitlines()
+            doc = lines[0] if lines else ""
+        _REGISTRY[bench_id] = BenchCase(
+            bench_id=bench_id,
+            group=group,
+            fn=fn,
+            params=dict(params),
+            quick=dict(quick or {}),
+            repeats=repeats,
+            quick_repeats=quick_repeats,
+            warmup=warmup,
+            description=doc,
+            tags=tuple(tags),
+        )
+        return fn
+
+    return decorator
+
+
+def register_case(case: BenchCase) -> BenchCase:
+    """Register a prebuilt case (tests and programmatic callers)."""
+    if case.bench_id in _REGISTRY:
+        raise ValueError(f"benchmark {case.bench_id!r} registered twice")
+    _REGISTRY[case.bench_id] = case
+    return case
+
+
+def unregister(bench_id: str) -> None:
+    """Remove a case (test isolation only)."""
+    _REGISTRY.pop(bench_id, None)
+
+
+def load_cases() -> None:
+    """Import the built-in case declarations exactly once."""
+    global _CASES_LOADED
+    if not _CASES_LOADED:
+        _CASES_LOADED = True
+        import repro.bench.cases  # noqa: F401  (registers on import)
+
+
+def get_case(bench_id: str) -> BenchCase:
+    load_cases()
+    case = _REGISTRY.get(bench_id)
+    if case is None:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise UnknownBenchmark(
+            f"unknown benchmark {bench_id!r}; registered: {known}"
+        )
+    return case
+
+
+def all_cases(group: Optional[str] = None) -> List[BenchCase]:
+    load_cases()
+    cases = sorted(_REGISTRY.values(), key=lambda case: case.bench_id)
+    if group is not None:
+        cases = [case for case in cases if case.group == group]
+    return cases
+
+
+def workload(bench_id: str) -> Dict[str, Any]:
+    """The declared (full) parameters of a registered case.
+
+    The ``benchmarks/bench_*.py`` pytest files read their sweep series
+    through this, so the registry is the single source of workload
+    truth.
+    """
+    return dict(get_case(bench_id).params)

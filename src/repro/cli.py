@@ -21,12 +21,24 @@ Examples::
     python -m repro inspect db.txt
 
 Every subcommand accepts ``--stats`` (print engine-internal counters —
-worlds enumerated, clauses grounded, samples drawn — after the result)
-and ``--trace FILE`` (write span/event records as JSON-lines; see
-docs/OBSERVABILITY.md for the schema).  ``compute``, ``estimate``,
-``analyze`` and ``run`` additionally accept ``--deadline SECONDS`` and
-``--max-cost N`` resource budgets; ``run`` degrades along an engine
-chain instead of failing outright (see docs/ROBUSTNESS.md).
+worlds enumerated, clauses grounded, samples drawn — after the result),
+``--trace FILE`` (write span/event records as JSON-lines; see
+docs/OBSERVABILITY.md for the schema) and ``--profile`` (print the
+span-tree profile — per-phase count, total and self time — after the
+result).  ``compute``, ``estimate``, ``analyze`` and ``run``
+additionally accept ``--deadline SECONDS`` and ``--max-cost N``
+resource budgets; ``run`` degrades along an engine chain instead of
+failing outright (see docs/ROBUSTNESS.md).
+
+The ``bench`` subcommand family drives the unified benchmark harness
+(:mod:`repro.bench`)::
+
+    python -m repro bench list
+    python -m repro bench run --all --quick
+    python -m repro bench run kernels.mc_truth --out fresh.jsonl --no-append
+    python -m repro bench compare --fresh fresh.jsonl
+    python -m repro bench report experiments.e1_qf_reliability
+    python -m repro bench migrate
 """
 
 from __future__ import annotations
@@ -199,6 +211,112 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    cases = bench.all_cases(group=args.group)
+    if not cases:
+        print("(no registered benchmarks)")
+        return 0
+    width = max(len(case.bench_id) for case in cases)
+    for case in cases:
+        print(
+            f"{case.bench_id:<{width}}  repeats={case.effective_repeats()} "
+            f"quick_repeats={case.effective_repeats(True)}  "
+            f"{case.description}"
+        )
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if not args.benchmarks and not args.all and not args.group:
+        print(
+            "error: name benchmarks, or pass --all / --group",
+            file=sys.stderr,
+        )
+        return 2
+    bench_ids = args.benchmarks or None
+    results = bench.run_many(
+        bench_ids,
+        group=args.group,
+        quick=args.quick,
+        repeats=args.repeats,
+        progress=lambda line: print(f"  running {line}"),
+    )
+    history = bench.History(args.history)
+    out_lines = []
+    for result in results:
+        record = result.to_dict()
+        if not args.no_append:
+            history.append(record)
+        out_lines.append(result.to_json())
+        print(
+            f"{result.bench:<36} {result.seconds:>10.6f}s  "
+            f"key={result.workload_key}"
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n".join(out_lines) + "\n")
+        print(f"wrote {len(out_lines)} record(s) to {args.out}")
+    if not args.no_append:
+        print(f"appended {len(results)} record(s) to {history.path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    history = bench.History(args.history)
+    if not history.exists():
+        print(f"error: no history at {history.path}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.tolerance is not None:
+        kwargs["tolerance"] = args.tolerance
+    if args.window is not None:
+        kwargs["window"] = args.window
+    if args.fresh:
+        fresh, skipped = bench.History(args.fresh).load()
+        if skipped:
+            print(f"warning: skipped {skipped} invalid fresh record(s)")
+        comparison = bench.compare_against_history(fresh, history, **kwargs)
+    else:
+        comparison = bench.self_compare(history, **kwargs)
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro import bench
+    from repro.bench import report as bench_report
+
+    history = bench.History(args.history)
+    if not history.exists():
+        print(f"error: no history at {history.path}", file=sys.stderr)
+        return 2
+    if args.benchmark:
+        print(bench_report.bench_detail(history, args.benchmark, args.key))
+    else:
+        print(bench_report.trend_table(history))
+    return 0
+
+
+def _cmd_bench_migrate(args: argparse.Namespace) -> int:
+    from repro import bench
+    from repro.bench import convert
+
+    records = convert.convert_all(args.root)
+    if not records:
+        print("no legacy BENCH_*.json files found")
+        return 0
+    history = bench.History(args.history)
+    count = history.append_all(records)
+    print(f"converted {count} legacy record(s) into {history.path}")
+    return 0
+
+
 def _print_stats(recorder: obs.StatsRecorder) -> None:
     """Render the recorder's registry as an aligned summary table."""
     snapshot = recorder.summary()
@@ -249,6 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write structured span/event trace as JSON-lines to FILE",
     )
+    parser.add_argument(
+        "--profile",
+        dest="profile_global",
+        action="store_true",
+        help="print the span-tree profile (per-phase self/total time) "
+        "after the result",
+    )
     observability = argparse.ArgumentParser(add_help=False)
     observability.add_argument(
         "--stats",
@@ -259,6 +384,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         help="write structured span/event trace as JSON-lines to FILE",
+    )
+    observability.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the span-tree profile (per-phase self/total time) "
+        "after the result",
     )
     resources = argparse.ArgumentParser(add_help=False)
     resources.add_argument(
@@ -433,6 +564,114 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--query", help="optionally classify a query")
     inspect.add_argument("--free", nargs="*")
     inspect.set_defaults(handler=_cmd_inspect)
+
+    from repro.bench.history import DEFAULT_HISTORY
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="run registered benchmarks, track and gate the trajectory",
+    )
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command", required=True)
+
+    bench_list = bench_sub.add_parser(
+        "list", help="list the registered benchmark cases"
+    )
+    bench_list.add_argument("--group", help="restrict to one group")
+    bench_list.set_defaults(handler=_cmd_bench_list)
+
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="run benchmarks and record schema-versioned results",
+    )
+    bench_run.add_argument(
+        "benchmarks", nargs="*", metavar="BENCH", help="benchmark ids"
+    )
+    bench_run.add_argument(
+        "--all", action="store_true", help="run every registered case"
+    )
+    bench_run.add_argument("--group", help="run one group")
+    bench_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick parameter profile (CI-sized workloads; recorded as "
+        "a separate trajectory)",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=None, help="override repeat count"
+    )
+    bench_run.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        metavar="PATH",
+        help=f"trajectory store to append to (default: {DEFAULT_HISTORY})",
+    )
+    bench_run.add_argument(
+        "--no-append",
+        dest="no_append",
+        action="store_true",
+        help="do not append the records to the trajectory store",
+    )
+    bench_run.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the fresh records to FILE (JSON-lines)",
+    )
+    bench_run.set_defaults(handler=_cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="gate fresh results against the recorded trajectory "
+        "(robust relative bands; exit 1 on regression)",
+    )
+    bench_compare.add_argument(
+        "--fresh",
+        metavar="FILE",
+        help="fresh records to gate (from `bench run --out`); omitted, "
+        "each trajectory's newest record is gated against its past",
+    )
+    bench_compare.add_argument(
+        "--history", default=DEFAULT_HISTORY, metavar="PATH"
+    )
+    bench_compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative band floor (default 0.75: flag past ~1.75x the "
+        "trajectory median)",
+    )
+    bench_compare.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="baseline records per trajectory (default 20)",
+    )
+    bench_compare.set_defaults(handler=_cmd_bench_compare)
+
+    bench_report = bench_sub.add_parser(
+        "report", help="trend tables over the recorded trajectory"
+    )
+    bench_report.add_argument(
+        "benchmark", nargs="?", help="detail view of one benchmark"
+    )
+    bench_report.add_argument(
+        "--key", help="restrict the detail view to one workload key"
+    )
+    bench_report.add_argument(
+        "--history", default=DEFAULT_HISTORY, metavar="PATH"
+    )
+    bench_report.set_defaults(handler=_cmd_bench_report)
+
+    bench_migrate = bench_sub.add_parser(
+        "migrate",
+        help="convert legacy BENCH_*.json files into the trajectory store",
+    )
+    bench_migrate.add_argument(
+        "--root", default=".", help="directory holding the legacy files"
+    )
+    bench_migrate.add_argument(
+        "--history", default=DEFAULT_HISTORY, metavar="PATH"
+    )
+    bench_migrate.set_defaults(handler=_cmd_bench_migrate)
     return parser
 
 
@@ -441,10 +680,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     stats = getattr(args, "stats", False) or args.stats_global
     trace = getattr(args, "trace", None) or args.trace_global
+    profile = getattr(args, "profile", False) or args.profile_global
     recorder: Optional[obs.StatsRecorder] = None
     previous = None
-    if stats or trace:
+    profile_events: Optional[obs.ListSink] = None
+    if stats or trace or profile:
         sink = obs.JsonlSink(trace) if trace else None
+        if profile:
+            # Keep the span stream in memory for the profile; tee when a
+            # trace file is also requested.
+            profile_events = obs.ListSink()
+            sink = (
+                obs.TeeSink(sink, profile_events) if sink else profile_events
+            )
         recorder = obs.StatsRecorder(sink=sink)
         previous = obs.set_recorder(recorder)
     deadline = getattr(args, "deadline", None)
@@ -463,6 +711,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = args.handler(args)
         if recorder is not None and stats:
             _print_stats(recorder)
+        if profile_events is not None:
+            print("-- span profile --")
+            print(obs.profile_spans(profile_events.events).render())
         return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -38,6 +38,13 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Union
 
+from repro.obs.profile import (
+    PhaseStats,
+    SpanProfile,
+    TeeSink,
+    profile_spans,
+    profile_trace,
+)
 from repro.obs.recorder import NullRecorder, StatsRecorder
 from repro.obs.registry import Counter, Gauge, Histogram, Registry
 from repro.obs.sink import JsonlSink, ListSink, read_jsonl
@@ -51,6 +58,11 @@ __all__ = [
     "StatsRecorder",
     "JsonlSink",
     "ListSink",
+    "TeeSink",
+    "PhaseStats",
+    "SpanProfile",
+    "profile_spans",
+    "profile_trace",
     "read_jsonl",
     "NULL",
     "get_recorder",

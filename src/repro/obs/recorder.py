@@ -19,6 +19,7 @@ creation, from a monotonic clock.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
@@ -89,15 +90,16 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         recorder = self.recorder
-        self.depth = recorder._span_depth
-        recorder._span_depth = self.depth + 1
+        state = recorder._span_state
+        self.depth = getattr(state, "depth", 0)
+        state.depth = self.depth + 1
         self.start = recorder._clock()
         return self
 
     def __exit__(self, *exc_info) -> bool:
         recorder = self.recorder
         end = recorder._clock()
-        recorder._span_depth = self.depth
+        recorder._span_state.depth = self.depth
         recorder._finish_span(self, end - self.start, end)
         recorder._span_pool.append(self)
         return False
@@ -108,6 +110,14 @@ class StatsRecorder:
 
     ``clock`` is injectable for deterministic tests; it must be a
     zero-argument callable returning monotonically nondecreasing seconds.
+
+    The recorder is safe to share across threads (the racing executor
+    emits from its worker threads): counter and histogram updates go
+    through the registry's locked instruments, and span nesting depth
+    is tracked per thread, so each thread's span tree is internally
+    consistent.  The span free list is shared — ``list.append``/``pop``
+    are atomic under the GIL, with a guard for the pop-from-emptied
+    race.
     """
 
     enabled = True
@@ -117,7 +127,7 @@ class StatsRecorder:
         self.sink = sink
         self._clock = clock
         self._epoch = clock()
-        self._span_depth = 0
+        self._span_state = threading.local()
         self._span_pool: list = []
         # Span-duration histograms, memoised per span name: hot loops
         # close thousands of spans and the f-string + registry lookup
@@ -130,11 +140,16 @@ class StatsRecorder:
 
     # -- aggregation ---------------------------------------------------- #
 
+    @property
+    def _span_depth(self) -> int:
+        """The calling thread's current span nesting depth."""
+        return getattr(self._span_state, "depth", 0)
+
     def inc(self, name: str, amount=1) -> None:
         counter = self.registry.counters.get(name)
         if counter is None:
             counter = self.registry.counter(name)
-        counter.value += amount
+        counter.inc(amount)
 
     def gauge(self, name: str, value) -> None:
         self.registry.gauge(name).set(value)
@@ -164,13 +179,15 @@ class StatsRecorder:
             )
 
     def span(self, name: str, **attrs) -> _Span:
-        pool = self._span_pool
-        if pool:
-            span = pool.pop()
-            span.name = name
-            span.attrs = attrs
-            return span
-        return _Span(self, name, attrs)
+        try:
+            # pop() is atomic; the except covers two threads draining
+            # the last pooled span at once.
+            span = self._span_pool.pop()
+        except IndexError:
+            return _Span(self, name, attrs)
+        span.name = name
+        span.attrs = attrs
+        return span
 
     def _finish_span(self, span: _Span, duration: float, end: float) -> None:
         histogram = self._span_seconds.get(span.name)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from typing import IO, List, Optional, Union
 
 
@@ -63,15 +64,24 @@ class JsonlSink:
         self._handle: Optional[IO[str]] = None
         self._owns_handle = False
         self._buffer: List[str] = []
+        # Racing engines trace from worker threads; the lock keeps a
+        # concurrent flush from dropping records appended between its
+        # join and clear.  Uncontended cost is far below serialisation.
+        self._lock = threading.Lock()
         if isinstance(target, str):
             self._path = target
         else:
             self._handle = target
 
+    def _append(self, line: str) -> None:
+        with self._lock:
+            self._buffer.append(line)
+            if len(self._buffer) < self.FLUSH_EVERY:
+                return
+        self.flush()
+
     def emit(self, event: dict) -> None:
-        self._buffer.append(_serialise(event))
-        if len(self._buffer) >= self.FLUSH_EVERY:
-            self.flush()
+        self._append(_serialise(event))
 
     def emit_span(
         self, ts: float, name: str, dur_s: float, depth: int, attrs
@@ -98,15 +108,11 @@ class JsonlSink:
                 '"dur_s": %.9f, "depth": %d' % (ts, name, dur_s, depth)
             )
             if not attrs:
-                self._buffer.append(head + "}")
-                if len(self._buffer) >= self.FLUSH_EVERY:
-                    self.flush()
+                self._append(head + "}")
                 return
             fragment = _attrs_fragment(attrs)
             if fragment is not None:
-                self._buffer.append(head + ', "attrs": ' + fragment + "}")
-                if len(self._buffer) >= self.FLUSH_EVERY:
-                    self.flush()
+                self._append(head + ', "attrs": ' + fragment + "}")
                 return
         record = {
             "ts": round(ts, 9),
@@ -121,13 +127,18 @@ class JsonlSink:
 
     def flush(self) -> None:
         """Write buffered records through to the underlying file."""
-        if not self._buffer:
-            return
-        if self._handle is None:
-            self._handle = open(self._path, "w")
-            self._owns_handle = True
-        self._handle.write("\n".join(self._buffer) + "\n")
-        self._buffer.clear()
+        with self._lock:
+            if not self._buffer:
+                return
+            if self._handle is None:
+                self._handle = open(self._path, "w")
+                self._owns_handle = True
+            self._handle.write("\n".join(self._buffer) + "\n")
+            # Push through the file object's own buffer too — flush is
+            # called per batch / top-level span, not per record, and the
+            # contract is that the file is complete between engine calls.
+            self._handle.flush()
+            self._buffer.clear()
 
     def close(self) -> None:
         self.flush()

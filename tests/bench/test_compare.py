@@ -1,0 +1,149 @@
+"""The robust-band regression gate — including the injected-slowdown
+detection the harness exists for."""
+
+from repro.bench.compare import (
+    IMPROVED,
+    NO_BASELINE,
+    OK,
+    REGRESSION,
+    compare_against_history,
+    compare_records,
+    robust_band,
+    self_compare,
+)
+from repro.bench.history import History
+from repro.bench.record import (
+    BenchResult,
+    environment_fingerprint,
+    wall_clock_stats,
+)
+
+
+def _record(bench="group.case", seconds=0.1, workload=None):
+    return BenchResult(
+        bench=bench,
+        group=bench.split(".", 1)[0],
+        workload=workload if workload is not None else {"size": 8},
+        environment=environment_fingerprint(),
+        methodology={"repeats": 1, "warmup": 0, "reduce": "median"},
+        wall_clock=wall_clock_stats([seconds]),
+    ).to_dict()
+
+
+BASELINE = [_record(seconds=s) for s in (0.100, 0.104, 0.098, 0.101, 0.103)]
+
+
+class TestRobustBand:
+    def test_single_sample_uses_tolerance_floor(self):
+        centre, band = robust_band([0.2])
+        assert centre == 0.2
+        assert band == 0.75 * 0.2
+
+    def test_tolerance_floor_dominates_tight_series(self):
+        centre, band = robust_band([0.100, 0.101, 0.099])
+        assert band >= 0.75 * centre
+
+    def test_absolute_floor_for_micro_benchmarks(self):
+        _, band = robust_band([0.0001, 0.0001, 0.0001])
+        assert band >= 0.005
+
+    def test_wide_spread_widens_band(self):
+        _, tight = robust_band([1.0, 1.01, 0.99])
+        _, wide = robust_band([1.0, 2.0, 0.5])
+        assert wide > tight
+
+
+class TestCompareRecords:
+    def test_stable_timing_is_ok(self):
+        comparison = compare_records([_record(seconds=0.11)], BASELINE)
+        assert comparison.verdicts[0].status == OK
+        assert comparison.ok
+
+    def test_detects_injected_5x_slowdown(self):
+        """The acceptance criterion: a 5x slowdown must be flagged."""
+        slow = _record(seconds=0.5)  # baseline median ~0.101
+        comparison = compare_records([slow], BASELINE)
+        verdict = comparison.verdicts[0]
+        assert verdict.status == REGRESSION
+        assert verdict.ratio > 4.5
+        assert not comparison.ok
+        assert "FAIL" in comparison.render()
+
+    def test_just_inside_band_not_flagged(self):
+        comparison = compare_records([_record(seconds=0.16)], BASELINE)
+        assert comparison.verdicts[0].status == OK
+
+    def test_large_speedup_reported_improved(self):
+        comparison = compare_records([_record(seconds=0.02)], BASELINE)
+        assert comparison.verdicts[0].status == IMPROVED
+        assert comparison.ok  # improvements never fail the gate
+
+    def test_new_benchmark_is_no_baseline(self):
+        fresh = _record(bench="group.newcase", seconds=1.0)
+        comparison = compare_records([fresh], BASELINE)
+        assert comparison.verdicts[0].status == NO_BASELINE
+        assert comparison.ok
+
+    def test_changed_workload_restarts_trajectory(self):
+        fresh = _record(seconds=99.0, workload={"size": 16})
+        comparison = compare_records([fresh], BASELINE)
+        verdict = comparison.verdicts[0]
+        assert verdict.status == NO_BASELINE
+        assert "workload changed" in verdict.message
+
+    def test_window_limits_baseline(self):
+        old_slow = [_record(seconds=5.0) for _ in range(10)]
+        recent_fast = [_record(seconds=0.1) for _ in range(5)]
+        comparison = compare_records(
+            [_record(seconds=0.5)], old_slow + recent_fast, window=5
+        )
+        # Against the recent window the 5x jump is a regression; the old
+        # slow era must not drag the median up.
+        assert comparison.verdicts[0].status == REGRESSION
+
+    def test_accepts_benchresult_objects(self):
+        result = BenchResult.from_dict(_record(seconds=0.11))
+        comparison = compare_records([result], BASELINE)
+        assert comparison.verdicts[0].status == OK
+
+
+class TestHistoryIntegration:
+    def test_compare_against_history(self, tmp_path):
+        store = History(str(tmp_path / "h.jsonl"))
+        for record in BASELINE:
+            store.append(record)
+        comparison = compare_against_history([_record(seconds=0.5)], store)
+        assert comparison.verdicts[0].status == REGRESSION
+
+    def test_self_compare_healthy_trajectory(self, tmp_path):
+        store = History(str(tmp_path / "h.jsonl"))
+        for record in BASELINE:
+            store.append(record)
+        comparison = self_compare(store)
+        assert comparison.ok
+        assert comparison.verdicts[0].status == OK
+
+    def test_self_compare_flags_regressed_tip(self, tmp_path):
+        store = History(str(tmp_path / "h.jsonl"))
+        for record in BASELINE:
+            store.append(record)
+        store.append(_record(seconds=0.5))  # the 5x tip
+        comparison = self_compare(store)
+        assert not comparison.ok
+
+    def test_self_compare_single_record_groups(self, tmp_path):
+        store = History(str(tmp_path / "h.jsonl"))
+        store.append(_record(seconds=0.1))
+        comparison = self_compare(store)
+        assert comparison.verdicts[0].status == NO_BASELINE
+        assert comparison.ok
+
+
+def test_render_lists_counts():
+    comparison = compare_records(
+        [_record(seconds=0.11), _record(bench="group.new", seconds=0.1)],
+        BASELINE,
+    )
+    rendered = comparison.render()
+    assert "1 ok" in rendered and "1 no-baseline" in rendered
+    assert rendered.splitlines()[-1].startswith("PASS")

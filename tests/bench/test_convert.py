@@ -1,0 +1,109 @@
+"""Legacy BENCH_*.json conversion into the versioned schema."""
+
+import json
+
+import pytest
+
+from repro.bench.convert import convert_all, convert_file
+from repro.bench.history import History
+from repro.bench.record import validate
+
+COSTMODEL = {
+    "benchmark": "costmodel",
+    "workload": "12 cases, n=6 dbs",
+    "calibrated_engines": ["exact", "karp_luby"],
+    "static_total_s": 6.5,
+    "calibrated_total_s": 0.04,
+    "speedup": 153.45,
+    "analyze_run_agreement": 1.0,
+    "pass": True,
+}
+
+KERNELS = {
+    "benchmark": "kernels",
+    "samples": 100000,
+    "repeats": 3,
+    "e1_truth": {"workload": "E1 MC", "batched_s": 0.0008, "speedup_batched": 9.0},
+    "e4_karp_luby": {"workload": "E4 KL", "batched_s": 0.106},
+    "e9_karp_luby": {"workload": "E9 KL", "batched_s": 0.053},
+    "gray_enumeration": {"workload": "gray 16", "gray_s": 0.238},
+    "pass": True,
+}
+
+OBS = {
+    "benchmark": "obs_overhead",
+    "workload": "E1 qf n=24",
+    "repeats": 25,
+    "null_recorder_s": 0.0685,
+    "stats_recorder_s": 0.0706,
+    "traced_recorder_s": 0.0737,
+    "overhead_pct": {"stats_vs_null": 3.1, "traced_vs_null": 7.7},
+    "pass": True,
+}
+
+RACING = {
+    "benchmark": "racing",
+    "workload": "4 cases, stalled 0.6s",
+    "sequential_total_s": 2.40,
+    "racing_total_s": 1.05,
+    "speedup": 2.28,
+    "answers_agree": True,
+    "pass": True,
+}
+
+
+@pytest.fixture
+def legacy_root(tmp_path):
+    for name, payload in (
+        ("BENCH_costmodel.json", COSTMODEL),
+        ("BENCH_kernels.json", KERNELS),
+        ("BENCH_obs_overhead.json", OBS),
+        ("BENCH_racing.json", RACING),
+    ):
+        (tmp_path / name).write_text(json.dumps(payload))
+    return tmp_path
+
+
+def test_convert_all_yields_valid_records(legacy_root):
+    records = convert_all(str(legacy_root))
+    # costmodel 2 + kernels 4 + obs 1 + racing 2
+    assert len(records) == 9
+    for record in records:
+        payload = record.to_dict()
+        validate(payload)
+        assert payload["source"] == "legacy-convert"
+
+
+def test_headline_seconds_extracted(legacy_root):
+    records = {r.bench: r for r in convert_all(str(legacy_root))}
+    assert records["runtime.costmodel_static"].seconds == 6.5
+    assert records["runtime.costmodel_calibrated"].seconds == 0.04
+    assert records["kernels.legacy_e1_truth"].seconds == 0.0008
+    assert records["obs.legacy_overhead"].seconds == 0.0737
+    assert records["runtime.racing_speculative"].seconds == 1.05
+
+
+def test_free_form_payload_kept_in_extra(legacy_root):
+    records = {r.bench: r for r in convert_all(str(legacy_root))}
+    assert records["runtime.racing_sequential"].extra["speedup"] == 2.28
+    assert (
+        records["kernels.legacy_e1_truth"].extra["speedup_batched"] == 9.0
+    )
+
+
+def test_converted_records_seed_a_history(legacy_root, tmp_path):
+    store = History(str(tmp_path / "seed.jsonl"))
+    count = store.append_all(convert_all(str(legacy_root)))
+    assert count == 9
+    records, skipped = store.load()
+    assert len(records) == 9 and skipped == 0
+
+
+def test_unrecognised_shape_skipped(tmp_path):
+    path = tmp_path / "BENCH_costmodel.json"
+    path.write_text(json.dumps({"benchmark": "something-else"}))
+    assert convert_file(str(path)) == []
+
+
+def test_missing_files_tolerated(tmp_path):
+    assert convert_all(str(tmp_path)) == []

@@ -1,0 +1,89 @@
+"""The append-only trajectory store."""
+
+from repro.bench.history import History
+from repro.bench.record import (
+    BenchResult,
+    environment_fingerprint,
+    wall_clock_stats,
+)
+
+
+def _result(bench="group.case", seconds=0.1, workload=None):
+    return BenchResult(
+        bench=bench,
+        group=bench.split(".", 1)[0],
+        workload=workload if workload is not None else {"size": 8},
+        environment=environment_fingerprint(),
+        methodology={"repeats": 1, "warmup": 0, "reduce": "median"},
+        wall_clock=wall_clock_stats([seconds]),
+    )
+
+
+def test_append_and_load(tmp_path):
+    store = History(str(tmp_path / "h.jsonl"))
+    store.append(_result(seconds=0.1))
+    store.append(_result(seconds=0.2))
+    records, skipped = store.load()
+    assert len(records) == 2 and skipped == 0
+    assert [r["wall_clock"]["seconds"] for r in records] == [0.1, 0.2]
+
+
+def test_missing_file_is_empty(tmp_path):
+    store = History(str(tmp_path / "none.jsonl"))
+    assert not store.exists()
+    assert store.load() == ([], 0)
+    assert store.latest("group.case") is None
+
+
+def test_corrupt_lines_skipped_not_fatal(tmp_path):
+    path = tmp_path / "h.jsonl"
+    store = History(str(path))
+    store.append(_result(seconds=0.1))
+    with open(path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"schema_version": 99}\n')
+        handle.write("\n")
+    store.append(_result(seconds=0.2))
+    records, skipped = store.load()
+    assert len(records) == 2
+    assert skipped == 2  # the blank line is ignored, not counted
+
+
+def test_records_for_filters_bench_and_key(tmp_path):
+    store = History(str(tmp_path / "h.jsonl"))
+    store.append(_result("a.one", 0.1, {"n": 1}))
+    store.append(_result("a.one", 0.2, {"n": 2}))
+    store.append(_result("a.two", 0.3))
+    assert len(store.records_for("a.one")) == 2
+    key = store.records_for("a.one")[0]["workload_key"]
+    assert len(store.records_for("a.one", workload_key=key)) == 1
+    assert store.benches() == ["a.one", "a.two"]
+
+
+def test_window_keeps_most_recent(tmp_path):
+    store = History(str(tmp_path / "h.jsonl"))
+    for index in range(5):
+        store.append(_result(seconds=0.1 * (index + 1)))
+    trend = store.trend("group.case", window=2)
+    assert [seconds for _, seconds in trend] == [0.4, 0.5]
+
+
+def test_grouped_separates_workloads(tmp_path):
+    store = History(str(tmp_path / "h.jsonl"))
+    store.append(_result(workload={"n": 1}))
+    store.append(_result(workload={"n": 1}))
+    store.append(_result(workload={"n": 2}))
+    groups = store.grouped()
+    assert len(groups) == 2
+    assert sorted(len(records) for records in groups.values()) == [1, 2]
+
+
+def test_append_validates(tmp_path):
+    import pytest
+
+    from repro.bench.record import SchemaError
+
+    store = History(str(tmp_path / "h.jsonl"))
+    with pytest.raises(SchemaError):
+        store.append({"schema_version": 1, "bench": "broken"})
+    assert not store.exists()  # nothing was written

@@ -1,0 +1,150 @@
+"""The schema-versioned benchmark record: validation and migration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.record import (
+    SCHEMA_VERSION,
+    BenchResult,
+    SchemaError,
+    environment_fingerprint,
+    migrate,
+    validate,
+    wall_clock_stats,
+    workload_key,
+)
+
+
+def _result(**overrides):
+    fields = dict(
+        bench="group.case",
+        group="group",
+        workload={"size": 8},
+        environment=environment_fingerprint(),
+        methodology={"repeats": 3, "warmup": 1, "reduce": "median"},
+        wall_clock=wall_clock_stats([0.1, 0.2, 0.3]),
+    )
+    fields.update(overrides)
+    return BenchResult(**fields)
+
+
+class TestWorkloadKey:
+    def test_stable_across_key_order(self):
+        assert workload_key({"a": 1, "b": 2}) == workload_key({"b": 2, "a": 1})
+
+    def test_differs_on_value_change(self):
+        assert workload_key({"a": 1}) != workload_key({"a": 2})
+
+    def test_quick_flag_forks_the_key(self):
+        full = {"sizes": [4, 8]}
+        quick = dict(full, quick=True)
+        assert workload_key(full) != workload_key(quick)
+
+    def test_non_json_values_keyed_via_str(self):
+        assert workload_key({"eps": Fraction(1, 10)}) == workload_key(
+            {"eps": Fraction(1, 10)}
+        )
+
+
+class TestWallClockStats:
+    def test_median_headline(self):
+        stats = wall_clock_stats([0.3, 0.1, 0.2])
+        assert stats["seconds"] == 0.2
+        assert stats["min"] == 0.1
+        assert stats["max"] == 0.3
+        assert stats["samples"] == [0.3, 0.1, 0.2]
+
+    def test_min_reduction(self):
+        assert wall_clock_stats([0.3, 0.1], reduce="min")["seconds"] == 0.1
+
+    def test_single_sample_has_zero_stdev(self):
+        assert wall_clock_stats([0.5])["stdev"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            wall_clock_stats([])
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(SchemaError):
+            wall_clock_stats([0.1], reduce="mode")
+
+
+class TestBenchResult:
+    def test_round_trip(self):
+        original = _result(extra={"speedup": 3.2})
+        rebuilt = BenchResult.from_dict(original.to_dict())
+        assert rebuilt.to_dict() == original.to_dict()
+
+    def test_workload_key_computed(self):
+        result = _result()
+        assert result.workload_key == workload_key({"size": 8})
+
+    def test_dict_validates(self):
+        record = _result().to_dict()
+        validate(record)  # no raise
+        assert record["schema_version"] == SCHEMA_VERSION
+
+    def test_seconds_property(self):
+        assert _result().seconds == 0.2
+
+    def test_fraction_workload_serialises(self):
+        result = _result(workload={"error": Fraction(1, 16)})
+        record = result.to_dict()
+        assert record["workload"]["error"] == "1/16"
+
+
+class TestValidate:
+    def test_missing_field_rejected(self):
+        record = _result().to_dict()
+        del record["wall_clock"]
+        with pytest.raises(SchemaError, match="missing"):
+            validate(record)
+
+    def test_undotted_bench_id_rejected(self):
+        record = _result().to_dict()
+        record["bench"] = "nodots"
+        with pytest.raises(SchemaError, match="dotted"):
+            validate(record)
+
+    def test_negative_seconds_rejected(self):
+        record = _result().to_dict()
+        record["wall_clock"]["seconds"] = -1.0
+        with pytest.raises(SchemaError, match=">= 0"):
+            validate(record)
+
+    def test_stale_workload_key_rejected(self):
+        record = _result().to_dict()
+        record["workload"]["size"] = 9  # key no longer matches
+        with pytest.raises(SchemaError, match="workload_key"):
+            validate(record)
+
+    def test_wrong_version_rejected(self):
+        record = _result().to_dict()
+        record["schema_version"] = 0
+        with pytest.raises(SchemaError):
+            validate(record)
+
+
+class TestMigrate:
+    def test_current_version_passes_through(self):
+        record = _result().to_dict()
+        assert migrate(record) == record
+
+    def test_missing_version_rejected(self):
+        record = _result().to_dict()
+        del record["schema_version"]
+        with pytest.raises(SchemaError, match="schema_version"):
+            migrate(record)
+
+    def test_future_version_rejected(self):
+        record = _result().to_dict()
+        record["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="newer"):
+            migrate(record)
+
+    def test_empty_key_recomputed(self):
+        record = _result().to_dict()
+        record["workload_key"] = ""
+        migrated = migrate(record)
+        assert migrated["workload_key"] == workload_key(record["workload"])

@@ -251,13 +251,19 @@ class TestRunExperimentsRecords:
             _tiny_db(), EXISTENTIAL, method="dnf"
         )
         run_experiments.EXPERIMENTS["EBOOM"] = _boom
+        from repro.bench.record import validate
+
         try:
-            good = run_experiments._run_experiment("ETEST")
-            assert good["ok"] is True
-            assert good["metrics"]["counters"]["exact.dispatch.dnf"] == 1
+            good_ok, good = run_experiments._run_experiment("ETEST")
+            assert good_ok is True
+            validate(good.to_dict())
+            assert good.bench == "experiments.table_etest"
+            assert good.metrics["counters"]["exact.dispatch.dnf"] == 1
+            assert good.profile["phases"]
             with caplog.at_level("ERROR", logger="repro.benchmarks"):
-                bad = run_experiments._run_experiment("EBOOM")
-            assert bad["ok"] is False
+                bad_ok, bad = run_experiments._run_experiment("EBOOM")
+            assert bad_ok is False
+            assert bad.extra["ok"] is False
             assert any(
                 "EBOOM" in record.message for record in caplog.records
             )

@@ -1,0 +1,191 @@
+"""The span-tree profiler: reconstruction, aggregation, rendering."""
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import TeeSink, profile_spans, profile_trace
+from repro.obs.recorder import StatsRecorder
+from repro.obs.sink import JsonlSink, ListSink
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _recorded(structure):
+    """Run ``structure(recorder, clock)`` and return the span events."""
+    clock = FakeClock()
+    sink = ListSink()
+    recorder = StatsRecorder(sink=sink, clock=clock)
+    structure(recorder, clock)
+    return sink.events
+
+
+class TestTreeReconstruction:
+    def test_nested_spans_rebuild_parentage(self):
+        def structure(recorder, clock):
+            with recorder.span("run"):
+                with recorder.span("compile"):
+                    clock.advance(0.2)
+                with recorder.span("sample"):
+                    clock.advance(0.7)
+                clock.advance(0.1)
+
+        profile = profile_spans(_recorded(structure))
+        assert len(profile.roots) == 1
+        root = profile.roots[0]
+        assert root.name == "run"
+        assert [child.name for child in root.children] == [
+            "compile",
+            "sample",
+        ]
+        assert root.dur_s == pytest.approx(1.0)
+        assert root.self_s == pytest.approx(0.1)
+
+    def test_self_time_excludes_direct_children_only(self):
+        def structure(recorder, clock):
+            with recorder.span("a"):
+                clock.advance(0.1)
+                with recorder.span("b"):
+                    clock.advance(0.2)
+                    with recorder.span("c"):
+                        clock.advance(0.4)
+
+        profile = profile_spans(_recorded(structure))
+        phases = profile.phases
+        assert phases["a"].self_s == pytest.approx(0.1)
+        assert phases["b"].self_s == pytest.approx(0.2)
+        assert phases["b"].total_s == pytest.approx(0.6)
+        assert phases["c"].self_s == pytest.approx(0.4)
+        assert profile.total_s == pytest.approx(0.7)
+
+    def test_sequential_roots_each_keep_their_children(self):
+        def structure(recorder, clock):
+            for _ in range(3):
+                with recorder.span("call"):
+                    with recorder.span("inner"):
+                        clock.advance(0.1)
+
+        profile = profile_spans(_recorded(structure))
+        assert len(profile.roots) == 3
+        assert all(len(root.children) == 1 for root in profile.roots)
+        assert profile.phases["call"].count == 3
+        assert profile.phases["inner"].count == 3
+        assert profile.phases["inner"].total_s == pytest.approx(0.3)
+        assert profile.phases["inner"].mean_s == pytest.approx(0.1)
+
+    def test_repeated_phase_names_aggregate(self):
+        def structure(recorder, clock):
+            with recorder.span("run"):
+                for _ in range(5):
+                    with recorder.span("batch"):
+                        clock.advance(0.01)
+
+        profile = profile_spans(_recorded(structure))
+        batch = profile.phases["batch"]
+        assert batch.count == 5
+        assert batch.total_s == pytest.approx(0.05)
+        assert profile.phases["run"].self_s == pytest.approx(0.0)
+
+    def test_orphan_spans_surface_as_roots(self):
+        """A truncated trace (parent record missing) still profiles."""
+        events = [
+            {"ts": 0.5, "type": "span", "name": "child", "dur_s": 0.5,
+             "depth": 1},
+        ]
+        profile = profile_spans(events)
+        assert [root.name for root in profile.roots] == ["child"]
+        assert profile.phases["child"].total_s == pytest.approx(0.5)
+
+    def test_non_span_records_ignored(self):
+        events = [
+            {"ts": 0.0, "type": "event", "name": "tick", "fields": {}},
+            {"ts": 1.0, "type": "span", "name": "s", "dur_s": 1.0,
+             "depth": 0},
+        ]
+        profile = profile_spans(events)
+        assert list(profile.phases) == ["s"]
+
+
+class TestOutputs:
+    def test_to_dict_sorted_by_self_time(self):
+        def structure(recorder, clock):
+            with recorder.span("light"):
+                clock.advance(0.1)
+            with recorder.span("heavy"):
+                clock.advance(0.9)
+
+        summary = profile_spans(_recorded(structure)).to_dict()
+        assert summary["total_s"] == pytest.approx(1.0)
+        assert [phase["name"] for phase in summary["phases"]] == [
+            "heavy",
+            "light",
+        ]
+        heavy = summary["phases"][0]
+        assert set(heavy) == {"name", "count", "total_s", "self_s", "mean_s"}
+
+    def test_render_indents_children(self):
+        def structure(recorder, clock):
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    clock.advance(0.25)
+
+        text = profile_spans(_recorded(structure)).render()
+        lines = text.splitlines()
+        assert "outer" in lines[1]
+        assert lines[2].startswith("  inner")
+
+    def test_render_empty(self):
+        assert "(no spans recorded)" in profile_spans([]).render()
+
+    def test_profile_trace_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        clock = FakeClock()
+        recorder = StatsRecorder(sink=JsonlSink(path), clock=clock)
+        with recorder.span("engine"):
+            clock.advance(0.125)
+        recorder.close()
+        profile = profile_trace(path)
+        assert profile.phases["engine"].total_s == pytest.approx(0.125)
+
+
+class TestTeeSink:
+    def test_tee_feeds_both_sinks(self, tmp_path):
+        path = str(tmp_path / "tee.jsonl")
+        jsonl = JsonlSink(path)
+        buffer = ListSink()
+        recorder = StatsRecorder(sink=TeeSink(jsonl, buffer))
+        with recorder.span("work"):
+            pass
+        recorder.close()
+        assert [e["name"] for e in obs.read_jsonl(path)] == ["work"]
+        assert [e["name"] for e in buffer.events] == ["work"]
+        assert buffer.closed
+
+    def test_profile_from_real_engine_run(self):
+        """End to end: a real reliability call produces a profile whose
+        root covers its children."""
+        from repro.logic.evaluator import FOQuery
+        from repro.reliability.exact import reliability
+        from repro.util.rng import make_rng
+        from repro.workloads.random_db import random_unreliable_database
+
+        db = random_unreliable_database(
+            make_rng(6), 6, {"E": 2, "S": 1}, density=0.3, error="1/16"
+        )
+        query = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+        sink = ListSink()
+        with obs.use(StatsRecorder(sink=sink)):
+            reliability(db, query, method="qf")
+        profile = profile_spans(sink.events)
+        assert profile.roots, "engine emitted no spans"
+        assert profile.total_s > 0.0
+        for phase in profile.phases.values():
+            assert phase.self_s <= phase.total_s + 1e-12

@@ -1,0 +1,140 @@
+"""Buffered JSONL sink edge cases: exceptions, partial flushes, reuse.
+
+The sink buffers serialised records and writes one joined chunk per
+``FLUSH_EVERY`` events; the recorder flushes when a top-level span
+closes and ``close()`` drains whatever remains.  These tests pin the
+behaviours the benchmark harness depends on: no record is lost when
+the traced block raises, the span pool stays healthy across
+exceptions, and the registry summary is unaffected by how much of the
+trace has reached disk.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import StatsRecorder
+from repro.obs.sink import JsonlSink, read_jsonl
+
+
+class TestFlushOnClose:
+    def test_traced_block_raising_still_flushes_everything(self, tmp_path):
+        """Events buffered below FLUSH_EVERY when the block raises must
+        reach the file once the recorder is closed."""
+        path = str(tmp_path / "raise.jsonl")
+        with pytest.raises(RuntimeError):
+            with obs.recording(path) as recorder:
+                assert recorder is obs.get_recorder()
+                for index in range(10):
+                    obs.event("progress", step=index)
+                raise RuntimeError("mid-run failure")
+        events = read_jsonl(path)
+        assert len(events) == 10
+        assert [event["fields"]["step"] for event in events] == list(range(10))
+
+    def test_span_open_at_raise_is_not_emitted_but_buffer_drains(
+        self, tmp_path
+    ):
+        """A span interrupted by an exception still closes (context
+        manager exit), so its record is flushed with the rest."""
+        path = str(tmp_path / "span_raise.jsonl")
+        with pytest.raises(ValueError):
+            with obs.recording(path):
+                obs.event("before")
+                with obs.span("doomed"):
+                    raise ValueError("boom")
+        events = read_jsonl(path)
+        names = [event["name"] for event in events]
+        assert names == ["before", "doomed"]
+        assert events[1]["type"] == "span"
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "twice.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"n": 1})
+        sink.close()
+        sink.close()
+        assert read_jsonl(path) == [{"n": 1}]
+
+
+class TestSpanPoolAfterExceptions:
+    def test_span_returned_to_pool_after_exception(self):
+        recorder = StatsRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("broken"):
+                raise RuntimeError("boom")
+        # The span object went back to the free list and the depth
+        # counter unwound; the next span reuses the pooled object.
+        assert len(recorder._span_pool) == 1
+        pooled = recorder._span_pool[0]
+        assert recorder._span_depth == 0
+        with recorder.span("healthy"):
+            pass
+        histograms = recorder.summary()["histograms"]
+        assert histograms["broken.seconds"]["count"] == 1
+        assert histograms["healthy.seconds"]["count"] == 1
+        assert pooled in recorder._span_pool
+
+    def test_nested_exception_unwinds_all_depths(self):
+        recorder = StatsRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("outer"):
+                with recorder.span("middle"):
+                    with recorder.span("inner"):
+                        raise RuntimeError("deep boom")
+        assert recorder._span_depth == 0
+        assert len(recorder._span_pool) == 3
+        # Depth bookkeeping is intact for the next nesting.
+        sink_free = recorder.span("again")
+        with sink_free:
+            assert recorder._span_depth == 1
+        assert recorder._span_depth == 0
+
+
+class TestPartialFlush:
+    def test_summary_correct_after_partial_flush(self, tmp_path):
+        """Crossing FLUSH_EVERY mid-run writes a prefix of the trace;
+        the registry summary still reflects *every* event, and close
+        drains the suffix."""
+        path = str(tmp_path / "partial.jsonl")
+        sink = JsonlSink(path)
+        recorder = StatsRecorder(sink=sink)
+        total = JsonlSink.FLUSH_EVERY + 37
+        previous = obs.set_recorder(recorder)
+        try:
+            for index in range(total):
+                obs.event("tick", i=index)
+        finally:
+            obs.set_recorder(previous)
+        # One automatic flush has happened; the file holds exactly the
+        # first batch while 37 records sit in the buffer.
+        on_disk = read_jsonl(path)
+        assert len(on_disk) == JsonlSink.FLUSH_EVERY
+        assert recorder.summary()["counters"]["tick.events"] == total
+        recorder.close()
+        assert len(read_jsonl(path)) == total
+
+    def test_top_level_span_close_flushes_buffer(self, tmp_path):
+        """The recorder drains buffered records whenever a depth-0 span
+        closes, so the file is complete between engine calls."""
+        path = str(tmp_path / "toplevel.jsonl")
+        recorder = StatsRecorder(sink=JsonlSink(path))
+        with recorder.span("engine.call"):
+            recorder.event("inside", x=1)
+        # No close() yet — the top-level span exit flushed.
+        events = read_jsonl(path)
+        assert [event["name"] for event in events] == [
+            "inside",
+            "engine.call",
+        ]
+        recorder.close()
+
+    def test_interleaved_flush_and_emit_lose_nothing(self, tmp_path):
+        """Explicit flush between emits must not drop buffered records."""
+        path = str(tmp_path / "interleave.jsonl")
+        sink = JsonlSink(path)
+        for index in range(10):
+            sink.emit({"n": index})
+            if index % 3 == 0:
+                sink.flush()
+        sink.close()
+        assert [event["n"] for event in read_jsonl(path)] == list(range(10))

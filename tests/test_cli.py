@@ -269,6 +269,30 @@ class TestRunCommand:
         assert "runtime.attempts" in out
         assert "runtime.completed" in out
 
+    def test_profile_prints_span_tree(self, db_file, capsys):
+        code = main(
+            ["compute", db_file, "exists x y. E(x, y) & S(y)", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- span profile --" in out
+        assert "total_s" in out and "self_s" in out
+
+    def test_profile_tees_alongside_trace(self, db_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["compute", db_file, "exists x y. E(x, y) & S(y)",
+             "--profile", "--trace", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- span profile --" in out
+        # The trace file still receives the span records.
+        from repro.obs import read_jsonl
+
+        spans = [e for e in read_jsonl(str(trace)) if e.get("type") == "span"]
+        assert spans
+
 
 class TestBudgetFlags:
     def test_max_cost_caps_samples_too(self, db_file, capsys):
