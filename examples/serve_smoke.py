@@ -1,0 +1,136 @@
+"""Serve smoke: boot the batch server end-to-end and check its answers.
+
+This is the CI serve-smoke lane (and a runnable example): generate a
+small unreliable database, write a mixed request batch — safe and
+harder queries, tight and loose deadlines, one hopeless cost cap, one
+malformed line — then boot ``python -m repro serve`` as a real
+subprocess and assert that every submitted line comes back as exactly
+one structured JSON response with a known code, that the easy requests
+succeed, and that the hopeless ones are refused (not hung, not
+crashed).  The server must drain the whole batch within the harness
+timeout or the lane fails.
+
+Run it directly::
+
+    PYTHONPATH=src python examples/serve_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.relational.encoding import encode_unreliable_database
+from repro.serve import RESPONSE_CODES
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+SAFE = "exists x. exists y. E(x, y) & S(y)"
+BOOLEAN = "exists x. S(x)"
+
+
+def build_requests():
+    lines = []
+    for index in range(10):
+        payload = {
+            "id": f"q{index}",
+            "query": SAFE if index % 2 else BOOLEAN,
+            "tenant": "even" if index % 2 == 0 else "odd",
+            "seed": index,
+            "epsilon": 0.3,
+            "delta": 0.3,
+            "deadline": 30.0,
+        }
+        lines.append(json.dumps(payload))
+    # A deadline no engine forecast can meet: refused up front.
+    lines.append(
+        json.dumps(
+            {"id": "tight", "query": SAFE, "deadline": 1e-9, "seed": 99}
+        )
+    )
+    # A hopeless cost cap with the exact engine pinned: cost_refused.
+    lines.append(
+        json.dumps(
+            {"id": "capped", "query": SAFE, "chain": ["exact"], "max_cost": 2}
+        )
+    )
+    # A malformed line: must come back `invalid`, not crash the server.
+    lines.append("{this is not json")
+    return lines
+
+
+def main() -> int:
+    db = random_unreliable_database(
+        make_rng(42), size=4, relations={"E": 2, "S": 1}, density=0.5
+    )
+    requests = build_requests()
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = os.path.join(tmp, "db.txt")
+        with open(db_path, "w") as handle:
+            handle.write(encode_unreliable_database(db))
+        requests_path = os.path.join(tmp, "requests.jsonl")
+        with open(requests_path, "w") as handle:
+            handle.write("\n".join(requests) + "\n")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                db_path,
+                "--input",
+                requests_path,
+                "--pool",
+                "3",
+                "--queue",
+                "16",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+    print(completed.stderr, end="", file=sys.stderr)
+    if completed.returncode != 0:
+        print(f"FAIL: serve exited {completed.returncode}")
+        print(completed.stdout)
+        return 1
+
+    responses = [json.loads(line) for line in completed.stdout.splitlines()]
+    failures = []
+    if len(responses) != len(requests):
+        failures.append(
+            f"{len(requests)} submitted lines, {len(responses)} responses"
+        )
+    for response in responses:
+        if response["code"] not in RESPONSE_CODES:
+            failures.append(f"unknown code in {response}")
+    by_id = {response["id"]: response for response in responses}
+    for index in range(10):
+        response = by_id.get(f"q{index}")
+        if response is None or response["code"] != "ok":
+            failures.append(f"q{index} did not complete ok: {response}")
+        elif not 0.0 <= response["value"] <= 1.0:
+            failures.append(f"q{index} value out of range: {response}")
+    if by_id.get("tight", {}).get("code") != "deadline_unmeetable":
+        failures.append(f"tight: {by_id.get('tight')}")
+    if by_id.get("capped", {}).get("code") != "cost_refused":
+        failures.append(f"capped: {by_id.get('capped')}")
+    if by_id.get(None, {}).get("code") != "invalid":
+        failures.append(f"malformed line: {by_id.get(None)}")
+
+    if failures:
+        print("FAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"OK: {len(responses)} structured responses "
+        f"({sum(1 for r in responses if r['code'] == 'ok')} ok, "
+        "hopeless requests refused, malformed line answered)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -837,3 +837,76 @@ def runtime_racing(params: Dict[str, Any]) -> Dict[str, Any]:
         "speedup": round(sequential_s / racing_s, 2),
         "answers_agree": True,
     }
+
+
+@register(
+    "runtime.serve",
+    group="runtime",
+    params={"requests": 24, "pool": 3, "queue": 6, "size": 4},
+    quick={"requests": 12},
+    repeats=1,
+    warmup=0,
+    tags=("runtime", "serve", "threads"),
+)
+def runtime_serve(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Serving throughput of the multi-query scheduler on real threads.
+
+    A mixed multi-tenant batch (staggered arrivals, tight and loose
+    deadlines, one hopeless cost cap) drained through one
+    :class:`repro.serve.Server` over the thread-pool scheduler.  The
+    case asserts the accounting invariant before reporting wall-clock
+    throughput, so a scheduling bug can never be mistaken for a
+    performance regression.
+    """
+    from repro.kernels import clear_caches
+    from repro.serve import ServeRequest, Server
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    clear_caches()
+    db = random_unreliable_database(
+        make_rng(910), size=params["size"], relations={"E": 2, "S": 1},
+        density=0.4,
+    )
+    query = "exists x. exists y. E(x, y) & S(y)"
+    requests = []
+    for index in range(params["requests"]):
+        kwargs = dict(
+            id=f"q{index:02d}",
+            query=query if index % 3 else "exists x. S(x)",
+            tenant=("alpha", "beta", "gamma")[index % 3],
+            seed=index,
+            arrival=0.001 * index,
+            epsilon=0.3,
+            delta=0.3,
+            deadline=30.0,
+        )
+        if index % 8 == 5:
+            kwargs.update(chain=("exact",), max_cost=2, deadline=None)
+        requests.append(ServeRequest(**kwargs))
+
+    server = Server(
+        db, pool_size=params["pool"], queue_capacity=params["queue"]
+    )
+    start = time.perf_counter()
+    with obs.span("bench.point", arm="serve"):
+        responses = server.run(requests)
+    elapsed = time.perf_counter() - start
+
+    counters = obs.summary(prefix="serve.")["counters"] if obs.enabled() else {}
+    ok = sum(1 for response in responses if response.ok)
+    refused = sum(1 for response in responses if not response.ok)
+    assert len(responses) == params["requests"]
+    assert ok + refused == params["requests"]
+    if counters:
+        assert counters["serve.submitted"] == (
+            counters.get("serve.admitted", 0)
+            + counters.get("serve.rejected", 0)
+            + counters.get("serve.shed", 0)
+        )
+    return {
+        "serve_s": round(elapsed, 6),
+        "requests_per_s": round(params["requests"] / elapsed, 2),
+        "ok": ok,
+        "not_ok": refused,
+    }

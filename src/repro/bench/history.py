@@ -14,10 +14,14 @@ bad append can never take the trend tooling down.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.bench.record import BenchResult, SchemaError, migrate, validate
+
+logger = logging.getLogger(__name__)
 
 #: Default store location, resolved relative to the working directory.
 DEFAULT_HISTORY = "BENCH_history.jsonl"
@@ -59,15 +63,22 @@ class History:
         if not self.exists():
             return records, skipped
         with open(self.path) as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = migrate(json.loads(line))
                     validate(record)
-                except (json.JSONDecodeError, SchemaError):
+                except (json.JSONDecodeError, SchemaError) as exc:
                     skipped += 1
+                    obs.inc("bench.history.skipped_lines")
+                    logger.warning(
+                        "skipping corrupt history line %s:%d: %s",
+                        self.path,
+                        number,
+                        exc,
+                    )
                     continue
                 records.append(record)
         return records, skipped

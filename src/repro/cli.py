@@ -44,6 +44,7 @@ The ``bench`` subcommand family drives the unified benchmark harness
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from fractions import Fraction
@@ -62,7 +63,19 @@ from repro.runtime import Budget
 from repro.runtime import apply as apply_budget
 from repro.runtime import costmodel
 from repro.runtime.executor import DEFAULT_CHAIN, run_with_fallback
-from repro.util.errors import ReproError
+from repro.util.errors import (
+    BudgetExceeded,
+    CostRefused,
+    FallbackExhausted,
+    QueryError,
+    ReproError,
+)
+
+# Distinct exit codes so scripts can branch on *why* a query failed
+# without parsing stderr.  2 stays the generic error code.
+EXIT_COST_REFUSED = 3
+EXIT_BUDGET_EXCEEDED = 4
+EXIT_FALLBACK_EXHAUSTED = 5
 
 
 def _load(path: str):
@@ -166,6 +179,102 @@ def _cmd_run(args: argparse.Namespace) -> int:
         race=False if args.race is None else args.race,
     )
     print(result.describe())
+    return 0
+
+
+def _read_request_lines(source: str) -> List[str]:
+    if source == "-":
+        return sys.stdin.read().splitlines()
+    with open(source) as handle:
+        return handle.read().splitlines()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Batch serving: drain a JSONL request stream through one Server.
+
+    Every non-blank input line yields exactly one JSON response line on
+    stdout — lines that do not even parse into a request are answered
+    ``invalid`` immediately (with the ``id`` recovered when possible),
+    everything else goes through admission/scheduling.
+    """
+    from repro.serve import protocol
+    from repro.serve.admission import DegradationLadder
+    from repro.serve.breaker import CircuitBreaker
+    from repro.serve.retry import RetryPolicy
+    from repro.serve.scheduler import Server
+
+    db = _load(args.database)
+    requests = []
+    invalid = 0
+    for line in _read_request_lines(args.input):
+        if not line.strip():
+            continue
+        try:
+            requests.append(protocol.parse_request_line(line))
+        except QueryError as exc:
+            invalid += 1
+            payload = {"id": None, "code": "invalid", "detail": str(exc)}
+            try:
+                raw = json.loads(line)
+                if isinstance(raw, dict) and "id" in raw:
+                    payload["id"] = str(raw["id"])
+            except json.JSONDecodeError:
+                pass
+            print(json.dumps(payload, sort_keys=True))
+    server = Server(
+        db,
+        pool_size=args.pool,
+        queue_capacity=args.queue,
+        ladder=DegradationLadder(
+            relative_at=args.relative_at, additive_at=args.additive_at
+        ),
+        retry=RetryPolicy(max_retries=args.retries),
+        breaker=CircuitBreaker(
+            threshold=args.breaker_threshold,
+            cooldown=args.breaker_cooldown,
+        ),
+        cost_model=_calibration_model(args),
+    )
+    responses = server.run(requests)
+    for response in responses:
+        print(protocol.format_response(response))
+    ok = sum(1 for response in responses if response.ok)
+    total = len(responses) + invalid
+    print(
+        f"served {total} request(s): {ok} ok, {total - ok} not ok",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Emit one validated request line for `repro serve` to consume."""
+    from repro.serve import protocol
+    from repro.serve.request import ServeRequest
+
+    chain = None
+    if args.engine_chain:
+        chain = tuple(
+            name.strip()
+            for name in args.engine_chain.split(",")
+            if name.strip()
+        )
+    request = ServeRequest(
+        id=args.id,
+        query=args.query,
+        free=tuple(args.free) if args.free else None,
+        tenant=args.tenant,
+        quantity=args.quantity,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        deadline=args.deadline,
+        max_cost=args.max_cost,
+        chain=chain,
+        seed=args.seed,
+        arrival=args.arrival,
+    )
+    request.validate()
+    print(json.dumps(protocol.request_to_payload(request), sort_keys=True))
     return 0
 
 
@@ -533,6 +642,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(handler=_cmd_run)
 
+    serve = sub.add_parser(
+        "serve",
+        help="multi-query scheduler: drain a JSONL request batch over "
+        "one shared worker pool with admission control",
+        parents=[observability],
+    )
+    serve.add_argument("database")
+    serve.add_argument(
+        "--input",
+        default="-",
+        metavar="FILE",
+        help="JSONL request stream (default: stdin; see `repro submit`)",
+    )
+    serve.add_argument(
+        "--pool", type=int, default=4, metavar="N",
+        help="worker pool size (queries in flight at once)",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=16, metavar="N",
+        help="backlog capacity; admitted work beyond it is shed "
+        "with code `overloaded`",
+    )
+    serve.add_argument(
+        "--relative-at", type=int, default=4, metavar="DEPTH",
+        help="backlog depth at which admissions degrade to the "
+        "relative guarantee tier",
+    )
+    serve.add_argument(
+        "--additive-at", type=int, default=8, metavar="DEPTH",
+        help="backlog depth at which admissions degrade to the "
+        "additive guarantee tier",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max retries per query on transient engine faults",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive engine failures before its circuit opens",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=1.0, metavar="SECONDS",
+        help="open-circuit cooldown before a half-open probe",
+    )
+    serve.add_argument(
+        "--calibration",
+        metavar="PATH",
+        help="cost-model calibration file used for admission forecasts",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="format one serve request as a JSONL line",
+    )
+    submit.add_argument("id", help="request id (echoed in the response)")
+    submit.add_argument("query", help="first-order query text")
+    submit.add_argument("--free", nargs="*")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--quantity",
+        choices=["reliability", "probability"],
+        default="reliability",
+    )
+    submit.add_argument("--epsilon", type=float, default=0.05)
+    submit.add_argument("--delta", type=float, default=0.05)
+    submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-query wall-clock budget, enforced by the server",
+    )
+    submit.add_argument(
+        "--max-cost", type=int, default=None, dest="max_cost", metavar="N",
+    )
+    submit.add_argument(
+        "--engine-chain", dest="engine_chain", default=None, metavar="a,b,c",
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--arrival", type=float, default=0.0, metavar="SECONDS",
+        help="scripted arrival offset (server replays arrivals in order)",
+    )
+    submit.set_defaults(handler=_cmd_submit)
+
     calibrate_cmd = sub.add_parser(
         "calibrate",
         help="fit per-engine cost models on a seeded workload and save "
@@ -715,6 +907,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("-- span profile --")
             print(obs.profile_spans(profile_events.events).render())
         return code
+    except CostRefused as exc:
+        print(f"cost refused: {exc}", file=sys.stderr)
+        return EXIT_COST_REFUSED
+    except BudgetExceeded as exc:
+        print(f"budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
+    except FallbackExhausted as exc:
+        print(f"fallback exhausted: {exc}", file=sys.stderr)
+        return EXIT_FALLBACK_EXHAUSTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -164,6 +164,21 @@ def span(name: str, **attrs):
     return _active.span(name, **attrs)
 
 
-def summary() -> Dict[str, Dict]:
-    """Snapshot of the active recorder's registry (``{}`` when off)."""
-    return _active.summary()
+def summary(prefix: str = "") -> Dict[str, Dict]:
+    """Snapshot of the active recorder's registry (``{}`` when off).
+
+    ``prefix`` restricts every section (counters, gauges, histograms)
+    to metric names starting with it — e.g. ``summary("serve.")`` for
+    the serving dashboard.
+    """
+    snapshot = _active.summary()
+    if not prefix:
+        return snapshot
+    return {
+        section: {
+            name: value
+            for name, value in metrics.items()
+            if name.startswith(prefix)
+        }
+        for section, metrics in snapshot.items()
+    }

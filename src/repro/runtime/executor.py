@@ -241,12 +241,45 @@ def _record_prediction_error(model, engine, features, elapsed) -> None:
     obs.gauge("costmodel.last_ratio", ratio)
 
 
+#: Attempt outcomes a retry could plausibly cure: a blown deadline or
+#: an injected timeout may pass on a later try, while a cost refusal
+#: (the preflight mathematics) and a fragment mismatch (the query
+#: itself) are permanent.  The serve layer's retry policy keys on this.
+TRANSIENT_OUTCOMES: Tuple[str, ...] = ("budget_exceeded",)
+
+
 def _classify_failure(exc: Exception) -> Tuple[str, str]:
     if isinstance(exc, CostRefused):
         return "cost_refused", "runtime.cost_refused"
     if isinstance(exc, BudgetExceeded):
         return "budget_exceeded", "runtime.budget_exceeded"
     return "fragment_mismatch", "runtime.fragment_mismatch"
+
+
+def classify_failure(exc: Exception) -> Tuple[str, str]:
+    """The executor's failure taxonomy: ``(outcome, obs counter)``.
+
+    Public alias of the classifier every degradation path shares —
+    the sequential walk, the racing executor, and the serve layer's
+    retry/breaker policies all speak these outcome strings.
+    """
+    return _classify_failure(exc)
+
+
+def _run_clock():
+    """The clock a fallback run times itself with.
+
+    Normally the wall clock, but a run scheduled inside a worker body
+    (a serve pool worker, a racer) must read the scheduler's clock so
+    attempt timings — and therefore whole-server traces — replay
+    deterministically on the virtual clock.  This is the re-entrancy
+    contract: the executor no longer assumes it owns the process or
+    the wall clock.
+    """
+    from repro.runtime.racing import current_scheduler
+
+    scheduler = current_scheduler()
+    return time.perf_counter if scheduler is None else scheduler.now
 
 
 def _attempt_rng(base: int, engine: str) -> random.Random:
@@ -345,7 +378,8 @@ def run_with_fallback(
     rng_base = as_rng(rng).getrandbits(64)
     scope = apply(budget) if budget is not None else nullcontext()
     attempts = []
-    started = time.perf_counter()
+    clock = _run_clock()
+    started = clock()
     with scope:
         run_budget = active_budget()
         if overlap is not None:
@@ -359,7 +393,7 @@ def run_with_fallback(
         with obs.span("runtime.run", engines=len(chain), quantity=quantity):
             for index, name in enumerate(chain):
                 obs.inc("runtime.attempts")
-                attempt_start = time.perf_counter()
+                attempt_start = clock()
                 try:
                     # Fair-share time slicing: under a deadline, each
                     # attempt gets remaining / attempts_left seconds, so
@@ -383,7 +417,7 @@ def run_with_fallback(
                         with obs.span("runtime.attempt", engine=name):
                             answer = ENGINES[name](db, query, request)
                 except (CostRefused, BudgetExceeded, QueryError) as exc:
-                    attempt_elapsed = time.perf_counter() - attempt_start
+                    attempt_elapsed = clock() - attempt_start
                     outcome, counter = _classify_failure(exc)
                     obs.inc(counter)
                     obs.inc("runtime.fallbacks")
@@ -405,7 +439,7 @@ def run_with_fallback(
                         Attempt(name, outcome, str(exc), attempt_elapsed)
                     )
                     continue
-                attempt_elapsed = time.perf_counter() - attempt_start
+                attempt_elapsed = clock() - attempt_start
                 if features is not None:
                     obs.event(
                         "runtime.attempt.cost",
@@ -427,7 +461,7 @@ def run_with_fallback(
                     epsilon=answer.epsilon,
                     delta=answer.delta,
                     attempts=tuple(attempts),
-                    elapsed=time.perf_counter() - started,
+                    elapsed=clock() - started,
                     fraction=answer.fraction,
                 )
                 obs.inc("runtime.completed")

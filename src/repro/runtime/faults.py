@@ -22,7 +22,11 @@ Fault types:
 Firing is deterministic: each fault fires with ``probability`` (default
 1.0) decided by a generator derived through
 :func:`repro.util.rng.as_rng`, so partial-failure scenarios replay
-bit-identically from a seed.
+bit-identically from a seed.  For *scripted schedules* — an engine that
+fails on its first two calls and then heals, the shape circuit-breaker
+and retry tests need — wrap any fault in a :class:`ScheduledFault`,
+which fires on chosen 0-based call indices and passes every other call
+through untouched.
 
 Usage::
 
@@ -35,6 +39,7 @@ Usage::
 
 from __future__ import annotations
 
+import itertools
 import math
 import random
 import threading
@@ -60,6 +65,7 @@ __all__ = [
     "TimeoutFault",
     "SlowdownFault",
     "ExceptionFault",
+    "ScheduledFault",
     "inject",
     "VirtualScheduler",
 ]
@@ -76,6 +82,10 @@ class Fault:
             raise ProbabilityError(
                 f"fault probability {self.probability} outside [0, 1]"
             )
+
+    def fires(self, rng: random.Random) -> bool:
+        """Decide whether this call is faulty (deterministic from ``rng``)."""
+        return self.probability >= 1.0 or rng.random() < self.probability
 
     def apply(self, engine: str, real: Callable, *args, **kwargs):
         """Run the faulty behaviour (subclass responsibility)."""
@@ -136,11 +146,53 @@ class ExceptionFault(Fault):
         raise self.error
 
 
+@dataclass(frozen=True)
+class ScheduledFault(Fault):
+    """Fire an inner ``fault`` only on scheduled 0-based call indices.
+
+    ``at`` is any iterable of call indices (normalised to a frozenset):
+    the wrapped engine's first call is index 0, and only calls whose
+    index is listed misbehave — every other call runs the real engine.
+    The call counter is per ``ScheduledFault`` *instance*, so inject a
+    fresh instance per engine; under the virtual-clock scheduler the
+    call order (and therefore which logical operation hits the fault)
+    replays bit-for-bit.
+
+    This is the scripted-transient-fault primitive the serve layer's
+    retry and circuit-breaker tests are built on: ``ScheduledFault(
+    fault=TimeoutFault(), at=(0, 1))`` times out twice and then heals.
+    """
+
+    fault: Fault = field(default_factory=TimeoutFault)
+    at: frozenset = frozenset()
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not isinstance(self.fault, Fault):
+            raise ResourceError(
+                f"inner fault must be a Fault, got {type(self.fault).__name__}"
+            )
+        indices = frozenset(int(i) for i in self.at)
+        if any(i < 0 for i in indices):
+            raise ResourceError(f"call indices must be >= 0, got {sorted(indices)}")
+        object.__setattr__(self, "at", indices)
+        # itertools.count advances atomically under the GIL, so real
+        # threaded servers and the lock-step virtual clock agree on the
+        # per-call indices.
+        object.__setattr__(self, "_calls", itertools.count())
+
+    def fires(self, rng: random.Random) -> bool:
+        return next(self._calls) in self.at
+
+    def apply(self, engine: str, real: Callable, *args, **kwargs):
+        return self.fault.apply(engine, real, *args, **kwargs)
+
+
 def _wrapped(
     engine: str, fault: Fault, real: Callable, rng: random.Random
 ) -> Callable:
     def engine_with_fault(*args, **kwargs):
-        if fault.probability < 1.0 and rng.random() >= fault.probability:
+        if not fault.fires(rng):
             return real(*args, **kwargs)
         obs.inc("runtime.faults_injected")
         obs.event(
@@ -232,6 +284,13 @@ class VirtualScheduler:
     ``ticks`` maps engine names to virtual seconds per checkpoint
     (default ``default_tick``, itself defaulting to 0: time then moves
     only through scripted slowdowns).
+
+    The racing executor and the :class:`repro.serve.Server` driver both
+    speak this scheduler's driver protocol (``now`` / ``spawn`` /
+    ``wait`` / ``pop_completions`` / ``drain`` / ``poke``): a scripted
+    fault schedule plus a seed replays a whole multi-query serving run
+    — admission decisions, retries, breaker transitions, and per-query
+    answers — bit for bit (see tests/serve/test_replay.py).
     """
 
     is_virtual = True
@@ -259,6 +318,15 @@ class VirtualScheduler:
         if entity is not None:
             return entity.vtime
         return self._driver_time
+
+    def poke(self) -> None:
+        """Driver wake-up hook: a no-op on the virtual clock.
+
+        Virtual-mode submissions come from the driver thread itself
+        (scripted workloads), so there is never a blocked driver to
+        wake; the real :class:`~repro.runtime.racing.ThreadScheduler`
+        implements this with a condition notify.
+        """
 
     # -- racer side ----------------------------------------------------- #
 

@@ -61,6 +61,7 @@ __all__ = [
     "ThreadScheduler",
     "use_scheduler",
     "current_scheduler",
+    "racer_scope",
     "race_sleep",
     "run_race",
 ]
@@ -107,6 +108,7 @@ class ThreadScheduler:
         self._completions: List[int] = []
         self._threads: Dict[int, threading.Thread] = {}
         self._next_id = 0
+        self._poked = False
 
     def now(self) -> float:
         return time.monotonic()
@@ -132,11 +134,30 @@ class ThreadScheduler:
         return entity
 
     def wait(self, timeout: Optional[float] = None) -> None:
-        """Block until a completion is queued (or ``timeout`` elapses)."""
+        """Block until a completion is queued (or ``timeout`` elapses).
+
+        Also wakes on :meth:`poke` — the serve driver blocks here while
+        its pool works, and a submission from another thread must be
+        able to interrupt the wait even though no racer completed.
+        """
         with self._cond:
-            if self._completions:
+            if self._completions or self._poked:
+                self._poked = False
                 return
             self._cond.wait(timeout)
+            self._poked = False
+
+    def poke(self) -> None:
+        """Wake a driver blocked in :meth:`wait` (new work arrived).
+
+        The poke is latched: a poke landing *between* two waits makes
+        the next wait return immediately instead of being lost — a
+        submission racing the driver's loop can never strand a request
+        in the inbox until an unrelated completion.
+        """
+        with self._cond:
+            self._poked = True
+            self._cond.notify_all()
 
     def pop_completions(self, include_future: bool = False) -> List[int]:
         with self._cond:
@@ -172,6 +193,40 @@ _context = threading.local()
 def current_scheduler():
     """The scheduler the calling thread is racing under, or ``None``."""
     return getattr(_context, "scheduler", None)
+
+
+class racer_scope:
+    """Install the racer thread-local context for a worker body.
+
+    Everything that makes an engine attempt cooperate with a scheduler
+    — ``race_sleep`` routing, cancel-token checks inside scripted
+    stalls, the executor's scheduler-aware clock — consults this
+    context.  The racing executor installs it around each speculative
+    attempt; the serve worker pool installs it around each scheduled
+    query so a whole multi-query run is drivable by the deterministic
+    virtual clock.  Scopes restore the previous context on exit, so
+    they nest safely.
+    """
+
+    __slots__ = ("scheduler", "token", "_previous")
+
+    def __init__(self, scheduler, token=None):
+        self.scheduler = scheduler
+        self.token = token
+        self._previous = (None, None)
+
+    def __enter__(self):
+        self._previous = (
+            getattr(_context, "scheduler", None),
+            getattr(_context, "token", None),
+        )
+        _context.scheduler = self.scheduler
+        _context.token = self.token
+        return self
+
+    def __exit__(self, *exc):
+        _context.scheduler, _context.token = self._previous
+        return False
 
 
 def race_sleep(seconds: float) -> None:
@@ -362,8 +417,8 @@ def run_race(
                 on_checkpoint=scheduler.checkpoint,
             )
             racer.budget = racer_budget
-            _context.scheduler = scheduler
-            _context.token = racer.token
+            scope = racer_scope(scheduler, racer.token)
+            scope.__enter__()
             t0 = scheduler.now()
             try:
                 with apply(racer_budget):
@@ -388,8 +443,7 @@ def run_race(
                 racer.error = exc
             finally:
                 racer.elapsed = scheduler.now() - t0
-                _context.scheduler = None
-                _context.token = None
+                scope.__exit__()
 
         return body
 

@@ -1,0 +1,82 @@
+"""The bounded, deadline-aware backlog of admitted requests.
+
+Admitted tickets wait here until a pool slot opens.  The backlog is
+deliberately dumb — ordering policy (fair share between tenants) lives
+in the server's pick function, not in the queue — but it knows two
+things about time:
+
+* a ticket whose per-query deadline expires while queued is *expired*
+  (collected by :meth:`take_expired` and answered
+  ``deadline_expired`` without ever launching), and
+* a ticket may carry a ``not_before`` time (retry backoff, breaker
+  cooldown) before which it is not :meth:`ready`.
+
+``capacity`` bounds only fresh admissions (checked by the server);
+retries re-enter without a capacity check — they were already admitted
+and shedding them would double-charge the request.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Backlog:
+    """FIFO store of waiting tickets with timed visibility."""
+
+    def __init__(self, capacity: int):
+        self.capacity = max(0, int(capacity))
+        self._tickets: List = []
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+    def __iter__(self):
+        return iter(self._tickets)
+
+    @property
+    def full(self) -> bool:
+        return len(self._tickets) >= self.capacity
+
+    def push(self, ticket) -> None:
+        self._tickets.append(ticket)
+
+    def remove(self, ticket) -> None:
+        self._tickets.remove(ticket)
+
+    def ready(self, now: float) -> List:
+        """Tickets eligible to launch at scheduler time ``now``."""
+        return [t for t in self._tickets if t.not_before <= now]
+
+    def take_expired(self, now: float) -> List:
+        """Remove and return tickets whose deadline has passed."""
+        expired = []
+        kept = []
+        for ticket in self._tickets:
+            remaining = ticket.budget.remaining_time()
+            if remaining is not None and remaining <= 0:
+                expired.append(ticket)
+            else:
+                kept.append(ticket)
+        self._tickets = kept
+        return expired
+
+    def next_event(self, now: float) -> Optional[float]:
+        """Seconds until the earliest queued timer, or ``None``.
+
+        Timers are retry/breaker ``not_before`` wake-ups and per-query
+        deadline expiries — the driver must advance the (virtual) clock
+        to them even when nothing is running.
+        """
+        horizon: Optional[float] = None
+        for ticket in self._tickets:
+            candidates = []
+            if ticket.not_before > now:
+                candidates.append(ticket.not_before - now)
+            remaining = ticket.budget.remaining_time()
+            if remaining is not None and remaining > 0:
+                candidates.append(remaining)
+            for delta in candidates:
+                if horizon is None or delta < horizon:
+                    horizon = delta
+        return horizon

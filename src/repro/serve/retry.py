@@ -1,0 +1,67 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+A transient engine fault (the executor's ``budget_exceeded`` outcome —
+an injected timeout, a blown fair-share slice) may pass on a later try;
+a cost refusal or fragment mismatch never will.  The policy decides
+*whether* a failed run retries (any attempt outcome in
+:data:`repro.runtime.executor.TRANSIENT_OUTCOMES`) and *when* (capped
+exponential backoff plus jitter).
+
+Jitter is deterministic: drawn from ``random.Random(f"{key}:retry:{n}")``
+where ``key`` is the request id, so two runs of the same scripted
+workload back off identically — jitter decorrelates requests from each
+other, not a run from its replay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.runtime.executor import TRANSIENT_OUTCOMES
+from repro.util.errors import ResourceError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transient faults.
+
+    Retry ``n`` (0-based) waits ``min(base_delay * 2**n, max_delay)``
+    seconds, stretched by up to ``jitter`` as a fraction (0.5 means up
+    to +50%).  ``max_retries=0`` disables retrying entirely.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ResourceError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResourceError("retry delays must be >= 0")
+        if not 0.0 <= self.jitter:
+            raise ResourceError(f"jitter must be >= 0, got {self.jitter}")
+
+    def should_retry(self, retries: int, outcomes: Sequence[str]) -> bool:
+        """True when a failed run earned another try.
+
+        ``retries`` is the count already performed; ``outcomes`` are the
+        attempt outcomes of the failed run (a run with no transient
+        attempt failed for a permanent reason and never retries).
+        """
+        if retries >= self.max_retries:
+            return False
+        return any(outcome in TRANSIENT_OUTCOMES for outcome in outcomes)
+
+    def delay(self, retry: int, key: str) -> float:
+        """Backoff before 0-based retry ``retry`` of request ``key``."""
+        backoff = min(self.base_delay * (2.0 ** retry), self.max_delay)
+        if self.jitter <= 0 or backoff <= 0:
+            return backoff
+        rng = random.Random(f"{key}:retry:{retry}")
+        return backoff * (1.0 + self.jitter * rng.random())

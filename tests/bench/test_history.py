@@ -49,6 +49,34 @@ def test_corrupt_lines_skipped_not_fatal(tmp_path):
     assert skipped == 2  # the blank line is ignored, not counted
 
 
+def test_corrupt_lines_are_loudly_counted(tmp_path, caplog):
+    # Skipping is silent resilience for the trend tooling but must not
+    # be silent to operators: each skip logs a warning naming the file
+    # and line, and increments bench.history.skipped_lines.
+    import logging
+
+    from repro import obs
+
+    path = tmp_path / "h.jsonl"
+    store = History(str(path))
+    store.append(_result(seconds=0.1))
+    with open(path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"schema_version": 99}\n')
+    recorder = obs.StatsRecorder()
+    with obs.use(recorder):
+        with caplog.at_level(logging.WARNING, logger="repro.bench.history"):
+            _, skipped = store.load()
+    assert skipped == 2
+    counters = recorder.summary()["counters"]
+    assert counters["bench.history.skipped_lines"] == 2
+    messages = [record.getMessage() for record in caplog.records]
+    assert len(messages) == 2
+    assert all("skipping corrupt history line" in m for m in messages)
+    assert any(f"{path}:2" in m for m in messages)
+    assert any(f"{path}:3" in m for m in messages)
+
+
 def test_records_for_filters_bench_and_key(tmp_path):
     store = History(str(tmp_path / "h.jsonl"))
     store.append(_result("a.one", 0.1, {"n": 1}))

@@ -1,0 +1,136 @@
+"""Multithreaded stress tests for the process-wide compilation cache.
+
+The :class:`~repro.kernels.cache.LruCache` contract under concurrency:
+
+* first-insert-wins — racers compiling the same key may each run the
+  factory, but every caller gets the first inserted value (references
+  already handed out stay valid);
+* eviction racing insertion never corrupts entries — a caller always
+  receives a value built for *its* key;
+* a factory that raises (a racer cancelled mid-compilation) caches
+  nothing and never poisons the key for later callers.
+
+These run on real threads on purpose: they hammer the lock ordering
+the virtual-clock tests cannot.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import obs
+from repro.kernels.cache import LruCache
+from repro.util.errors import BudgetExceeded
+
+
+def hammer(threads, worker):
+    """Run ``worker(tid)`` on ``threads`` threads through one barrier."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def body(tid):
+        barrier.wait()
+        try:
+            worker(tid)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=body, args=(tid,)) for tid in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "stress worker deadlocked"
+    assert not errors, errors
+
+
+class TestCacheStress:
+    def test_eviction_racing_insert_returns_the_right_value(self):
+        # Far more live keys than capacity: every insert races an
+        # eviction, and hits race moves-to-front.  Values are tagged
+        # with their key so cross-wiring would be detected.
+        cache = LruCache(capacity=8)
+        mismatches = []
+
+        def worker(tid):
+            rng = random.Random(tid)
+            for _ in range(400):
+                key = rng.randrange(32)
+                value = cache.get_or_create(key, lambda k=key: ("blob", k))
+                if value[1] != key:
+                    mismatches.append((tid, key, value))
+
+        hammer(8, worker)
+        assert not mismatches
+        assert len(cache) <= 8
+
+    def test_first_insert_wins_for_concurrent_racers(self):
+        # With no eviction pressure, all racers on one key must end up
+        # holding the *same* object, however many factories actually
+        # ran — the duplicate values are discarded, never handed out.
+        cache = LruCache(capacity=64)
+        seen = []
+        seen_lock = threading.Lock()
+
+        def worker(tid):
+            value = cache.get_or_create("shared", lambda: object())
+            with seen_lock:
+                seen.append(value)
+
+        hammer(16, worker)
+        assert len(seen) == 16
+        assert len({id(value) for value in seen}) == 1
+        # And the winner is the cached entry later callers get too.
+        assert cache.get_or_create("shared", lambda: object()) is seen[0]
+
+    def test_cancelled_racer_never_poisons_the_key(self):
+        # Racers aborting mid-compilation (BudgetExceeded, as a
+        # cancelled racer's checkpoint raises) must cache nothing, count
+        # no miss, and leave the key healthy for later callers.
+        cache = LruCache(capacity=64)
+        recorder = obs.StatsRecorder()
+
+        def aborting_worker(tid):
+            # Phase 1: every call aborts, so the key can never appear
+            # and every caller must see the exception.
+            for key in range(4):
+                with pytest.raises(BudgetExceeded):
+                    cache.get_or_create(key, _aborting_factory)
+
+        with obs.use(recorder):
+            hammer(8, aborting_worker)
+            assert len(cache) == 0  # nothing cached, nothing poisoned
+            assert (
+                recorder.summary()["counters"].get("kernels.cache.misses", 0)
+                == 0
+            )
+
+            def mixed_worker(tid):
+                # Phase 2: aborters and builders race on the same keys.
+                for round_index in range(50):
+                    key = round_index % 4
+                    if (tid + round_index) % 2 and key not in cache:
+                        try:
+                            cache.get_or_create(key, _aborting_factory)
+                        except BudgetExceeded:
+                            pass
+                    else:
+                        value = cache.get_or_create(
+                            key, lambda k=key: ("ok", k)
+                        )
+                        assert value == ("ok", key)
+
+            hammer(8, mixed_worker)
+        # Each key was inserted by exactly one successful factory:
+        # exactly four misses, however many aborts and races happened.
+        counters = recorder.summary()["counters"]
+        assert counters.get("kernels.cache.misses", 0) == 4
+        for key in range(4):
+            assert cache.get_or_create(key, pytest.fail) == ("ok", key)
+
+
+def _aborting_factory():
+    raise BudgetExceeded("cancelled mid-compilation")

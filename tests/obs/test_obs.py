@@ -224,3 +224,21 @@ class TestActiveRecorder:
         assert recorder.summary()["counters"]["counted"] == 1
         events = read_jsonl(path)
         assert [event["name"] for event in events] == ["point"]
+
+    def test_module_summary_prefix_filter(self):
+        with obs.use(StatsRecorder()):
+            obs.inc("serve.submitted", 3)
+            obs.inc("runtime.attempts")
+            obs.gauge("serve.queue.depth", 2)
+            obs.observe("serve.service_seconds", 0.5)
+            obs.observe("runtime.run.seconds", 0.1)
+            filtered = obs.summary(prefix="serve.")
+            full = obs.summary()
+        assert set(filtered) == set(full)  # same sections, filtered content
+        assert set(filtered["counters"]) == {"serve.submitted"}
+        assert set(filtered["gauges"]) == {"serve.queue.depth"}
+        assert set(filtered["histograms"]) == {"serve.service_seconds"}
+        assert set(full["counters"]) == {"serve.submitted", "runtime.attempts"}
+
+    def test_module_summary_prefix_when_disabled(self):
+        assert obs.summary(prefix="serve.") == {}

@@ -1,0 +1,21 @@
+"""Shared fixtures for the serve scheduler suite.
+
+Everything here runs on the :class:`~repro.runtime.faults.VirtualScheduler`
+(virtual clock, lock-step workers), so every test is deterministic and
+wall-clock independent.
+"""
+
+import pytest
+
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+#: The standard small safe query over the fixture database.
+QUERY = "exists x. exists y. E(x, y) & S(y)"
+
+
+@pytest.fixture
+def db():
+    return random_unreliable_database(
+        make_rng(1), size=4, relations={"E": 2, "S": 1}, density=0.5
+    )

