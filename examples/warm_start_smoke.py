@@ -1,0 +1,125 @@
+"""Warm-start smoke: two processes, one persistent cache, zero recompiles.
+
+This is the CI cache-warm-smoke lane (and a runnable example): generate
+a small unreliable database, then run the same ``python -m repro run``
+query in two *separate* subprocesses that share one ``--cache-dir``.
+The first (cold) process must compile — its stats show
+``kernels.cache.misses`` and ``kernels.cache.persist.stores`` — and the
+second (warm) process must answer the same exact value from disk alone:
+``kernels.cache.persist.hits`` present, ``kernels.cache.misses``
+absent.  A warm process that recompiles anything fails the lane; so
+does any drift in the reported reliability.
+
+Run it directly::
+
+    PYTHONPATH=src python examples/warm_start_smoke.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+from repro.relational.encoding import encode_unreliable_database
+from repro.util.rng import make_rng
+from repro.workloads.random_db import random_unreliable_database
+
+QUERY = "exists x y. E(x, y) & E(y, x)"
+
+
+def run_once(db_path: str, cache_dir: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "run",
+            db_path,
+            QUERY,
+            "--engine-chain",
+            "exact",
+            "--cache-dir",
+            cache_dir,
+            "--stats",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"repro run failed ({proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def counter(output: str, name: str) -> int:
+    match = re.search(rf"^{re.escape(name)}\s+(\d+)$", output, re.MULTILINE)
+    return int(match.group(1)) if match else 0
+
+
+def answer_line(output: str) -> str:
+    for line in output.splitlines():
+        if line.startswith("reliability"):
+            # Drop the wall-clock suffix; only the value must agree.
+            return line.split(" in ")[0]
+    raise SystemExit(f"no reliability line in output:\n{output}")
+
+
+def main() -> int:
+    # Seed 20 yields a database whose self-join reliability is a
+    # non-trivial fraction (175959/262144) — a constant-folded answer
+    # would let a broken cache slip through on value equality alone.
+    rng = make_rng(20)
+    db = random_unreliable_database(
+        rng, size=4, relations={"E": 2}, density=0.4, error="1/8",
+        uncertain_fraction=0.4,
+    )
+    with tempfile.TemporaryDirectory() as workdir:
+        db_path = os.path.join(workdir, "smoke.db")
+        with open(db_path, "w") as handle:
+            handle.write(encode_unreliable_database(db))
+        cache_dir = os.path.join(workdir, "cache")
+
+        cold = run_once(db_path, cache_dir)
+        warm = run_once(db_path, cache_dir)
+
+    cold_misses = counter(cold, "kernels.cache.misses")
+    cold_stores = counter(cold, "kernels.cache.persist.stores")
+    warm_hits = counter(warm, "kernels.cache.persist.hits")
+    warm_misses = counter(warm, "kernels.cache.misses")
+
+    failures = []
+    if cold_misses == 0:
+        failures.append("cold process reported no compile misses")
+    if cold_stores == 0:
+        failures.append("cold process persisted nothing")
+    if warm_hits == 0:
+        failures.append("warm process reported no persist hits")
+    if warm_misses != 0:
+        failures.append(
+            f"warm process recompiled: kernels.cache.misses={warm_misses}"
+        )
+    if answer_line(cold) != answer_line(warm):
+        failures.append(
+            f"answers drifted: {answer_line(cold)!r} vs {answer_line(warm)!r}"
+        )
+
+    print(f"cold: misses={cold_misses} stores={cold_stores}")
+    print(f"warm: persist hits={warm_hits} misses={warm_misses}")
+    print(answer_line(warm))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("warm-start smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

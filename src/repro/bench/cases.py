@@ -910,3 +910,160 @@ def runtime_serve(params: Dict[str, Any]) -> Dict[str, Any]:
         "ok": ok,
         "not_ok": refused,
     }
+
+
+@register(
+    "runtime.delta",
+    group="runtime",
+    params={"pairs": 9, "spectators": 22, "updates": 40, "min_speedup": 50.0},
+    quick={"pairs": 5, "spectators": 6, "updates": 10, "min_speedup": 2.0},
+    repeats=1,
+    tags=("runtime", "delta", "exact"),
+)
+def runtime_delta(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Delta update stream vs m cold recomputes, bit-identical answers.
+
+    A self-join query over ``pairs`` uncertain 2-cycles (k = 2*pairs
+    uncertain atoms, forcing the DNF/grounding path) takes a stream of
+    single-atom ``set_mu`` updates.  The delta arm propagates each
+    change through only the affected diagram nodes; the cold arm
+    regrounds all ``n^2`` clause instantiations and recompiles from
+    scratch at every step — ``spectators`` pads the universe with
+    untouched elements exactly the way a real database surrounds the
+    updated tuples, which the cold arm must reground and the delta arm
+    never looks at.  Every pair of answers is compared with ``==`` on
+    exact Fractions before any timing is reported — the speedup of a
+    wrong answer is meaningless.
+    """
+    from repro.delta import DeltaSession
+    from repro.kernels import clear_caches
+    from repro.relational.atoms import Atom
+    from repro.relational.builder import StructureBuilder
+    from repro.reliability.exact import truth_probability
+    from repro.reliability.unreliable import UnreliableDatabase
+
+    clear_caches()
+    pairs = params["pairs"]
+    builder = StructureBuilder(range(2 * pairs + params["spectators"]))
+    builder.relation("E", 2)
+    atoms = []
+    mu = {}
+    for index in range(pairs):
+        a, b = 2 * index, 2 * index + 1
+        for pair in ((a, b), (b, a)):
+            builder.add("E", pair)
+            atom = Atom("E", pair)
+            atoms.append(atom)
+            mu[atom] = Fraction(1 + index % 5, 8)
+    db = UnreliableDatabase(builder.build(), mu)
+    query = "exists x y. E(x, y) & E(y, x)"
+
+    updates = [
+        (atoms[i % len(atoms)], Fraction(1 + (i * 3) % 6, 8))
+        for i in range(params["updates"])
+    ]
+
+    with obs.span("bench.point", arm="delta", k=len(atoms)):
+        session = DeltaSession(db, query)
+        start = time.perf_counter()
+        delta_answers = []
+        for atom, probability in updates:
+            session.set_mu(atom, probability)
+            delta_answers.append(session.probability())
+        delta_s = time.perf_counter() - start
+
+    with obs.span("bench.point", arm="cold", k=len(atoms)):
+        current = db
+        start = time.perf_counter()
+        cold_answers = []
+        for atom, probability in updates:
+            current = current.with_errors({atom: probability})
+            cold_answers.append(
+                truth_probability(current, query, method="dnf")
+            )
+        cold_s = time.perf_counter() - start
+
+    assert delta_answers == cold_answers  # bit-identical Fractions
+    speedup = cold_s / delta_s if delta_s > 0 else float("inf")
+    assert speedup >= params["min_speedup"]
+    return {
+        "uncertain_atoms": len(atoms),
+        "updates": len(updates),
+        "delta_s": round(delta_s, 6),
+        "cold_s": round(cold_s, 6),
+        "speedup_delta": round(speedup, 2),
+        "bit_identical": True,
+    }
+
+
+@register(
+    "kernels.cache_persist",
+    group="kernels",
+    params={"size": 10, "repeats": 3},
+    quick={"size": 6, "repeats": 2},
+    repeats=1,
+    tags=("kernels", "cache"),
+)
+def kernels_cache_persist(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Warm start from the disk tier: second process recompiles nothing.
+
+    One compilation-heavy query runs twice against a shared cache
+    directory, with the in-memory tier wiped between passes (a stand-in
+    for a fresh interpreter).  The warm pass must report persist hits
+    and **zero** compile misses — the invariant the CI warm-start lane
+    asserts across real subprocesses — and both passes must agree bit
+    for bit.
+    """
+    import shutil
+    import tempfile
+
+    from repro.kernels import cache_persist, clear_caches
+    from repro.relational.atoms import Atom
+    from repro.relational.builder import StructureBuilder
+    from repro.reliability.exact import truth_probability
+    from repro.reliability.unreliable import UnreliableDatabase
+
+    size = params["size"]
+    builder = StructureBuilder(range(size))
+    builder.relation("E", 2)
+    mu = {}
+    for index in range(size):
+        for pair in ((index, (index + 1) % size), ((index + 1) % size, index)):
+            builder.add("E", pair)
+            mu[Atom("E", pair)] = Fraction(1 + index % 3, 8)
+    db = UnreliableDatabase(builder.build(), mu)
+    query = "exists x y. E(x, y) & E(y, x)"
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cache_persist.configure(directory)
+
+        def one_pass(arm):
+            clear_caches()  # a "new process": empty memory, same disk
+            recorder = obs.StatsRecorder()
+            with obs.use(recorder):
+                with obs.span("bench.point", arm=arm):
+                    start = time.perf_counter()
+                    for _ in range(params["repeats"]):
+                        value = truth_probability(db, query, method="dnf")
+                    elapsed = time.perf_counter() - start
+            return value, elapsed, recorder.summary()["counters"]
+
+        cold_value, cold_s, cold_counters = one_pass("cold")
+        warm_value, warm_s, warm_counters = one_pass("warm")
+    finally:
+        cache_persist.deactivate()
+        clear_caches()
+        shutil.rmtree(directory, ignore_errors=True)
+
+    assert cold_value == warm_value  # bit-identical through the pickle
+    assert cold_counters.get("kernels.cache.persist.stores", 0) > 0
+    assert warm_counters.get("kernels.cache.persist.hits", 0) > 0
+    assert warm_counters.get("kernels.cache.misses", 0) == 0  # no recompiles
+    return {
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "warm_persist_hits": warm_counters["kernels.cache.persist.hits"],
+        "warm_compile_misses": 0,
+        "bit_identical": True,
+    }

@@ -161,7 +161,66 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _activate_cache(args: argparse.Namespace) -> None:
+    """Turn on the persistent compilation cache for this invocation.
+
+    ``--cache-dir`` wins; otherwise ``$REPRO_CACHE_DIR`` (when set and
+    nonempty) activates the tier.  Without either, compilation stays
+    memory-only.
+    """
+    from repro.kernels import cache_persist
+
+    if getattr(args, "cache_dir", None):
+        cache_persist.configure(args.cache_dir)
+    else:
+        cache_persist.configure_from_env()
+
+
+def _cache_tier(args: argparse.Namespace):
+    """The persistent cache named by ``--cache-dir`` / the environment."""
+    from repro.kernels import cache_persist
+
+    if getattr(args, "cache_dir", None):
+        return cache_persist.PersistentCache(args.cache_dir)
+    import os
+
+    directory = os.environ.get(cache_persist.ENV_CACHE_DIR, "").strip()
+    if not directory:
+        raise QueryError(
+            "no cache directory: pass --cache-dir or set "
+            f"${cache_persist.ENV_CACHE_DIR}"
+        )
+    return cache_persist.PersistentCache(directory)
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    stats = _cache_tier(args).stats()
+    print(f"directory  {stats['directory']}")
+    print(f"files      {stats['files']}")
+    print(f"bytes      {stats['bytes']}")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    tier = _cache_tier(args)
+    removed = tier.clear()
+    print(f"removed {removed} cache file(s) from {tier.directory}")
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    tier = _cache_tier(args)
+    removed = tier.gc(max_files=args.max_files, max_bytes=args.max_bytes)
+    stats = tier.stats()
+    print(
+        f"evicted {removed} cache file(s); {stats['files']} file(s), "
+        f"{stats['bytes']} byte(s) remain in {tier.directory}"
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _activate_cache(args)
     db = _load(args.database)
     query = _query(args)
     chain = tuple(
@@ -203,6 +262,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.retry import RetryPolicy
     from repro.serve.scheduler import Server
 
+    _activate_cache(args)
     db = _load(args.database)
     requests = []
     invalid = 0
@@ -640,6 +700,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fair-share slice; the strongest-tier answer wins (see "
         "docs/ROBUSTNESS.md, 'Speculative racing')",
     )
+    run.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        metavar="DIR",
+        help="persist compiled plans/groundings under DIR so later "
+        "processes warm-start (default: $REPRO_CACHE_DIR when set)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     serve = sub.add_parser(
@@ -690,6 +757,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--calibration",
         metavar="PATH",
         help="cost-model calibration file used for admission forecasts",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        metavar="DIR",
+        help="persist compiled plans/groundings under DIR; requests "
+        "across the batch (and later server processes) warm-start "
+        "(default: $REPRO_CACHE_DIR when set)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -864,6 +939,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--history", default=DEFAULT_HISTORY, metavar="PATH"
     )
     bench_migrate.set_defaults(handler=_cmd_bench_migrate)
+
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="inspect and maintain the persistent compilation cache",
+    )
+    cache_dir_opt = argparse.ArgumentParser(add_help=False)
+    cache_dir_opt.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="file count and byte total for the cache directory",
+        parents=[cache_dir_opt],
+    )
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
+
+    cache_clear = cache_sub.add_parser(
+        "clear",
+        help="delete every cache file",
+        parents=[cache_dir_opt],
+    )
+    cache_clear.set_defaults(handler=_cmd_cache_clear)
+
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict oldest cache files beyond the given limits",
+        parents=[cache_dir_opt],
+    )
+    cache_gc.add_argument(
+        "--max-files",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="max_files",
+        help="keep at most N cache files",
+    )
+    cache_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="max_bytes",
+        help="keep at most N bytes of cache files",
+    )
+    cache_gc.set_defaults(handler=_cmd_cache_gc)
     return parser
 
 

@@ -1,0 +1,24 @@
+"""Incremental reliability maintenance under database updates.
+
+The Gray-code kernel (Theorem 4.2) already exploits the one-flip
+observation — consecutive worlds differ in one atom, so one flip costs
+one multiply.  This package lifts the same idea from *worlds* to
+*databases*: when an atom's error probability changes or a tuple is
+inserted/deleted, :class:`DeltaSession` updates the reliability answer
+in time proportional to the change, not ``2 ** k`` — regrounding only
+the clauses the touched atom can occur in, re-evaluating only the
+compiled-diagram nodes above the atom's level, and re-weighting already
+drawn Karp–Luby samples under an importance correction instead of
+redrawing them.
+
+Answers are bit-identical :class:`~fractions.Fraction` values: after
+any update stream, ``session.probability()`` equals a from-scratch
+``truth_probability`` on the current database (the Hypothesis suite in
+``tests/delta/`` checks exactly this).
+"""
+
+from repro.delta.reground import DeltaGrounding
+from repro.delta.sampling import ReweightableKarpLuby
+from repro.delta.session import DeltaSession
+
+__all__ = ["DeltaSession", "DeltaGrounding", "ReweightableKarpLuby"]

@@ -1,0 +1,283 @@
+"""Delta sessions: reliability answers maintained under updates.
+
+A :class:`DeltaSession` holds a Boolean query against an evolving
+unreliable database and keeps ``Pr[B |= psi]`` current through
+``set_mu`` / ``insert`` / ``delete`` in far less than a recompute:
+
+* the grounded DNF is compiled **once** into a canonical ROBDD
+  (cached, persistable under the ``delta_bdd`` kind), with an explicit
+  bottom-up value table over its reachable nodes;
+* a *weight-only* update — an uncertain atom's ``mu`` moves but stays
+  in ``(0, 1)``, or a tuple with uncertain ``mu`` flips in the observed
+  structure, so ``nu`` changes but no clause folds — re-evaluates only
+  the reachable nodes at levels at or above the atom's level
+  (``delta.nodes_reevaluated`` counts them); children sit strictly
+  deeper, so everything below is untouched;
+* a *structural* update — ``mu`` crosses 0 or 1, or a deterministic
+  tuple flips — regrounds only the clauses the atom unifies into
+  (:class:`~repro.delta.reground.DeltaGrounding`) and recompiles the
+  diagram only when a clause actually changed (``delta.recompiles``).
+
+Every answer is an exact :class:`~fractions.Fraction`, bit-identical
+to ``truth_probability`` on the current database; updates are exact
+algebra on the same values, never floating approximations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Set
+
+from repro import obs
+from repro.delta.reground import DeltaGrounding
+from repro.kernels.cache import compilation_cache
+from repro.logic.classify import is_existential, is_universal
+from repro.logic.evaluator import FOQuery
+from repro.logic.fo import Formula, neg
+from repro.runtime.budget import checkpoint
+from repro.propositional.bdd import BDD, ONE, ZERO, compile_dnf
+from repro.relational.atoms import Atom
+from repro.reliability.exact import as_query
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import QueryError
+from repro.util.rationals import RationalLike, parse_probability
+
+
+class DeltaSession:
+    """One Boolean query, one evolving database, O(Δ) answers.
+
+    Supports existential, universal (via negation), and ground
+    quantifier-free sentences — the fragment Theorem 5.4 grounds.
+    ``arity > 0`` queries and opaque query objects raise
+    :class:`QueryError`; use per-tuple sessions for those.
+    """
+
+    def __init__(self, db: UnreliableDatabase, query):
+        query = as_query(query)
+        if getattr(query, "arity", 0) != 0:
+            raise QueryError("DeltaSession expects a Boolean (0-ary) query")
+        if not isinstance(query, FOQuery):
+            raise QueryError(
+                "DeltaSession needs a first-order query; opaque query "
+                "objects have no clause structure to update incrementally"
+            )
+        self.query = query
+        formula = query.formula
+        # Universal sentences ground through their negation:
+        # Pr[forall ...] = 1 - Pr[exists ... not ...].
+        if is_universal(formula) and not is_existential(formula):
+            self._base: Formula = neg(formula)
+            self._negate = True
+        else:
+            self._base = formula
+            self._negate = False
+        self._db = db
+        self._grounding = DeltaGrounding(db, self._base)
+        self._sampler = None
+        self._diagram: Optional[BDD] = None
+        self._root = ZERO
+        self._levels: List[List[int]] = []
+        self._value: Dict[int, Fraction] = {}
+        self._probs: Dict[Atom, Fraction] = {}
+        self._compile()
+
+    # ------------------------------------------------------------------ #
+    # answers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def db(self) -> UnreliableDatabase:
+        """The current database (updates build fresh immutable values)."""
+        return self._db
+
+    @property
+    def diagram_size(self) -> int:
+        """Reachable diagram nodes — the per-update work bound."""
+        return sum(len(level) for level in self._levels)
+
+    def probability(self) -> Fraction:
+        """Exact ``Pr[B |= psi]`` for the current database."""
+        p = self._value[self._root]
+        return 1 - p if self._negate else p
+
+    def wrong_probability(self) -> Fraction:
+        """``Pr[Wrong(psi)]`` against the current observed structure."""
+        observed = self.query.evaluate(self._db.structure, ())
+        p = self.probability()
+        return 1 - p if observed else p
+
+    def reliability(self) -> Fraction:
+        """``R_psi(D) = 1 - Pr[Wrong(psi)]`` for a Boolean query."""
+        return 1 - self.wrong_probability()
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def set_mu(self, atom: Atom, probability: RationalLike) -> None:
+        """Change one atom's error probability."""
+        new = parse_probability(probability)
+        old = self._db.mu(atom)
+        if new == old:
+            return
+        obs.inc("delta.updates")
+        self._db = self._db.with_errors({atom: new})
+        if 0 < old < 1 and 0 < new < 1:
+            # Folding status unchanged: every clause keeps its shape,
+            # only the atom's nu moves.
+            self._reweight(atom)
+        else:
+            self._structural(atom)
+
+    def insert(self, atom: Atom) -> None:
+        """Add a tuple to the observed structure."""
+        self._set_observed(atom, True)
+
+    def delete(self, atom: Atom) -> None:
+        """Remove a tuple from the observed structure."""
+        self._set_observed(atom, False)
+
+    def _set_observed(self, atom: Atom, value: bool) -> None:
+        if self._db.structure.holds(atom) == value:
+            return
+        obs.inc("delta.updates")
+        mu = self._db.mu(atom)
+        self._db = self._db.with_structure(
+            self._db.structure.with_atom(atom, value)
+        )
+        if 0 < mu < 1:
+            # nu flips between mu and 1-mu; clause shapes are untouched
+            # (folding only inspects deterministic atoms).
+            self._reweight(atom)
+        else:
+            self._structural(atom)
+
+    def recompute(self) -> Fraction:
+        """Rebuild everything from the current database (the cold path).
+
+        Exposed for verification and as the escape hatch after update
+        storms; the delta paths are bit-identical to this by
+        construction (and by the property suite).
+        """
+        obs.inc("delta.recomputes")
+        self._grounding = DeltaGrounding(self._db, self._base)
+        self._compile()
+        if self._sampler is not None:
+            self._sampler.mark_stale()
+        return self.probability()
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+
+    def attach_karp_luby(self, samples: int, rng, method: str = "coverage"):
+        """Draw a reusable Karp–Luby sample set for the current state.
+
+        The returned :class:`~repro.delta.sampling.ReweightableKarpLuby`
+        tracks weight-only updates through importance re-weighting; a
+        structural update marks it stale (redraw by calling this again).
+        """
+        from repro.delta.sampling import ReweightableKarpLuby
+
+        self._sampler = ReweightableKarpLuby(
+            self._grounding.dnf(),
+            {a: float(p) for a, p in self._probs.items()},
+            samples,
+            rng,
+            method=method,
+            negate=self._negate,
+        )
+        return self._sampler
+
+    # ------------------------------------------------------------------ #
+    # machinery
+    # ------------------------------------------------------------------ #
+
+    def _compile(self) -> None:
+        """(Re)compile the current DNF and evaluate the full value table."""
+        dnf = self._grounding.dnf()
+        key = ("delta_bdd", self._db.fingerprint(), self._base)
+        diagram, root = compilation_cache.get_or_create(
+            key, lambda: compile_dnf(dnf)
+        )
+        self._diagram = diagram
+        self._root = root
+        self._levels = diagram.reachable_by_level(root)
+        self._probs = {atom: self._db.nu(atom) for atom in diagram.order}
+        self._value = {ZERO: Fraction(0), ONE: Fraction(1)}
+        for level in range(len(diagram.order) - 1, -1, -1):
+            self._evaluate_level(level)
+
+    def _evaluate_level(self, level: int) -> int:
+        """Recompute the value of every reachable node at one level."""
+        checkpoint(worlds=len(self._levels[level]))
+        diagram = self._diagram
+        value = self._value
+        p = self._probs[diagram.order[level]]
+        touched = 0
+        for node in self._levels[level]:
+            _node_level, low, high = diagram.node(node)
+            lo = value[low]
+            value[node] = lo + p * (value[high] - lo)
+            touched += 1
+        return touched
+
+    def _reweight(self, atom: Atom) -> None:
+        """Weight-only path: dirty values propagate bottom-up.
+
+        Nodes at the atom's level recompute; a node above recomputes
+        only when a child's value actually moved.  Untouched branches
+        of the diagram cost one set lookup each, no exact arithmetic —
+        the per-update bill is the Δ, not the reachable node count.
+        """
+        obs.inc("delta.reweights")
+        nu = self._db.nu(atom)
+        if self._sampler is not None:
+            self._sampler.set_prob(atom, float(nu))
+        level = (
+            self._diagram.level_of(atom)
+            if self._diagram is not None
+            else None
+        )
+        if level is None:
+            # The atom never made it into the grounded DNF (relation
+            # not mentioned, or clause folded by other literals): the
+            # answer cannot depend on it.
+            return
+        self._probs[atom] = nu
+        diagram = self._diagram
+        order = diagram.order
+        value = self._value
+        dirty: Set[int] = set()
+        touched = 0
+        for current in range(level, -1, -1):
+            checkpoint(worlds=len(self._levels[current]))
+            p = self._probs[order[current]]
+            at_source = current == level
+            for node in self._levels[current]:
+                _node_level, low, high = diagram.node(node)
+                if not at_source and low not in dirty and high not in dirty:
+                    continue
+                lo = value[low]
+                new = lo + p * (value[high] - lo)
+                touched += 1
+                if new != value[node]:
+                    value[node] = new
+                    dirty.add(node)
+        obs.inc("delta.nodes_reevaluated", touched)
+
+    def _structural(self, atom: Atom) -> None:
+        """Structural path: targeted reground, recompile only if needed."""
+        keys = self._grounding.affected_keys(atom)
+        changed = self._grounding.reground(self._db, keys)
+        if self._sampler is not None:
+            self._sampler.mark_stale()
+        if changed:
+            obs.inc("delta.recompiles")
+            self._compile()
+        elif self._diagram is not None and atom in self._probs:
+            # Defensive: a structural update that changed no clause but
+            # still touches a live variable's nu (should be unreachable
+            # — live variables are uncertain, and an uncertain atom
+            # turning deterministic always refolds a clause).
+            self._reweight(atom)

@@ -16,6 +16,13 @@ Hits, misses, and evictions are visible as ``kernels.cache.hits`` /
 ``.misses`` / ``.evictions`` counters.  The default capacity is
 :data:`DEFAULT_CAPACITY` entries (see docs/PERFORMANCE.md); entries
 are whole compiled artefacts, so the bound is on count, not bytes.
+
+When a persistent tier is configured (:mod:`repro.kernels.cache_persist`,
+via ``--cache-dir`` or ``$REPRO_CACHE_DIR``), a memory miss on a
+persistable kind consults the disk before running the factory; a disk
+hit fills the memory entry *without* counting ``kernels.cache.misses``
+— that counter means "a compilation actually ran", which is what the
+warm-start CI lane asserts stays flat across processes.
 """
 
 from __future__ import annotations
@@ -80,6 +87,24 @@ class LruCache:
                 self._entries.move_to_end(key)
                 obs.inc("kernels.cache.hits")
                 return value
+        from repro.kernels import cache_persist
+
+        tier = cache_persist.active()
+        persist = tier is not None and cache_persist.persistable(key)
+        if persist:
+            loaded = tier.load(key)
+            if loaded is not cache_persist._MISSING:
+                with self._lock:
+                    cached = self._entries.get(key, _MISSING)
+                    if cached is not _MISSING:
+                        self._entries.move_to_end(key)
+                        return cached
+                    # A disk hit is not a compile: no .misses here.
+                    self._entries[key] = loaded
+                    if len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        obs.inc("kernels.cache.evictions")
+                return loaded
         value = factory()
         with self._lock:
             cached = self._entries.get(key, _MISSING)
@@ -94,6 +119,8 @@ class LruCache:
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 obs.inc("kernels.cache.evictions")
+        if persist:
+            tier.store(key, value)
         return value
 
     def clear(self) -> None:

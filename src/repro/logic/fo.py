@@ -25,6 +25,21 @@ class Formula:
 
     __slots__ = ()
 
+    # Frozen dataclasses with explicit ``__slots__`` have no __dict__
+    # and reject setattr, so default pickling fails; the persistent
+    # compilation cache (repro.kernels.cache_persist) round-trips
+    # formulas through pickle, hence the explicit slot state protocol.
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                state[name] = getattr(self, name)
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # Convenience operator sugar so queries read naturally in examples:
     def __and__(self, other: "Formula") -> "Formula":
         return conj(self, other)

@@ -137,6 +137,41 @@ class BDD:
         """Number of internal nodes ever created (diagram size bound)."""
         return len(self._nodes) - 2
 
+    def level_of(self, variable: Variable) -> Optional[int]:
+        """The variable's level in the order, or ``None`` if absent.
+
+        The delta engine uses this to bound a re-weighting pass: a
+        probability change at level ``a`` can only alter the values of
+        nodes at levels ``<= a`` (children sit strictly deeper).
+        """
+        return self._level.get(variable)
+
+    def node(self, node_id: int) -> Tuple[int, int, int]:
+        """The ``(level, low, high)`` triple of an internal node."""
+        return self._nodes[node_id]
+
+    def reachable_by_level(self, node: int) -> List[List[int]]:
+        """Internal nodes reachable from ``node``, grouped by level.
+
+        Index ``l`` of the result lists the reachable nodes at level
+        ``l`` (possibly empty).  Terminals are excluded.  This is the
+        delta engine's working set: a bottom-up value table over these
+        nodes supports O(levels-above-the-change) re-evaluation.
+        """
+        levels: List[List[int]] = [[] for _ in self.order]
+        seen = {ZERO, ONE}
+        pending = [node]
+        while pending:
+            current = pending.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            level, low, high = self._nodes[current]
+            levels[level].append(current)
+            pending.append(low)
+            pending.append(high)
+        return levels
+
     def evaluate(self, node: int, assignment: Mapping[Variable, bool]) -> bool:
         while node not in (ZERO, ONE):
             level, low, high = self._nodes[node]

@@ -98,7 +98,7 @@ def _ground_uncached(
                 env = dict(zip(variables, values))
                 raw_count += 1
                 checkpoint(clauses=1)
-                clause = _ground_clause(db, template, env)
+                clause = ground_clause(db, template, env)
                 if clause is None:
                     continue
                 grounded.append(clause)
@@ -117,12 +117,16 @@ def _recorded(result: GroundingResult) -> GroundingResult:
     return result
 
 
-def _ground_clause(
+def ground_clause(
     db: UnreliableDatabase,
     template: Tuple[Formula, ...],
     env: Dict[Var, object],
 ) -> Optional[Clause]:
-    """One grounded clause, or ``None`` when it is certainly false."""
+    """One grounded clause, or ``None`` when it is certainly false.
+
+    Shared with :mod:`repro.delta`, which re-derives exactly the clauses
+    a single-atom update can affect instead of regrounding everything.
+    """
     literals: List[Literal] = []
     for part in template:
         positive = True
@@ -166,6 +170,10 @@ def _ground_clause(
     if clause.contradictory:
         return None
     return clause
+
+
+# Backwards-compatible alias (pre-delta name).
+_ground_clause = ground_clause
 
 
 def _value(term: Term, env: Dict[Var, object]) -> object:

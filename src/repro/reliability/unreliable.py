@@ -14,6 +14,7 @@ the probability that ``R a`` holds in the *actual* database.
 from __future__ import annotations
 
 import random
+from bisect import insort
 from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
@@ -172,10 +173,57 @@ class UnreliableDatabase:
     def with_errors(
         self, extra: Mapping[Atom, RationalLike]
     ) -> "UnreliableDatabase":
-        """A copy with additional/overridden error probabilities."""
-        merged: Dict[Atom, RationalLike] = dict(self._mu)
-        merged.update(extra)
-        return UnreliableDatabase(self._structure, merged, self._default)
+        """A copy with additional/overridden error probabilities.
+
+        Only the *changed* entries are validated and parsed; the stored
+        table is already trusted, and the sorted uncertain-atom index
+        is patched in place of a full ``O(k log k)`` re-sort.  This is
+        the hot path of :mod:`repro.delta` — a single-atom update must
+        cost the delta, not a rebuild of the whole error function.
+        """
+        if 0 < self._default < 1:
+            # Uncertainty-by-default: the index covers structure.atoms(),
+            # not just the table — take the full constructor path.
+            merged: Dict[Atom, RationalLike] = dict(self._mu)
+            merged.update(extra)
+            return UnreliableDatabase(self._structure, merged, self._default)
+        structure = self._structure
+        table = dict(self._mu)
+        removed = set()
+        added = []
+        for atom, value in extra.items():
+            symbol = structure.vocabulary.symbol(atom.relation)
+            if symbol.arity != atom.arity:
+                raise VocabularyError(
+                    f"atom {atom} has arity {atom.arity}, relation has "
+                    f"{symbol.arity}"
+                )
+            for element in atom.args:
+                if element not in structure.universe:
+                    raise VocabularyError(
+                        f"atom {atom} mentions {element!r}, not in universe"
+                    )
+            probability = parse_probability(value)
+            was = 0 < table.get(atom, self._default) < 1
+            table[atom] = probability
+            now = 0 < probability < 1
+            if was and not now:
+                removed.add(atom)
+            elif now and not was:
+                added.append(atom)
+        clone = UnreliableDatabase.__new__(UnreliableDatabase)
+        clone._structure = structure
+        clone._default = self._default
+        clone._mu = table
+        if removed or added:
+            uncertain = [a for a in self._uncertain if a not in removed]
+            for atom in added:
+                insort(uncertain, atom, key=repr)
+            clone._uncertain = tuple(uncertain)
+        else:
+            clone._uncertain = self._uncertain
+        clone._fingerprint = None
+        return clone
 
     def given(self, evidence: Mapping[Atom, bool]) -> "UnreliableDatabase":
         """Condition on evidence about the *actual* database.

@@ -36,6 +36,9 @@ ENGINE_MODULES: Tuple[str, ...] = (
     "repro.propositional.counting",
     "repro.kernels.sampling",
     "repro.kernels.gray",
+    "repro.delta.session",
+    "repro.delta.reground",
+    "repro.delta.sampling",
 )
 
 #: Looping functions that deliberately do not checkpoint, with the
@@ -76,8 +79,14 @@ EXEMPTIONS: Dict[Tuple[str, str], str] = {
     ("repro.reliability.exact", "_formula_atoms.walk"): (
         "syntactic walk of the query formula, bounded by the query"
     ),
-    ("repro.reliability.grounding", "_ground_clause"): (
+    ("repro.reliability.grounding", "ground_clause"): (
         "one clause template, bounded by the query's clause width"
+    ),
+    ("repro.delta.reground", "_unify"): (
+        "one literal against one atom, bounded by the relation arity"
+    ),
+    ("repro.delta.sampling", "_clause_weight"): (
+        "one clause's literals, bounded by the formula's clause width"
     ),
     ("repro.propositional.counting", "_check_probs"): (
         "one validation pass over the formula's variables"

@@ -254,6 +254,29 @@ def static_cost(engine: str, features: Mapping[str, float]) -> float:
     return _FEATURE_CAP
 
 
+def delta_stream_cost(diagram_nodes: int, updates: int) -> float:
+    """Closed-form work units for a delta update stream.
+
+    One weight-only update re-evaluates at most every reachable
+    diagram node — ``|BDD|`` exact multiplies — so a stream of ``m``
+    updates is bounded by ``m * |BDD|`` units.  Compare against
+    ``static_cost("exact", ...) * m`` (a cold recompute per update) to
+    see why :class:`~repro.delta.DeltaSession` wins: the diagram is
+    polynomial-size whenever compilation succeeds, while the cold form
+    is ``2 ** atoms``.  Priced at the same
+    :data:`CLOSED_FORM_UNIT_SECONDS` as the other closed forms.
+    """
+    from repro.runtime.preflight import delta_update_cost
+
+    return _capped(float(delta_update_cost(diagram_nodes, updates)))
+
+
+def predict_update_stream_seconds(diagram_nodes: int, updates: int) -> float:
+    """Seconds forecast for a delta stream (closed-form pricing)."""
+    obs.inc("costmodel.closed_form")
+    return delta_stream_cost(diagram_nodes, updates) * CLOSED_FORM_UNIT_SECONDS
+
+
 # ---------------------------------------------------------------------- #
 # fitting: pure-Python ridge regression on log features
 # ---------------------------------------------------------------------- #

@@ -478,3 +478,59 @@ def run_with_fallback(
         f"({', '.join(f'{a.engine}: {a.outcome}' for a in attempts)})",
         attempts,
     )
+
+
+def run_update_stream(
+    db,
+    query: QueryLike,
+    updates: Sequence[Tuple],
+    budget: Optional[Budget] = None,
+    quantity: str = "probability",
+):
+    """Answer ``quantity`` after every update of a stream, incrementally.
+
+    ``updates`` is a sequence of operations:
+    ``("set_mu", atom, probability)``, ``("insert", atom)``,
+    ``("delete", atom)``.  A :class:`~repro.delta.DeltaSession` is built
+    once, the stream is preflighted against the budget's work cap via
+    :func:`~repro.runtime.preflight.preflight_delta` (worst case
+    ``m * |diagram|`` node re-evaluations — O(Δ) per step, never
+    ``2 ** atoms``), and each update is applied under a cooperative
+    checkpoint.  Returns ``(session, answers)`` with one exact
+    :class:`~fractions.Fraction` per update, each bit-identical to a
+    cold recompute on the database at that point.
+    """
+    from repro.delta import DeltaSession
+    from repro.runtime.budget import checkpoint
+    from repro.runtime.preflight import preflight_delta
+
+    if quantity not in ("reliability", "probability"):
+        raise QueryError(
+            f"unknown quantity {quantity!r}; use 'reliability' or 'probability'"
+        )
+    scope = apply(budget) if budget is not None else nullcontext()
+    with scope:
+        with obs.span("runtime.update_stream", updates=len(updates)):
+            session = DeltaSession(db, query)
+            preflight_delta(session.diagram_size, len(updates))
+            answer = (
+                session.probability
+                if quantity == "probability"
+                else session.reliability
+            )
+            answers = []
+            for update in updates:
+                checkpoint()
+                op = update[0]
+                if op == "set_mu":
+                    session.set_mu(update[1], update[2])
+                elif op == "insert":
+                    session.insert(update[1])
+                elif op == "delete":
+                    session.delete(update[1])
+                else:
+                    raise QueryError(
+                        f"unknown update op {op!r}; use set_mu/insert/delete"
+                    )
+                answers.append(answer())
+            return session, answers

@@ -29,6 +29,8 @@ __all__ = [
     "grounding_cost",
     "preflight_grounding",
     "preflight_samples",
+    "delta_update_cost",
+    "preflight_delta",
 ]
 
 
@@ -97,6 +99,47 @@ def preflight_grounding(
             f"templates * {universe_size}^{variable_count} = {estimate} "
             f"clauses, over the budget limit of {limit}; raise "
             f"Budget(max_ground_clauses=...) or use a sampling engine",
+            estimate=estimate,
+            limit=limit,
+        )
+    return estimate
+
+
+def delta_update_cost(node_count: int, update_count: int) -> int:
+    """Worst-case node re-evaluations for a delta update stream.
+
+    A weight-only update re-evaluates at most every reachable diagram
+    node once — ``O(|BDD|)``, not ``O(2 ** atoms)`` — so a stream of
+    ``m`` updates costs at most ``m * |BDD|`` exact multiplies.  This
+    is the closed-form the cost model and admission control use for
+    :class:`~repro.delta.session.DeltaSession` streams.
+    """
+    return node_count * update_count
+
+
+def preflight_delta(
+    node_count: int,
+    update_count: int,
+    budget: Optional[Budget] = None,
+) -> int:
+    """Refuse a delta update stream the budget predicts to be hopeless.
+
+    Reuses the budget's world limit as the work cap: one node
+    re-evaluation is one exact multiply, the same unit one enumerated
+    world costs, so a stream whose ``m * |BDD|`` bound exceeds the
+    limit would be better served by cold recomputes under a larger
+    budget.  Returns the estimate when it fits.
+    """
+    budget = budget if budget is not None else active_budget()
+    limit = budget.world_limit()
+    estimate = delta_update_cost(node_count, update_count)
+    if limit is not None and estimate > limit:
+        obs.inc("preflight.delta_refused")
+        raise CostRefused(
+            f"delta stream of {update_count} updates over a "
+            f"{node_count}-node diagram needs up to {estimate} node "
+            f"re-evaluations, over the budget limit of {limit}; raise "
+            f"Budget(max_worlds=...) or split the stream",
             estimate=estimate,
             limit=limit,
         )

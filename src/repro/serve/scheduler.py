@@ -142,6 +142,7 @@ class Server:
         breaker: Optional[CircuitBreaker] = None,
         cost_model=None,
         scheduler=None,
+        cache_dir=None,
     ):
         if pool_size < 1:
             raise ResourceError(f"pool_size must be >= 1, got {pool_size}")
@@ -149,6 +150,14 @@ class Server:
             raise ResourceError(
                 f"queue_capacity must be >= 1, got {queue_capacity}"
             )
+        if cache_dir is not None:
+            # Cross-request (and cross-process) warm reuse: every worker
+            # shares the process-wide memory LRU, and the persistent tier
+            # lets a restarted server start warm on repeated (query, db)
+            # pairs — see repro.kernels.cache_persist.
+            from repro.kernels import cache_persist
+
+            cache_persist.configure(str(cache_dir))
         self.db = db
         self.pool_size = pool_size
         self.chain = tuple(chain)

@@ -16,10 +16,16 @@ def _fresh_kernel_caches():
     """Isolate tests from the process-global compilation cache.
 
     Counter assertions (grounding, kernels.cache.*) would otherwise
-    depend on which tests ran earlier in the process.
+    depend on which tests ran earlier in the process.  The persistent
+    tier is deactivated too: a test that configures it must not leave
+    later tests writing pickles into its (deleted) tmp directory.
     """
+    from repro.kernels import cache_persist
+
+    cache_persist.deactivate()
     clear_caches()
     yield
+    cache_persist.deactivate()
     clear_caches()
 
 

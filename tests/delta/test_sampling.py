@@ -1,0 +1,117 @@
+"""ReweightableKarpLuby: sample reuse under importance re-weighting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.delta import DeltaSession, ReweightableKarpLuby
+from repro.propositional.counting import probability_exact
+from repro.propositional.formula import DNF, Clause, Literal
+from repro.relational.atoms import Atom
+from repro.relational.builder import StructureBuilder
+from repro.reliability.exact import truth_probability
+from repro.reliability.unreliable import UnreliableDatabase
+from repro.util.errors import ProbabilityError
+from repro.util.rng import make_rng
+
+
+def _dnf():
+    return DNF(
+        [
+            Clause([Literal("p", True), Literal("q", True)]),
+            Clause([Literal("q", True), Literal("r", False)]),
+            Clause([Literal("p", False), Literal("r", True)]),
+        ]
+    )
+
+
+def _exact(dnf, probs):
+    return float(
+        probability_exact(
+            dnf, {v: Fraction(p).limit_denominator() for v, p in probs.items()}
+        )
+    )
+
+
+class TestEstimates:
+    def test_initial_estimate_tracks_exact(self):
+        dnf = _dnf()
+        probs = {"p": 0.25, "q": 0.5, "r": 0.125}
+        sampler = ReweightableKarpLuby(dnf, probs, 20000, make_rng(7))
+        assert sampler.estimate() == pytest.approx(
+            _exact(dnf, probs), abs=0.02
+        )
+
+    def test_reweighted_estimate_tracks_new_exact(self):
+        dnf = _dnf()
+        probs = {"p": 0.25, "q": 0.5, "r": 0.125}
+        sampler = ReweightableKarpLuby(dnf, probs, 20000, make_rng(7))
+        sampler.set_prob("p", 0.4)
+        sampler.set_prob("r", 0.3)
+        new_probs = {"p": 0.4, "q": 0.5, "r": 0.3}
+        assert sampler.estimate() == pytest.approx(
+            _exact(dnf, new_probs), abs=0.03
+        )
+
+    def test_unknown_variable_is_a_noop(self):
+        dnf = _dnf()
+        probs = {"p": 0.25, "q": 0.5, "r": 0.125}
+        sampler = ReweightableKarpLuby(dnf, probs, 2000, make_rng(7))
+        before = sampler.estimate()
+        sampler.set_prob("zz", 0.9)
+        assert sampler.estimate() == before
+
+    def test_ess_degrades_with_drift(self):
+        dnf = _dnf()
+        probs = {"p": 0.25, "q": 0.5, "r": 0.125}
+        sampler = ReweightableKarpLuby(dnf, probs, 5000, make_rng(7))
+        fresh = sampler.effective_sample_size()
+        assert fresh == pytest.approx(5000)
+        sampler.set_prob("p", 0.9)
+        sampler.set_prob("q", 0.05)
+        drifted = sampler.effective_sample_size()
+        assert 0 < drifted < fresh
+
+    def test_trivial_dnfs_start_stale(self):
+        sampler = ReweightableKarpLuby(DNF([]), {}, 100, make_rng(1))
+        assert sampler.stale
+        with pytest.raises(ProbabilityError):
+            sampler.estimate()
+
+
+class TestSessionIntegration:
+    def _session(self):
+        builder = StructureBuilder(range(3))
+        builder.relation("E", 2)
+        for pair in [(0, 1), (1, 0), (1, 2), (2, 1)]:
+            builder.add("E", pair)
+        mu = {
+            Atom("E", pair): Fraction(1, 8)
+            for pair in [(0, 1), (1, 0), (1, 2), (2, 1)]
+        }
+        db = UnreliableDatabase(builder.build(), mu)
+        return DeltaSession(db, "exists x y. E(x, y) & E(y, x)")
+
+    def test_attached_sampler_tracks_weight_updates(self):
+        session = self._session()
+        sampler = session.attach_karp_luby(20000, make_rng(11))
+        assert sampler.estimate() == pytest.approx(
+            float(session.probability()), abs=0.02
+        )
+        session.set_mu(Atom("E", (0, 1)), Fraction(1, 3))
+        assert sampler.estimate() == pytest.approx(
+            float(session.probability()), abs=0.03
+        )
+
+    def test_structural_update_marks_sampler_stale(self):
+        session = self._session()
+        sampler = session.attach_karp_luby(1000, make_rng(11))
+        session.insert(Atom("E", (2, 0)))  # deterministic: structural
+        assert sampler.stale
+        with pytest.raises(ProbabilityError):
+            sampler.estimate()
+        # Redraw resumes service against the new DNF.
+        redrawn = session.attach_karp_luby(20000, make_rng(12))
+        assert redrawn.estimate() == pytest.approx(
+            float(session.probability()), abs=0.02
+        )
