@@ -1067,3 +1067,84 @@ def kernels_cache_persist(params: Dict[str, Any]) -> Dict[str, Any]:
         "warm_compile_misses": 0,
         "bit_identical": True,
     }
+
+
+@register(
+    "runtime.safe_router",
+    group="runtime",
+    params={"sizes": [3, 4, 6, 9, 12], "brute_sizes": [3], "error": "1/6"},
+    quick={"sizes": [3, 4, 6], "brute_sizes": [3]},
+    repeats=1,
+    warmup=0,
+    tags=("runtime", "dichotomy", "polynomial"),
+)
+def runtime_safe_router(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Dichotomy routing: the safe family sweep, polynomial vs brute force.
+
+    A hierarchical CQ runs through the default chain over growing
+    databases: the static router answers every size in the polynomial
+    ``safe_lifted`` tier (the sweep reaches sizes whose uncertain-atom
+    count makes ``2^m`` world enumeration unthinkable).  On the small
+    sizes the same reliabilities are recomputed by brute-force world
+    enumeration — the exponential baseline the routing avoids — and the
+    two must agree to the exact ``Fraction``.
+    """
+    from repro.logic.evaluator import FOQuery
+    from repro.reliability.exact import truth_probability
+    from repro.runtime.executor import run_with_fallback
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+
+    query = FOQuery("exists x. exists y. E(x, y) & S(y)")
+    routed_s: Dict[int, float] = {}
+    routed_values: Dict[int, Fraction] = {}
+    atoms: Dict[int, int] = {}
+    databases = {
+        size: random_unreliable_database(
+            make_rng(920 + size),
+            size=size,
+            relations={"E": 2, "S": 1},
+            density=0.5,
+            error=params["error"],
+        )
+        for size in params["sizes"]
+    }
+    for size, db in databases.items():
+        atoms[size] = len(db.uncertain_atoms())
+        with obs.span("bench.point", arm="routed", size=size):
+            start = time.perf_counter()
+            result = run_with_fallback(db, query, quantity="reliability")
+            routed_s[size] = time.perf_counter() - start
+        assert result.engine == "safe_lifted"
+        assert result.fraction is not None  # exact, not an estimate
+        routed_values[size] = result.fraction
+
+    brute_s: Dict[int, float] = {}
+    for size in params["brute_sizes"]:
+        db = databases[size]
+        with obs.span("bench.point", arm="brute", size=size):
+            start = time.perf_counter()
+            holds_probability = truth_probability(
+                db, "exists x. exists y. E(x, y) & S(y)", method="worlds"
+            )
+            brute_s[size] = time.perf_counter() - start
+        # reliability = Pr[world agrees with the observed answer]
+        holds = query.evaluate(db.structure, ())
+        expected = holds_probability if holds else 1 - holds_probability
+        assert routed_values[size] == expected, size
+    largest = max(params["sizes"])
+    smallest = min(params["sizes"])
+    shared = max(params["brute_sizes"])
+    return {
+        "max_uncertain_atoms": atoms[largest],
+        "routed_small_s": round(routed_s[smallest], 6),
+        "routed_large_s": round(routed_s[largest], 6),
+        "routed_growth": round(
+            routed_s[largest] / max(routed_s[smallest], 1e-9), 2
+        ),
+        "brute_shared_s": round(brute_s[shared], 6),
+        "routed_vs_brute": round(
+            brute_s[shared] / max(routed_s[shared], 1e-9), 2
+        ),
+        "bit_identical": True,
+    }

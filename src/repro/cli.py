@@ -158,6 +158,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         race=args.race,
     )
     print(report.render())
+    if getattr(args, "explain_dichotomy", False):
+        print(report.explain_dichotomy())
     return 0
 
 
@@ -654,6 +656,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate the speculative race `run --race` would hold; "
         "the recommendation becomes the predicted race winner "
         "(optional OVERLAP fraction, default 0.5)",
+    )
+    analyze_cmd.add_argument(
+        "--explain-dichotomy",
+        action="store_true",
+        help="print the static Dalvi-Suciu dichotomy verdict: the "
+        "hierarchy tree (the safe plan) for safe queries, the "
+        "#P-hardness witness for unsafe ones",
     )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 

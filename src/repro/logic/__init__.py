@@ -46,6 +46,11 @@ from repro.logic.classify import (
     classify,
 )
 from repro.logic.conjunctive import ConjunctiveQuery
+from repro.logic.safety import (
+    SafeVerdict,
+    UnsafeVerdict,
+    classify_dichotomy,
+)
 from repro.logic.datalog import DatalogProgram, DatalogQuery, Rule
 from repro.logic.fixpoint import FixpointQuery
 from repro.logic.so import SOExists, SOForall, evaluate_so
@@ -77,6 +82,9 @@ __all__ = [
     "is_conjunctive",
     "classify",
     "ConjunctiveQuery",
+    "SafeVerdict",
+    "UnsafeVerdict",
+    "classify_dichotomy",
     "DatalogProgram",
     "DatalogQuery",
     "Rule",

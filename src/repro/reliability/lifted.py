@@ -43,7 +43,14 @@ class UnsafeQueryError(QueryError):
 
     Raised for self-joins and non-hierarchical variable structures; the
     caller should fall back to grounded exact inference or an estimator.
+    ``verdict`` carries the static classifier's
+    :class:`~repro.logic.safety.UnsafeVerdict` (the #P-hardness witness)
+    when the refusal came from the dichotomy test.
     """
+
+    def __init__(self, message: str, verdict=None):
+        super().__init__(message)
+        self.verdict = verdict
 
 
 QueryLike = Union[ConjunctiveQuery, Formula, str]
@@ -107,11 +114,21 @@ def has_self_join(query: QueryLike) -> bool:
 
 
 def is_safe(query: QueryLike) -> bool:
-    """Safe = Boolean CQ, no self-joins, hierarchical."""
+    """Safe = Boolean CQ, no self-joins, hierarchical.
+
+    Delegates to the static dichotomy classifier
+    (:func:`repro.logic.safety.classify_dichotomy`); the differential
+    suite pins its agreement with :func:`is_hierarchical` /
+    :func:`has_self_join`, which keep their independent implementations
+    as oracles.
+    """
+    from repro.logic.safety import classify_dichotomy
+
     try:
-        return not has_self_join(query) and is_hierarchical(query)
-    except UnsafeQueryError:
+        cq = _as_boolean_cq(query)
+    except QueryError:
         return False
+    return classify_dichotomy(cq).safe
 
 
 def lifted_probability(
@@ -125,15 +142,19 @@ def lifted_probability(
     the recursion gets stuck, which for self-join-free CQs happens
     exactly on the non-hierarchical ones.
     """
+    from repro.logic.safety import classify_dichotomy
+
     cq = _as_boolean_cq(query)
     atoms = _atom_parts(cq)
-    if has_self_join(cq):
-        raise UnsafeQueryError(
-            "query has a self-join; the lifted engine requires each "
-            "relation to occur at most once"
-        )
+    verdict = classify_dichotomy(cq)
+    if not verdict.safe:
+        raise UnsafeQueryError(verdict.summary(), verdict=verdict)
     with obs.span("lifted.probability", atoms=len(atoms)):
-        return _probability(db, list(dict.fromkeys(atoms)))
+        unique = list(dict.fromkeys(atoms))
+        if is_uniform_half(db):
+            obs.inc("lifted.uniform_fast_path")
+            return _uniform_probability(unique, db.universe_size)
+        return _probability(db, unique)
 
 
 def _probability(db: UnreliableDatabase, atoms: List[AtomF]) -> Fraction:
@@ -224,6 +245,93 @@ def _substitute_atom(atom: AtomF, variable: Var, value) -> AtomF:
             Const(value) if term == variable else term for term in atom.args
         ),
     )
+
+
+#: Marker constant used when the uniform recursion instantiates a root
+#: variable: with every ``nu`` equal to 1/2 the branches of an
+#: independent project are *symmetric*, so one symbolic branch stands
+#: in for all ``n`` of them.
+_UNIFORM_MARKER = "★"
+
+
+def is_uniform_half(db: UnreliableDatabase) -> bool:
+    """True when every atom's error probability ``mu`` equals 1/2.
+
+    This is the *uniform reliability* regime of Amarilli–Kimelfeld
+    ("Uniform Reliability of Self-Join-Free Conjunctive Queries"):
+    ``nu(A) = 1 - mu(A)`` if ``A`` holds and ``mu(A)`` otherwise, so
+    with ``mu == 1/2`` everywhere every atom is present in the random
+    world with probability exactly 1/2 *regardless of the observed
+    structure* — the answer depends only on the query and the domain
+    size.
+    """
+    half = Fraction(1, 2)
+    table = db.error_table()
+    if any(value != half for value in table.values()):
+        return False
+    if db.default_error == half:
+        return True
+    # The default is only reachable through atoms absent from the
+    # table; a table covering the whole atom space is still uniform.
+    return all(atom in table for atom in db.structure.atoms())
+
+
+def _uniform_probability(atoms: List[AtomF], n: int) -> Fraction:
+    """``Pr[B |= q]`` on an all-1/2 database, by structural recursion.
+
+    The safe-plan recursion collapses: every ground atom contributes a
+    factor 1/2 (its ``nu`` is 1/2 whether or not it is observed), and
+    an independent project's ``n`` branches are identical up to the
+    constant chosen, so the per-element miss probability is computed
+    once and raised to the ``n``-th power.  The recursion therefore
+    runs in time polynomial in the *query* size (plus big-integer
+    exponentiation) — no factor of ``n`` branches at all, the
+    Amarilli–Kimelfeld speedup over the general lifted plan.
+    """
+    obs.inc("lifted.recursive_calls")
+    checkpoint()
+    if not atoms:
+        return Fraction(1)
+    ground = [a for a in atoms if not _variables_of(a)]
+    open_atoms = [a for a in atoms if _variables_of(a)]
+    probability = Fraction(1, 2 ** len(ground))
+    if not open_atoms:
+        return probability
+    components = _components(open_atoms)
+    if len(components) > 1:
+        for component in components:
+            probability *= _uniform_probability(component, n)
+        return probability
+    component = components[0]
+    root = _root_variable(component)
+    if root is None:
+        raise UnsafeQueryError(
+            "no root variable: the query is not hierarchical "
+            f"(stuck on {[str(a) for a in component]})"
+        )
+    obs.inc("lifted.projections")
+    branch = _uniform_probability(
+        [_substitute_atom(atom, root, _UNIFORM_MARKER) for atom in component],
+        n,
+    )
+    return probability * (1 - (1 - branch) ** n)
+
+
+def uniform_reliability(db: UnreliableDatabase, query: QueryLike) -> Fraction:
+    """``Pr[B |= q]`` of a safe CQ on an all-1/2 database, directly.
+
+    A convenience entry point for the Amarilli–Kimelfeld fast path
+    (:func:`lifted_probability` dispatches to it automatically whenever
+    :func:`is_uniform_half` holds); raises :class:`UnsafeQueryError`
+    outside the safe fragment and :class:`QueryError` when the database
+    is not uniform.
+    """
+    if not is_uniform_half(db):
+        raise QueryError(
+            "uniform_reliability requires an all-1/2 database; "
+            "use lifted_probability for general error tables"
+        )
+    return lifted_probability(db, query)
 
 
 def lifted_wrong_probability(

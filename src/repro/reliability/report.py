@@ -76,10 +76,22 @@ class ReliabilityReport:
     recommended_engine: Optional[str] = None
     recommended_chain: Tuple[str, ...] = ()
     plan: Optional[Any] = None
+    #: The static Dalvi-Suciu dichotomy verdict
+    #: (:class:`~repro.logic.safety.SafeVerdict` with the hierarchy
+    #: plan, or :class:`~repro.logic.safety.UnsafeVerdict` carrying the
+    #: #P-hardness witness) — the same object the executor's router
+    #: consulted, forwarded from ``plan.dichotomy``.
+    dichotomy: Optional[Any] = None
 
     @property
     def is_exact(self) -> bool:
         return self.exact is not None
+
+    def explain_dichotomy(self) -> str:
+        """Multi-line rendering of the static dichotomy verdict."""
+        if self.dichotomy is None:
+            return "dichotomy: (not classified)"
+        return self.dichotomy.explain()
 
     def render(self) -> str:
         lines = [
@@ -250,4 +262,5 @@ def analyze(
         recommended_engine=plan.selected,
         recommended_chain=plan.chain,
         plan=plan,
+        dichotomy=plan.dichotomy,
     )

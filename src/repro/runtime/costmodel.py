@@ -221,7 +221,7 @@ def engine_guarantee(engine: str, quantity: str = "reliability") -> str:
     algorithm.  Unknown engines conservatively land in the weakest
     tier (the executor validates names before any ordering happens).
     """
-    if engine in ("exact", "lifted"):
+    if engine in ("safe_lifted", "exact", "lifted"):
         return "exact"
     if engine == "karp_luby":
         return "relative" if quantity == "probability" else "additive"
@@ -245,6 +245,11 @@ def static_cost(engine: str, features: Mapping[str, float]) -> float:
     mc = features.get("mc_samples", 0.0)
     if engine == "exact":
         return _capped(2.0 ** min(atoms, 400.0))
+    if engine == "safe_lifted":
+        # Same polynomial shape as the lifted plan, minus the
+        # attempt-and-catch overhead: the static classifier decided
+        # admissibility for free.
+        return _capped(domain * domain + atoms)
     if engine == "lifted":
         return _capped(domain * domain + atoms + 1.0)
     if engine == "karp_luby":
@@ -641,7 +646,10 @@ class EngineForecast:
 
     engine: str
     guarantee: str
-    outcome: str  # "ok" | "cost_refused" | "fragment_mismatch" | "not_tried"
+    #: "ok" | "cost_refused" | "fragment_mismatch" | "skipped_static"
+    #: (the dichotomy router excludes the engine statically) |
+    #: "not_tried"
+    outcome: str
     predicted_seconds: float
     detail: str = ""
 
@@ -654,7 +662,8 @@ class RaceForecast:
     :func:`repro.runtime.racing.run_race` over the model's predicted
     per-engine seconds.  ``outcomes`` maps every engine in the chain to
     its predicted fate: ``"won"``, ``"preempted"``, ``"cancelled"``,
-    ``"not_launched"``, or a failure outcome (``"cost_refused"``,
+    ``"not_launched"``, ``"skipped_static"`` (excluded by the dichotomy
+    router before launch), or a failure outcome (``"cost_refused"``,
     ``"fragment_mismatch"``, ``"budget_exceeded"``).
     ``finish_seconds`` gives each launched engine's predicted completion
     time on the race clock; ``elapsed_seconds`` is the predicted race
@@ -671,13 +680,21 @@ class RaceForecast:
 
 @dataclass(frozen=True)
 class ChainPlan:
-    """The simulated walk: ordered chain, forecasts, selected engine."""
+    """The simulated walk: ordered chain, forecasts, selected engine.
+
+    ``dichotomy`` carries the static Dalvi–Suciu verdict
+    (:class:`repro.logic.safety.SafeVerdict` /
+    :class:`~repro.logic.safety.UnsafeVerdict`) the router consulted:
+    the #P-hardness witness of an unsafe query travels with its
+    forecast, and ``analyze --explain-dichotomy`` renders it.
+    """
 
     chain: Tuple[str, ...]
     selected: Optional[str]
     forecasts: Tuple[EngineForecast, ...]
     features: Mapping[str, float]
     race: Optional[RaceForecast] = None
+    dichotomy: Optional[Any] = None
 
     def describe(self) -> str:
         lines = []
@@ -698,6 +715,8 @@ class ChainPlan:
                 f"~{self.race.elapsed_seconds:.3g}s, "
                 f"launched {', '.join(self.race.launch_order) or 'nothing'}"
             )
+        if self.dichotomy is not None:
+            lines.append(f"dichotomy: {self.dichotomy.summary()}")
         return "\n".join(lines)
 
 
@@ -721,6 +740,17 @@ def _forecast_exact(db, query, budget, features) -> Tuple[str, str, int]:
             f"2^{int(features['atoms'])} worlds over limit {limit}",
             0,
         )
+    return "ok", "", 0
+
+
+def _forecast_safe_lifted(db, query, budget, features) -> Tuple[str, str, int]:
+    """Forecast for the statically-routed tier.
+
+    Only reached when the dichotomy verdict is safe (the plan loop and
+    the race partition mark unsafe queries ``skipped_static`` before
+    dispatching here), and a safe verdict *is* the admissibility proof:
+    the lifted plan terminates in polynomial time with no preflight.
+    """
     return "ok", "", 0
 
 
@@ -870,6 +900,8 @@ def _forecast_engine(
     """Dispatch to the per-engine forecast: (outcome, detail, samples)."""
     if name == "exact":
         return _forecast_exact(db, query, budget, features)
+    if name == "safe_lifted":
+        return _forecast_safe_lifted(db, query, budget, features)
     if name == "lifted":
         return _forecast_lifted(db, query, budget, features)
     if name == "karp_luby":
@@ -1064,7 +1096,14 @@ def plan_chain(
     ``plan.race``, ``selected`` is the predicted race winner, and each
     engine's forecast outcome is its predicted fate in the race.
     """
-    from repro.runtime.executor import DEFAULT_CHAIN, ENGINES
+    from repro.logic.safety import classify_dichotomy
+    from repro.runtime.executor import (
+        DEFAULT_CHAIN,
+        ENGINES,
+        STATIC_SAFE_ENGINES,
+        race_partition,
+        static_skip_detail,
+    )
 
     if quantity not in ("reliability", "probability"):
         raise QueryError(
@@ -1090,6 +1129,7 @@ def plan_chain(
     if model is not None:
         chain = model.order_chain(chain, features, quantity)
     scorer = model if model is not None else CostModel()
+    verdict = classify_dichotomy(query)
 
     if race is not None and race is not False:
         from repro.runtime.racing import DEFAULT_OVERLAP
@@ -1099,9 +1139,35 @@ def plan_chain(
             raise ResourceError(
                 f"race overlap must be a finite fraction >= 0, got {race!r}"
             )
-        forecast = _simulate_race(
-            db, query, chain, budget, quantity, epsilon, delta,
-            scorer, features, overlap,
+        # The executor partitions the (ordered) chain before launching:
+        # statically-skipped engines never race.  Simulate over the
+        # same trimmed chain so shares and staggers line up exactly.
+        race_chain, skipped = race_partition(chain, verdict, quantity)
+        if race_chain:
+            forecast = _simulate_race(
+                db, query, race_chain, budget, quantity, epsilon, delta,
+                scorer, features, overlap,
+            )
+        else:
+            forecast = RaceForecast(
+                winner=None,
+                overlap=overlap,
+                launch_order=(),
+                outcomes={},
+                finish_seconds={},
+                elapsed_seconds=0.0,
+            )
+        outcomes = dict(forecast.outcomes)
+        details = {name: detail for name, detail in skipped}
+        for name in details:
+            outcomes[name] = "skipped_static"
+        forecast = RaceForecast(
+            winner=forecast.winner,
+            overlap=forecast.overlap,
+            launch_order=forecast.launch_order,
+            outcomes=outcomes,
+            finish_seconds=forecast.finish_seconds,
+            elapsed_seconds=forecast.elapsed_seconds,
         )
         race_forecasts = tuple(
             EngineForecast(
@@ -1109,11 +1175,17 @@ def plan_chain(
                 engine_guarantee(name, quantity),
                 forecast.outcomes[name],
                 scorer.predict_seconds(name, features),
+                details.get(name, ""),
             )
             for name in chain
         )
         return ChainPlan(
-            chain, forecast.winner, race_forecasts, features, race=forecast
+            chain,
+            forecast.winner,
+            race_forecasts,
+            features,
+            race=forecast,
+            dichotomy=verdict,
         )
 
     forecasts: List[EngineForecast] = []
@@ -1127,8 +1199,21 @@ def plan_chain(
                 EngineForecast(name, tier, "not_tried", predicted)
             )
             continue
+        if name in STATIC_SAFE_ENGINES:
+            skip_detail = static_skip_detail(name, verdict)
+            if skip_detail is not None:
+                forecasts.append(
+                    EngineForecast(
+                        name, tier, "skipped_static", 0.0, skip_detail
+                    )
+                )
+                continue
         if name == "exact":
             outcome, detail, spent = _forecast_exact(db, query, budget, features)
+        elif name == "safe_lifted":
+            outcome, detail, spent = _forecast_safe_lifted(
+                db, query, budget, features
+            )
         elif name == "lifted":
             outcome, detail, spent = _forecast_lifted(db, query, budget, features)
         elif name == "karp_luby":
@@ -1143,7 +1228,9 @@ def plan_chain(
         forecasts.append(EngineForecast(name, tier, outcome, predicted, detail))
         if outcome == "ok":
             selected = name
-    return ChainPlan(chain, selected, tuple(forecasts), features)
+    return ChainPlan(
+        chain, selected, tuple(forecasts), features, dichotomy=verdict
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -3,6 +3,14 @@
 Operationalizes the paper's complexity landscape as an execution policy.
 The engines, in decreasing order of guarantee strength:
 
+``safe_lifted``
+    the dichotomy-routed top tier: the static Dalvi–Suciu classifier
+    (:func:`repro.logic.safety.classify_dichotomy`) proves the query
+    safe *before* anything runs, and the lifted plan answers exactly in
+    polynomial time.  On any other query the tier is *statically
+    skipped* (outcome ``"skipped_static"``, never counted as a
+    failure) — a statically-safe query therefore never touches
+    enumeration or sampling, and an unsafe one costs nothing here.
 ``exact``
     the exact dispatcher (Propositions 3.1, Theorem 4.2/5.4 machinery);
     answers with an exact :class:`~fractions.Fraction`.  Preflighted by
@@ -10,6 +18,8 @@ The engines, in decreasing order of guarantee strength:
 ``lifted``
     safe-plan lifted inference — exact and polynomial, but only for
     safe (hierarchical, self-join-free) Boolean conjunctive queries.
+    Kept for explicit chains; the default chain routes safe queries
+    through ``safe_lifted`` instead.
 ``karp_luby``
     the Theorem 5.4 FPTRAS / Corollary 5.5 estimator — *relative*
     (epsilon, delta) on probabilities, *additive* on reliability;
@@ -33,7 +43,7 @@ from __future__ import annotations
 import math
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from fractions import Fraction
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
@@ -67,8 +77,17 @@ QueryLike = Any
 RngLike = Union[random.Random, Seed]
 
 #: The default degradation chain, ordered by guarantee strength:
-#: exact > exact-polynomial > relative/additive FPTRAS > additive MC.
-DEFAULT_CHAIN: Tuple[str, ...] = ("exact", "lifted", "karp_luby", "montecarlo")
+#: statically-routed exact-polynomial > exact > relative/additive
+#: FPTRAS > additive MC.  ``safe_lifted`` leads so that a large safe
+#: query bypasses the exact engine's ``2 ** atoms`` preflight refusal
+#: entirely; it is statically skipped (at zero cost) on every other
+#: query.  ``lifted`` stays registered for explicit chains.
+DEFAULT_CHAIN: Tuple[str, ...] = (
+    "safe_lifted",
+    "exact",
+    "karp_luby",
+    "montecarlo",
+)
 
 #: Guarantee types, strongest first (see docs/ROBUSTNESS.md).
 GUARANTEE_ORDER: Tuple[str, ...] = ("exact", "relative", "additive")
@@ -79,8 +98,10 @@ class Attempt:
     """One engine's turn in a fallback chain.
 
     ``outcome`` is ``"ok"``, ``"cost_refused"``, ``"budget_exceeded"``,
-    or ``"fragment_mismatch"``; ``detail`` is the error message for
-    failed attempts (empty on success).
+    ``"fragment_mismatch"``, or ``"skipped_static"`` (the dichotomy
+    router excluded the engine before it ran — not a failure; the
+    ``detail`` carries the classifier's witness); ``detail`` is the
+    error message for failed attempts (empty on success).
     """
 
     engine: str
@@ -188,6 +209,23 @@ def _engine_lifted(db, query, req: _Request) -> _Answer:
     return _Answer(float(value), "exact", None, None, fraction=value)
 
 
+def _engine_safe_lifted(db, query, req: _Request) -> _Answer:
+    """Dichotomy-routed lifted inference: statically-proved safe queries.
+
+    The executor's static router normally guarantees this engine only
+    runs on queries the classifier proved safe; the in-engine re-check
+    is defence in depth for explicit single-engine chains.
+    """
+    from repro.logic.safety import classify_dichotomy
+
+    verdict = classify_dichotomy(query)
+    if not verdict.safe:
+        raise QueryError(
+            f"safe_lifted requires a statically safe query — {verdict.summary()}"
+        )
+    return _engine_lifted(db, query, req)
+
+
 def _engine_karp_luby(db, query, req: _Request) -> _Answer:
     """Theorem 5.4 FPTRAS / Corollary 5.5 additive estimator."""
     if not isinstance(query, FOQuery):
@@ -218,11 +256,74 @@ def _engine_montecarlo(db, query, req: _Request) -> _Answer:
 #: for fault-wrapped versions; :func:`run_with_fallback` looks names up
 #: per attempt, so injection works mid-chain.
 ENGINES: Dict[str, Callable[..., _Answer]] = {
+    "safe_lifted": _engine_safe_lifted,
     "exact": _engine_exact,
     "lifted": _engine_lifted,
     "karp_luby": _engine_karp_luby,
     "montecarlo": _engine_montecarlo,
 }
+
+#: Engines the dichotomy router gates statically: they are *skipped*
+#: (outcome ``"skipped_static"``, counter ``runtime.skipped_static``,
+#: zero elapsed, not a failure) whenever the classifier's verdict is
+#: unsafe, instead of being attempted and caught mid-chain.
+STATIC_SAFE_ENGINES: Tuple[str, ...] = ("safe_lifted", "lifted")
+
+
+def static_skip_detail(name: str, verdict) -> Optional[str]:
+    """The skip reason for ``name`` under ``verdict``, or ``None`` to run.
+
+    Shared between the sequential walk, the racing dispatcher, and
+    :func:`repro.runtime.costmodel.plan_chain` — the forecast must mark
+    ``skipped_static`` exactly where the run does.
+    """
+    if name in STATIC_SAFE_ENGINES and not verdict.safe:
+        return verdict.summary()
+    return None
+
+
+def race_partition(
+    chain: Sequence[str], verdict, quantity: str
+) -> Tuple[Tuple[str, ...], Tuple[Tuple[str, str], ...]]:
+    """Split a race chain into ``(kept, skipped)`` by the static verdict.
+
+    A statically-*safe* query must never launch a sampling racer: when
+    the chain contains an exact-tier engine, every weaker engine is
+    statically skipped (speculating on a sampler cannot beat a
+    polynomial exact answer and would waste its samples).  A chain with
+    no exact-tier engine races as given — the caller asked for
+    samplers explicitly.  On an *unsafe* verdict the dichotomy-gated
+    engines are skipped, exactly as in the sequential walk.  Skipped
+    entries are ``(engine, detail)`` pairs.
+    """
+    kept = []
+    skipped = []
+    if verdict.safe:
+        has_exact = any(
+            costmodel.engine_guarantee(name, quantity) == "exact"
+            for name in chain
+        )
+        if not has_exact:
+            return tuple(chain), ()
+        for name in chain:
+            if costmodel.engine_guarantee(name, quantity) == "exact":
+                kept.append(name)
+            else:
+                skipped.append(
+                    (
+                        name,
+                        "statically safe query: sampling racer suppressed "
+                        f"({verdict.summary()})",
+                    )
+                )
+    else:
+        for name in chain:
+            detail = static_skip_detail(name, verdict)
+            if detail is None:
+                kept.append(name)
+            else:
+                skipped.append((name, detail))
+    return tuple(kept), tuple(skipped)
 
 
 def _record_prediction_error(model, engine, features, elapsed) -> None:
@@ -380,18 +481,62 @@ def run_with_fallback(
     attempts = []
     clock = _run_clock()
     started = clock()
+
+    # The dichotomy verdict is computed at most once per run, lazily:
+    # only chains containing statically-gated engines (or races, which
+    # always partition) consult it.
+    verdict_cache = []
+
+    def dichotomy():
+        if not verdict_cache:
+            from repro.logic.safety import classify_dichotomy
+
+            verdict_cache.append(classify_dichotomy(query))
+        return verdict_cache[0]
+
+    def record_skip(name: str, detail: str) -> Attempt:
+        obs.inc("runtime.skipped_static")
+        obs.event("runtime.skip_static", engine=name, detail=detail)
+        return Attempt(name, "skipped_static", detail, 0.0)
+
     with scope:
         run_budget = active_budget()
         if overlap is not None:
             from repro.runtime import racing
 
-            return racing.run_race(
-                db, query, chain, run_budget,
-                quantity, epsilon, delta,
-                rng_base, model, features, overlap,
-            )
+            race_chain, skipped = race_partition(chain, dichotomy(), quantity)
+            for name, detail in skipped:
+                attempts.append(record_skip(name, detail))
+            if not race_chain:
+                obs.inc("runtime.exhausted")
+                raise FallbackExhausted(
+                    "no engine to race: every engine in the chain was "
+                    "statically skipped "
+                    f"({', '.join(f'{a.engine}: {a.outcome}' for a in attempts)})",
+                    tuple(attempts),
+                )
+            try:
+                result = racing.run_race(
+                    db, query, race_chain, run_budget,
+                    quantity, epsilon, delta,
+                    rng_base, model, features, overlap,
+                )
+            except FallbackExhausted as exc:
+                raise FallbackExhausted(
+                    str(exc), tuple(attempts) + tuple(exc.attempts)
+                ) from None
+            if attempts:
+                result = replace(
+                    result, attempts=tuple(attempts) + result.attempts
+                )
+            return result
         with obs.span("runtime.run", engines=len(chain), quantity=quantity):
             for index, name in enumerate(chain):
+                if name in STATIC_SAFE_ENGINES:
+                    skip_detail = static_skip_detail(name, dichotomy())
+                    if skip_detail is not None:
+                        attempts.append(record_skip(name, skip_detail))
+                        continue
                 obs.inc("runtime.attempts")
                 attempt_start = clock()
                 try:

@@ -81,6 +81,34 @@ def tier_filter(
     return filtered if filtered else chain
 
 
+def retain_safe_tier(
+    chain: Tuple[str, ...],
+    filtered: Tuple[str, ...],
+    query,
+    tier: str,
+) -> Tuple[str, ...]:
+    """Keep ``safe_lifted`` through ladder degradation for safe queries.
+
+    The ladder sheds the *expensive* exact engines; a statically safe
+    query's lifted plan is polynomial — cheaper than the samplers the
+    degraded tier falls back to — so dropping it would make an
+    overloaded server do strictly more work for a weaker answer.  When
+    the dichotomy classifier proves the query safe, the static tier is
+    re-prepended to the degraded chain.
+    """
+    if (
+        tier == "exact"
+        or "safe_lifted" not in chain
+        or "safe_lifted" in filtered
+    ):
+        return filtered
+    from repro.logic.safety import classify_dichotomy
+
+    if not classify_dichotomy(query).safe:
+        return filtered
+    return ("safe_lifted",) + filtered
+
+
 @dataclass(frozen=True)
 class AdmissionDecision:
     """The verdict on one arriving request.
@@ -124,6 +152,7 @@ def assess(
     filtered = tier_filter(chain, request.quantity, tier)
     try:
         query = request.resolved_query()
+        filtered = retain_safe_tier(chain, filtered, query, tier)
         plan = costmodel.plan_chain(
             db,
             query,

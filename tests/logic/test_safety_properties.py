@@ -1,0 +1,146 @@
+"""Property-based invariants of the static dichotomy classifier.
+
+Safety of a self-join-free Boolean CQ is a property of its *variable
+occurrence structure* alone, so the verdict must be invariant under
+every transformation that preserves that structure:
+
+* reordering the body atoms,
+* bijectively renaming the variables,
+* substituting constants for other constants.
+
+Hypothesis drives randomised CQs through each transformation and pins
+the verdict (safe/unsafe and, in-fragment, the reason).  Unsafe
+``non_hierarchical`` verdicts additionally carry a witness — a variable
+pair whose atom-occurrence sets overlap without nesting — which is
+re-checked against the rendered atoms, so a hardness certificate can
+never silently go stale.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.conjunctive import ConjunctiveQuery
+from repro.logic.fo import atom
+from repro.logic.safety import (
+    SafeVerdict,
+    UnsafeVerdict,
+    classify_dichotomy,
+)
+from repro.logic.terms import Const, Var
+
+RELATION_POOL = (("R", 1), ("S", 2), ("T", 1), ("U", 2), ("V", 3))
+VARIABLES = ("x", "y", "z", "w")
+CONSTANTS = ("a", "b", "c")
+
+
+@st.composite
+def sjf_cqs(draw):
+    """Random self-join-free Boolean CQs (no equality atoms)."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    pool = draw(
+        st.permutations(RELATION_POOL).map(lambda p: p[:count])
+    )
+    body = []
+    for name, arity in pool:
+        args = []
+        for _ in range(arity):
+            if draw(st.booleans()) and draw(st.booleans()):
+                args.append(Const(draw(st.sampled_from(CONSTANTS))))
+            else:
+                args.append(Var(draw(st.sampled_from(VARIABLES))))
+        body.append(atom(name, *args))
+    return ConjunctiveQuery(head=(), body=body)
+
+
+def _rebuild(cq, term_map):
+    body = [
+        atom(a.relation, *[term_map(t) for t in a.args]) for a in cq.body
+    ]
+    return ConjunctiveQuery(head=(), body=body)
+
+
+def _same_verdict(a, b):
+    assert a.safe == b.safe
+    if not a.safe:
+        assert a.reason == b.reason
+
+
+class TestStructuralInvariance:
+    @given(cq=sjf_cqs(), data=st.data())
+    @settings(max_examples=120, deadline=None, database=None)
+    def test_atom_reordering_preserves_the_verdict(self, cq, data):
+        shuffled_body = data.draw(st.permutations(list(cq.body)))
+        shuffled = ConjunctiveQuery(head=(), body=shuffled_body)
+        _same_verdict(classify_dichotomy(cq), classify_dichotomy(shuffled))
+
+    @given(cq=sjf_cqs(), data=st.data())
+    @settings(max_examples=120, deadline=None, database=None)
+    def test_variable_renaming_preserves_the_verdict(self, cq, data):
+        fresh = data.draw(
+            st.permutations(["v0", "v1", "v2", "v3"])
+        )
+        rename = dict(zip(VARIABLES, fresh))
+
+        def term_map(t):
+            return Var(rename[t.name]) if isinstance(t, Var) else t
+
+        _same_verdict(
+            classify_dichotomy(cq), classify_dichotomy(_rebuild(cq, term_map))
+        )
+
+    @given(cq=sjf_cqs(), data=st.data())
+    @settings(max_examples=120, deadline=None, database=None)
+    def test_constant_substitution_preserves_the_verdict(self, cq, data):
+        # Constants carry no occurrence structure: swapping them for
+        # other constants (even collapsing them) cannot move a query
+        # across the dichotomy.
+        fresh = data.draw(
+            st.lists(
+                st.sampled_from(["a", "b", "c", "d"]),
+                min_size=len(CONSTANTS),
+                max_size=len(CONSTANTS),
+            )
+        )
+        remap = dict(zip(CONSTANTS, fresh))
+
+        def term_map(t):
+            return Const(remap[t.value]) if isinstance(t, Const) else t
+
+        _same_verdict(
+            classify_dichotomy(cq), classify_dichotomy(_rebuild(cq, term_map))
+        )
+
+
+class TestWitnessSoundness:
+    @given(cq=sjf_cqs())
+    @settings(max_examples=200, deadline=None, database=None)
+    def test_hard_witness_violates_hierarchy_when_rechecked(self, cq):
+        verdict = classify_dichotomy(cq)
+        if verdict.safe:
+            assert isinstance(verdict, SafeVerdict)
+            # The plan covers every atom of the query exactly once.
+            rendered = verdict.plan.render()
+            for a in dict.fromkeys(cq.body):
+                assert str(a) in rendered
+            return
+        assert isinstance(verdict, UnsafeVerdict)
+        assert verdict.reason == "non_hierarchical"
+        x, y = verdict.witness[0], verdict.witness[1]
+        assert x != y
+        atoms_x, atoms_y = (set(s) for s in verdict.occurrences)
+        # The certificate: occurrence sets overlap without nesting...
+        assert atoms_x & atoms_y
+        assert not (atoms_x <= atoms_y or atoms_y <= atoms_x)
+        # ...and each named atom really contains its variable.
+        for name, rendered_atoms in ((x, atoms_x), (y, atoms_y)):
+            for text in rendered_atoms:
+                matching = [
+                    a
+                    for a in cq.body
+                    if str(a) == text
+                    and any(
+                        isinstance(t, Var) and t.name == name
+                        for t in a.args
+                    )
+                ]
+                assert matching, (name, text)

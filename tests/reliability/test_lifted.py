@@ -4,16 +4,22 @@ from fractions import Fraction
 
 import pytest
 
+from repro import obs
 from repro.logic.conjunctive import ConjunctiveQuery
+from repro.obs.recorder import StatsRecorder
+from repro.obs.sink import ListSink
 from repro.reliability.exact import reliability, truth_probability
 from repro.reliability.lifted import (
     UnsafeQueryError,
     has_self_join,
     is_hierarchical,
     is_safe,
+    is_uniform_half,
     lifted_probability,
     lifted_reliability,
+    uniform_reliability,
 )
+from repro.util.errors import QueryError
 from repro.util.rng import make_rng
 from repro.workloads.random_db import random_unreliable_database
 
@@ -132,3 +138,88 @@ class TestLiftedProbability:
             triangle_db, query.to_formula(), method="worlds"
         )
         assert lifted == exact
+
+
+def uniform_db(seed, size, relations, density=0.5):
+    """A database whose every atom is uncertain with mu = 1/2."""
+    return random_unreliable_database(
+        make_rng(seed), size=size, relations=relations, error="1/2"
+    )
+
+
+class TestUniformFastPath:
+    """The Amarilli-Kimelfeld all-1/2 regime (uniform reliability)."""
+
+    def test_is_uniform_half_detection(self):
+        assert is_uniform_half(uniform_db(0, 3, {"R": 1, "S": 2}))
+        assert not is_uniform_half(
+            random_unreliable_database(
+                make_rng(0), size=3, relations={"R": 1}, error="1/3"
+            )
+        )
+        # One off-uniform entry breaks the regime.
+        mixed = random_unreliable_database(
+            make_rng(1),
+            size=3,
+            relations={"R": 1, "S": 2},
+            error_choices=["1/2", "1/4"],
+        )
+        table = mixed.error_table()
+        assert is_uniform_half(mixed) == all(
+            value == Fraction(1, 2) for value in table.values()
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "exists x. R(x)",
+            "exists x y. R(x) & S(x, y)",
+            "exists x y. R(x) & S(x, y) & T(x)",
+        ],
+    )
+    def test_fast_path_is_bit_identical_to_exact(self, seed, text):
+        db = uniform_db(seed, 3, {"R": 1, "S": 2, "T": 1})
+        query = cq(text)
+        with obs.use(StatsRecorder(sink=ListSink())) as recorder:
+            value = lifted_probability(db, query)
+            counters = recorder.summary()["counters"]
+        assert counters["lifted.uniform_fast_path"] == 1
+        exact = truth_probability(db, query.to_formula(), method="dnf")
+        assert isinstance(value, Fraction)
+        assert value == exact
+
+    def test_fast_path_scales_past_world_enumeration(self):
+        # 6 + 36 + 6 = 48 uncertain all-1/2 atoms: worlds enumeration is
+        # 2^48, yet the symbolic recursion answers instantly.
+        db = uniform_db(9, 6, {"R": 1, "S": 2, "T": 1})
+        assert len(db.uncertain_atoms()) == 48
+        value = uniform_reliability(db, cq("exists x y. R(x) & S(x, y) & T(x)"))
+        assert 0 < value < 1
+
+    def test_uniform_reliability_rejects_off_uniform_tables(self):
+        db = random_unreliable_database(
+            make_rng(0), size=2, relations={"R": 1}, error="1/3"
+        )
+        with pytest.raises(QueryError):
+            uniform_reliability(db, cq("exists x. R(x)"))
+
+    def test_uniform_entry_still_enforces_safety(self):
+        db = uniform_db(0, 2, {"R": 1, "S": 2, "T": 1})
+        with pytest.raises(UnsafeQueryError):
+            uniform_reliability(db, cq("exists x y. R(x) & S(x, y) & T(y)"))
+
+
+class TestVerdictOnError:
+    def test_unsafe_error_carries_the_dichotomy_verdict(self):
+        db = random_unreliable_database(
+            make_rng(0), size=2, relations={"R": 1, "S": 2, "T": 1}
+        )
+        with pytest.raises(UnsafeQueryError) as exc_info:
+            lifted_probability(db, cq("exists x y. R(x) & S(x, y) & T(y)"))
+        verdict = exc_info.value.verdict
+        assert verdict is not None
+        assert verdict.reason == "non_hierarchical" and verdict.hard
+        atoms_x, atoms_y = (set(s) for s in verdict.occurrences)
+        assert atoms_x & atoms_y
+        assert not (atoms_x <= atoms_y or atoms_y <= atoms_x)

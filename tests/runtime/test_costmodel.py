@@ -207,7 +207,7 @@ class TestCalibrationFallback:
     def test_partial_file_keeps_valid_engines(self, tmp_path):
         payload = fitted_model().to_payload()
         payload["engines"]["exact"]["weights"] = ["oops"]
-        payload["engines"]["lifted"]["weights"] = [float("nan")] * (
+        payload["engines"]["safe_lifted"]["weights"] = [float("nan")] * (
             len(FEATURE_NAMES) + 1
         )
         path = tmp_path / "partial.json"
@@ -215,7 +215,7 @@ class TestCalibrationFallback:
         with obs.use(StatsRecorder()) as recorder:
             model = load_or_fallback(path)
         assert not model.calibrated("exact")
-        assert not model.calibrated("lifted")
+        assert not model.calibrated("safe_lifted")
         assert model.calibrated("karp_luby")
         assert model.calibrated("montecarlo")
         assert self._counter(recorder, "costmodel.fallback") == 2
@@ -266,7 +266,7 @@ class TestOrderChain:
         sink = ListSink()
         with obs.use(StatsRecorder(sink=sink)):
             result = run_with_fallback(db, EXISTENTIAL, rng=2)
-        assert tuple(a.engine for a in result.attempts)[0] == "exact"
+        assert tuple(a.engine for a in result.attempts)[0] == "safe_lifted"
 
     def test_order_chain_respects_tiers_with_adversarial_weights(self):
         width = len(FEATURE_NAMES) + 1
@@ -293,7 +293,7 @@ class TestOrderChain:
                 )
         model = fit(observations)
         ordered = model.order_chain(DEFAULT_CHAIN, features, "reliability")
-        assert ordered == ("exact", "lifted", "montecarlo", "karp_luby")
+        assert ordered == ("safe_lifted", "exact", "montecarlo", "karp_luby")
         # On probabilities Karp-Luby is *relative*: a stronger tier than
         # montecarlo's additive, so the swap is forbidden.
         ordered = model.order_chain(DEFAULT_CHAIN, features, "probability")

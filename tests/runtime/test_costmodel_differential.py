@@ -419,4 +419,4 @@ def test_reordering_changes_selection_only_within_tiers():
         db, query, budget=Budget(max_atoms=2), rng=7, cost_model=cheap_mc
     )
     assert plan.selected == result.engine == "montecarlo"
-    assert plan.chain.index("montecarlo") > plan.chain.index("lifted")
+    assert plan.chain.index("montecarlo") > plan.chain.index("safe_lifted")

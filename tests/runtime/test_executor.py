@@ -37,9 +37,16 @@ EXISTENTIAL = "exists x y. E(x, y) & S(y)"
 
 class TestChainValidation:
     def test_default_chain_is_ordered_by_guarantee(self):
-        assert DEFAULT_CHAIN == ("exact", "lifted", "karp_luby", "montecarlo")
+        assert DEFAULT_CHAIN == (
+            "safe_lifted",
+            "exact",
+            "karp_luby",
+            "montecarlo",
+        )
         assert GUARANTEE_ORDER == ("exact", "relative", "additive")
-        assert set(DEFAULT_CHAIN) == set(ENGINES)
+        # "lifted" stays registered for explicit chains even though the
+        # default chain routes safe queries through "safe_lifted".
+        assert set(DEFAULT_CHAIN) | {"lifted"} == set(ENGINES)
 
     def test_empty_chain_rejected(self, triangle_db):
         with pytest.raises(ResourceError, match="empty"):
@@ -63,9 +70,12 @@ class TestChainValidation:
 
 
 class TestHappyPath:
-    def test_exact_engine_answers_first(self, triangle_db):
+    def test_safe_query_routes_to_safe_lifted(self, triangle_db):
+        # EXISTENTIAL is a safe (hierarchical, self-join-free) CQ: the
+        # static router answers it on the dichotomy tier, never touching
+        # enumeration or sampling.
         result = run_with_fallback(triangle_db, EXISTENTIAL)
-        assert result.engine == "exact"
+        assert result.engine == "safe_lifted"
         assert result.guarantee == "exact"
         assert result.epsilon is None and result.delta is None
         assert isinstance(result.fraction, Fraction)
@@ -90,16 +100,16 @@ class TestHappyPath:
     def test_describe_names_path_and_guarantee(self, triangle_db):
         result = run_with_fallback(triangle_db, EXISTENTIAL)
         text = result.describe()
-        assert "exact: ok" in text
+        assert "safe_lifted: ok" in text
         assert "[exact]" in text
         assert "reliability =" in text
 
 
 class TestDegradation:
     def test_cost_refusal_falls_through_to_sampler(self, triangle_db):
-        # 4 uncertain atoms -> 16 worlds > 2^1: exact is refused by
-        # preflight, lifted rejects the non-conjunctive formula, and a
-        # sampler answers with a weaker guarantee.
+        # 4 uncertain atoms -> 16 worlds > 2^1: the dichotomy router
+        # statically skips safe_lifted (not a CQ), exact is refused by
+        # preflight, and a sampler answers with a weaker guarantee.
         result = run_with_fallback(
             triangle_db,
             "exists x y. E(x, y) & S(y) | exists x. S(x)",
@@ -112,34 +122,38 @@ class TestDegradation:
         assert result.guarantee == "additive"
         assert result.epsilon == 0.2
         path = [(a.engine, a.outcome) for a in result.attempts]
-        assert path[0] == ("exact", "cost_refused")
-        assert path[1] == ("lifted", "fragment_mismatch")
+        assert path[0] == ("safe_lifted", "skipped_static")
+        assert path[1] == ("exact", "cost_refused")
         assert path[-1][1] == "ok"
 
     def test_attempt_details_carry_error_messages(self, triangle_db):
         result = run_with_fallback(
             triangle_db,
-            EXISTENTIAL,
+            "exists x y. E(x, y) & S(y) | exists x. S(x)",
             budget=Budget(max_atoms=1),
             epsilon=0.2,
             delta=0.2,
             rng=5,
         )
-        refused = result.attempts[0]
+        skipped = result.attempts[0]
+        assert skipped.outcome == "skipped_static"
+        assert "not_conjunctive" in skipped.detail
+        refused = result.attempts[1]
         assert "worlds" in refused.detail
         assert result.attempts[-1].detail == ""
 
     def test_exhausted_when_no_engine_fits(self, triangle_db):
-        # lifted handles Boolean queries only; a k-ary query on a
-        # lifted-only chain leaves nothing to answer.
+        # The lifted engines handle Boolean queries only; a k-ary query
+        # on a lifted-only chain is statically skipped, leaving nothing
+        # to answer.
         with pytest.raises(FallbackExhausted) as exc_info:
             run_with_fallback(
                 triangle_db, FOQuery("E(x, y)", ("x", "y")), chain=("lifted",)
             )
         error = exc_info.value
         assert len(error.attempts) == 1
-        assert error.attempts[0].outcome == "fragment_mismatch"
-        assert "lifted: fragment_mismatch" in str(error)
+        assert error.attempts[0].outcome == "skipped_static"
+        assert "lifted: skipped_static" in str(error)
 
     def test_expired_deadline_exhausts_chain(self, triangle_db):
         # A clock that jumps far past the deadline right after start:
@@ -162,7 +176,7 @@ class TestObservability:
         with obs.use(StatsRecorder(sink=ListSink())) as recorder:
             run_with_fallback(
                 triangle_db,
-                EXISTENTIAL,
+                "exists x y. E(x, y) & S(y) | exists x. S(x)",
                 budget=Budget(max_atoms=1),
                 epsilon=0.2,
                 delta=0.2,
@@ -172,9 +186,60 @@ class TestObservability:
         assert counters["runtime.attempts"] >= 2
         assert counters["runtime.fallbacks"] >= 1
         assert counters["runtime.cost_refused"] == 1
+        assert counters["runtime.skipped_static"] == 1
         assert counters["runtime.completed"] == 1
         assert counters["runtime.result.events"] == 1
         assert counters["runtime.fallback.events"] >= 1
+
+
+class TestStaticSkipCounters:
+    """A statically-skipped engine is not a *failure* (ISSUE 9 satellite).
+
+    ``run_with_fallback`` must not count a dichotomy-router skip of the
+    ``safe_lifted``/``lifted`` tier towards ``runtime.attempts``,
+    ``runtime.fallbacks`` or ``runtime.fragment_mismatch``: the engine
+    never ran, so breaker/fallback accounting stays exactly what it
+    would be on a chain without the static tier.  The skip shows up only
+    in its own counter, ``runtime.skipped_static``.
+    """
+
+    UNSAFE = "exists x y. E(x, y) & S(y) | exists x. S(x)"
+
+    def _counters(self, db, chain):
+        with obs.use(StatsRecorder(sink=ListSink())) as recorder:
+            run_with_fallback(
+                db,
+                self.UNSAFE,
+                chain=chain,
+                epsilon=0.2,
+                delta=0.2,
+                rng=5,
+            )
+            return recorder.summary()["counters"]
+
+    def test_skip_adds_no_attempts_or_fallbacks(self, triangle_db):
+        with_tier = self._counters(triangle_db, DEFAULT_CHAIN)
+        without_tier = self._counters(
+            triangle_db, ("exact", "karp_luby", "montecarlo")
+        )
+        for key in (
+            "runtime.attempts",
+            "runtime.fallbacks",
+            "runtime.completed",
+        ):
+            assert with_tier.get(key, 0) == without_tier.get(key, 0), key
+        assert "runtime.fragment_mismatch" not in with_tier
+        assert with_tier["runtime.skipped_static"] == 1
+        assert "runtime.skipped_static" not in without_tier
+
+    def test_skipped_attempt_recorded_with_zero_elapsed(self, triangle_db):
+        result = run_with_fallback(
+            triangle_db, self.UNSAFE, epsilon=0.2, delta=0.2, rng=5
+        )
+        skipped = result.attempts[0]
+        assert skipped.engine == "safe_lifted"
+        assert skipped.outcome == "skipped_static"
+        assert skipped.elapsed == 0.0
 
 
 @pytest.mark.slow
@@ -214,8 +279,8 @@ class TestAcceptanceScenario:
         assert result.engine in ("karp_luby", "montecarlo")
         assert result.guarantee == "additive"
         path = [(a.engine, a.outcome) for a in result.attempts]
-        assert path[0] == ("exact", "cost_refused")
-        assert path[1] == ("lifted", "fragment_mismatch")
+        assert path[0] == ("safe_lifted", "skipped_static")
+        assert path[1] == ("exact", "cost_refused")
         assert path[-1][1] == "ok"
         assert 0.0 <= result.value <= 1.0
 

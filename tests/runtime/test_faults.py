@@ -12,7 +12,7 @@ from repro.obs.recorder import StatsRecorder
 from repro.obs.sink import ListSink
 from repro.runtime import faults
 from repro.runtime.budget import Budget
-from repro.runtime.executor import ENGINES, run_with_fallback
+from repro.runtime.executor import DEFAULT_CHAIN, ENGINES, run_with_fallback
 from repro.util.errors import (
     FallbackExhausted,
     ProbabilityError,
@@ -35,14 +35,14 @@ def counters(recorder):
 
 class TestTimeoutFault:
     def test_degrades_and_counts(self, triangle_db, recorder):
-        with faults.inject({"exact": faults.TimeoutFault()}):
+        with faults.inject({"safe_lifted": faults.TimeoutFault()}):
             result = run_with_fallback(triangle_db, EXISTENTIAL)
         stats = counters(recorder)
         assert stats["runtime.fallbacks"] == 1
         assert stats["runtime.budget_exceeded"] == 1
         assert stats["runtime.faults_injected"] == 1
-        # exact timed out; lifted (also exact-guarantee) answers.
-        assert result.engine == "lifted"
+        # safe_lifted timed out; exact (also exact-guarantee) answers.
+        assert result.engine == "exact"
         assert result.guarantee == "exact"
         assert result.epsilon is None and result.delta is None
         assert result.attempts[0].outcome == "budget_exceeded"
@@ -50,7 +50,7 @@ class TestTimeoutFault:
 
     def test_both_exact_engines_out_leaves_sampler(self, triangle_db, recorder):
         fault = faults.TimeoutFault()
-        with faults.inject({"exact": fault, "lifted": fault}):
+        with faults.inject({"safe_lifted": fault, "exact": fault}):
             result = run_with_fallback(
                 triangle_db, EXISTENTIAL, epsilon=0.2, delta=0.2, rng=3
             )
@@ -64,12 +64,12 @@ class TestTimeoutFault:
 
 class TestExceptionFault:
     def test_default_error_is_fragment_mismatch(self, triangle_db, recorder):
-        with faults.inject({"exact": faults.ExceptionFault()}):
+        with faults.inject({"safe_lifted": faults.ExceptionFault()}):
             result = run_with_fallback(triangle_db, EXISTENTIAL)
         stats = counters(recorder)
         assert stats["runtime.fallbacks"] == 1
         assert stats["runtime.fragment_mismatch"] == 1
-        assert result.engine == "lifted"
+        assert result.engine == "exact"
         assert result.guarantee == "exact"
         assert result.attempts[0].outcome == "fragment_mismatch"
         assert "injected engine failure" in result.attempts[0].detail
@@ -78,7 +78,7 @@ class TestExceptionFault:
         # Only CostRefused/BudgetExceeded/QueryError trigger fallback;
         # anything else is a genuine bug and must escape unchanged.
         with faults.inject(
-            {"exact": faults.ExceptionFault(error=ValueError("boom"))}
+            {"safe_lifted": faults.ExceptionFault(error=ValueError("boom"))}
         ):
             with pytest.raises(ValueError, match="boom"):
                 run_with_fallback(triangle_db, EXISTENTIAL)
@@ -116,12 +116,12 @@ class TestSlowdownFault:
         assert result.attempts[0].outcome == "budget_exceeded"
 
     def test_without_deadline_engine_still_answers(self, triangle_db, recorder):
-        with faults.inject({"exact": faults.SlowdownFault(seconds=0.01)}):
+        with faults.inject({"safe_lifted": faults.SlowdownFault(seconds=0.01)}):
             result = run_with_fallback(triangle_db, EXISTENTIAL)
         stats = counters(recorder)
         assert stats["runtime.faults_injected"] == 1
         assert "runtime.fallbacks" not in stats
-        assert result.engine == "exact"
+        assert result.engine == "safe_lifted"
         assert result.guarantee == "exact"
 
     def test_negative_seconds_rejected(self):
@@ -132,16 +132,16 @@ class TestSlowdownFault:
 class TestDeterminism:
     def test_probability_zero_never_fires(self, triangle_db, recorder):
         fault = faults.TimeoutFault(probability=0.0)
-        with faults.inject({"exact": fault}, rng=9):
+        with faults.inject({"safe_lifted": fault}, rng=9):
             result = run_with_fallback(triangle_db, EXISTENTIAL)
-        assert result.engine == "exact"
+        assert result.engine == "safe_lifted"
         assert "runtime.faults_injected" not in counters(recorder)
 
     def test_same_seed_same_firing_pattern(self, triangle_db):
         def run_once(seed):
             fault = faults.TimeoutFault(probability=0.5)
             engines = []
-            with faults.inject({"exact": fault}, rng=seed):
+            with faults.inject({"safe_lifted": fault}, rng=seed):
                 for _ in range(4):
                     engines.append(
                         run_with_fallback(triangle_db, EXISTENTIAL).engine
@@ -185,5 +185,7 @@ class TestInjectContextManager:
             with pytest.raises(FallbackExhausted):
                 run_with_fallback(triangle_db, EXISTENTIAL)
         stats = counters(recorder)
-        assert stats["runtime.fallbacks"] == len(ENGINES)
+        # Fallbacks are per chain attempt; the default chain is the
+        # unit, not the full engine registry.
+        assert stats["runtime.fallbacks"] == len(DEFAULT_CHAIN)
         assert stats["runtime.exhausted"] == 1

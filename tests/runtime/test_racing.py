@@ -24,6 +24,13 @@ from repro.util.errors import BudgetExceeded, FallbackExhausted, ResourceError
 
 QUERY = "exists x. exists y. E(x, y) & S(y)"
 
+# A non-conjunctive query: the dichotomy router skips the static tier
+# and lets the samplers race.  QUERY itself is statically *safe*, so
+# under the new routing a race on the default chain keeps only the
+# exact-tier engines (sampling racers are suppressed, recorded as
+# ``skipped_static``).
+UNSAFE = "exists x y. E(x, y) & S(y) | exists x. S(x)"
+
 
 def _race_counters(recorder):
     return {
@@ -91,18 +98,22 @@ def _fingerprint(outcome):
 
 
 def test_fast_equal_tier_engine_cancels_a_stalled_one(triangle_db):
-    """lifted (exact tier) finishes first and cancels the stalled exact."""
+    """exact (same tier) finishes first and cancels a stalled safe_lifted."""
     result, counters = _virtual_race(
         triangle_db,
-        script={"exact": faults.SlowdownFault(seconds=3.0)},
+        script={"safe_lifted": faults.SlowdownFault(seconds=3.0)},
     )
-    assert result.engine == "lifted"
+    assert result.engine == "exact"
     outcomes = {a.engine: a.outcome for a in result.attempts}
-    assert outcomes["exact"] == "cancelled"
-    assert outcomes["lifted"] == "ok"
+    assert outcomes["safe_lifted"] == "cancelled"
+    assert outcomes["exact"] == "ok"
+    # QUERY is statically safe: the sampling racers were suppressed
+    # before launch, not raced and cancelled.
+    assert outcomes["karp_luby"] == "skipped_static"
+    assert outcomes["montecarlo"] == "skipped_static"
     assert counters["runtime.race.won"] == 1
     assert counters["runtime.race.cancelled"] == 1
-    # The win came at the stagger point, not after exact's 3s stall.
+    # The win came at the stagger point, not after safe_lifted's stall.
     assert result.elapsed == pytest.approx(0.5 * racing.NOMINAL_SHARE_SECONDS)
 
 
@@ -110,6 +121,7 @@ def test_stronger_engine_preempts_a_weaker_finished_answer(triangle_db):
     """An exact answer arriving later preempts the held sampler answer."""
     result, counters = _virtual_race(
         triangle_db,
+        query=UNSAFE,  # statically safe queries never launch samplers
         script={
             "karp_luby": faults.SlowdownFault(seconds=0.5),
             "exact": faults.SlowdownFault(seconds=1.0),
@@ -129,6 +141,7 @@ def test_weaker_answer_never_preempts_a_stronger_one(triangle_db):
     """The reverse: exact finishes first, the sampler never wins."""
     result, _ = _virtual_race(
         triangle_db,
+        query=UNSAFE,
         script={
             "exact": faults.SlowdownFault(seconds=0.5),
             "karp_luby": faults.SlowdownFault(seconds=0.6),
@@ -145,32 +158,40 @@ def test_failed_engine_falls_through_to_the_next(triangle_db):
     """A timed-out engine launches the next one immediately."""
     result, counters = _virtual_race(
         triangle_db,
-        script={"exact": faults.TimeoutFault(), "lifted": faults.TimeoutFault()},
+        query=UNSAFE,  # safe_lifted skipped statically; samplers race
+        script={"exact": faults.TimeoutFault()},
     )
     assert result.engine == "karp_luby"
     outcomes = {a.engine: a.outcome for a in result.attempts}
+    assert outcomes["safe_lifted"] == "skipped_static"
     assert outcomes["exact"] == "budget_exceeded"
-    assert outcomes["lifted"] == "budget_exceeded"
-    # The failures cost no virtual time, so the winner decides at t=0.
+    # The failure cost no virtual time, so the winner decides at t=0.
     assert result.elapsed == pytest.approx(0.0)
-    assert counters["runtime.race.launched"] == 3
+    assert counters["runtime.race.launched"] == 2
 
 
 def test_all_engines_failing_exhausts_with_full_attempt_log(triangle_db):
     script = {name: faults.TimeoutFault() for name in DEFAULT_CHAIN}
     outcome, counters = _virtual_race(triangle_db, script=script)
     assert isinstance(outcome, FallbackExhausted)
-    assert [a.engine for a in outcome.attempts] == list(DEFAULT_CHAIN)
-    assert all(a.outcome == "budget_exceeded" for a in outcome.attempts)
+    # QUERY is safe: the samplers are statically suppressed, the
+    # exact-tier racers fail for real, and the log covers all four.
+    assert sorted(a.engine for a in outcome.attempts) == sorted(DEFAULT_CHAIN)
+    by_engine = {a.engine: a.outcome for a in outcome.attempts}
+    assert by_engine["safe_lifted"] == "budget_exceeded"
+    assert by_engine["exact"] == "budget_exceeded"
+    assert by_engine["karp_luby"] == "skipped_static"
+    assert by_engine["montecarlo"] == "skipped_static"
     assert "runtime.race.won" not in counters
 
 
 def test_engines_after_a_win_are_never_launched(triangle_db):
     """A decided race drops its pending tail — no speculative stragglers."""
     result, counters = _virtual_race(triangle_db, overlap=1.0)
-    assert result.engine == "exact"
+    assert result.engine == "safe_lifted"
     assert counters["runtime.race.launched"] == 1
-    assert len(result.attempts) == 1
+    launched = [a for a in result.attempts if a.outcome != "skipped_static"]
+    assert len(launched) == 1
 
 
 # ---------------------------------------------------------------------- #
@@ -190,11 +211,17 @@ def test_winner_value_equals_its_solo_sequential_value(triangle_db):
     """Per-attempt rng derivation: the race never perturbs a value."""
     raced, _ = _virtual_race(
         triangle_db,
-        script={"exact": faults.TimeoutFault(), "lifted": faults.TimeoutFault()},
+        query=UNSAFE,
+        script={"exact": faults.TimeoutFault()},
         rng=11,
     )
     assert raced.engine == "karp_luby"
-    solo = run_with_fallback(triangle_db, QUERY, chain=("karp_luby",), rng=11)
+    # The solo run needs the same trace cadence: a recorder caps sample
+    # batches to the convergence-trace stride, which shifts the stream.
+    with obs.use(obs.StatsRecorder(sink=obs.ListSink())):
+        solo = run_with_fallback(
+            triangle_db, UNSAFE, chain=("karp_luby",), rng=11
+        )
     assert raced.value == solo.value
 
 
@@ -203,9 +230,9 @@ def test_loser_samples_fold_into_the_shared_budget(triangle_db):
     budget = Budget(max_samples=200_000)
     result, _ = _virtual_race(
         triangle_db,
+        query=UNSAFE,
         script={
             "exact": faults.TimeoutFault(),
-            "lifted": faults.TimeoutFault(),
             "karp_luby": faults.SlowdownFault(seconds=2.0),
         },
         overlap=0.0,
@@ -221,14 +248,13 @@ def test_deadline_exhausted_engines_fail_without_starting(triangle_db):
     recorder = obs.StatsRecorder(sink=obs.ListSink())
     with obs.use(recorder):
         with racing.use_scheduler(scheduler):
-            with faults.inject(
-                {name: faults.SlowdownFault(seconds=5.0) for name in ("exact", "lifted")}
-            ):
+            with faults.inject({"exact": faults.SlowdownFault(seconds=5.0)}):
                 result = run_with_fallback(
-                    triangle_db, QUERY, budget=budget, rng=7, race=0.5
+                    triangle_db, UNSAFE, budget=budget, rng=7, race=0.5
                 )
-    # exact and lifted blow the shared deadline mid-stall; the samplers
-    # launched within the deadline window still answer.
+    # exact blows the shared deadline mid-stall (safe_lifted is skipped
+    # statically); the samplers launched within the deadline window
+    # still answer.
     assert result.engine in ("karp_luby", "montecarlo")
 
 
@@ -295,10 +321,10 @@ def test_real_thread_race_smoke(triangle_db):
 
 
 def test_real_thread_race_with_stalled_first_engine(triangle_db):
-    """A stalled exact engine loses to lifted on the wall clock."""
-    with faults.inject({"exact": faults.SlowdownFault(seconds=5.0)}):
+    """A stalled safe_lifted engine loses to exact on the wall clock."""
+    with faults.inject({"safe_lifted": faults.SlowdownFault(seconds=5.0)}):
         result = run_with_fallback(triangle_db, QUERY, rng=7, race=0.01)
-    assert result.engine == "lifted"
+    assert result.engine == "exact"
     assert result.elapsed < 2.0  # nowhere near the 5s stall
 
 

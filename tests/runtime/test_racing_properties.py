@@ -18,15 +18,26 @@ from fractions import Fraction
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.logic.safety import classify_dichotomy
 from repro.relational.atoms import Atom
 from repro.relational.builder import StructureBuilder
 from repro.reliability.unreliable import UnreliableDatabase
 from repro.runtime import costmodel, faults, racing
 from repro.runtime.budget import Budget
-from repro.runtime.executor import DEFAULT_CHAIN, run_with_fallback
+from repro.runtime.executor import (
+    DEFAULT_CHAIN,
+    race_partition,
+    run_with_fallback,
+)
 from repro.util.errors import FallbackExhausted
 
 QUERY = "exists x. exists y. E(x, y) & S(y)"
+
+# QUERY is statically safe, so the dichotomy router trims every race
+# chain that contains an exact-tier engine down to its exact-tier
+# members before launch; the suppressed engines are logged as
+# ``skipped_static`` attempts, never launched.
+VERDICT = classify_dichotomy(QUERY)
 
 FAILURE_OUTCOMES = {"cost_refused", "budget_exceeded", "fragment_mismatch"}
 
@@ -104,12 +115,22 @@ def _race(chain, script, overlap, seed, budget_kind):
 def test_race_invariants(chain, script, overlap, seed, budget_kind):
     outcome = _race(tuple(chain), script, overlap, seed, budget_kind)
 
+    # What the dichotomy router actually launches for this safe query.
+    race_chain, suppressed = race_partition(
+        tuple(chain), VERDICT, "reliability"
+    )
+
     if isinstance(outcome, FallbackExhausted):
-        # Exhaustion parity: every engine failed on its own, so the
-        # sequential walk under the same failure faults (slowdowns
-        # change timing, never outcomes) must exhaust identically.
-        assert [a.engine for a in outcome.attempts] == list(chain)
-        assert all(a.outcome in FAILURE_OUTCOMES for a in outcome.attempts)
+        # Exhaustion parity: every *launched* engine failed on its own,
+        # so the sequential walk over the same trimmed chain under the
+        # same failure faults (slowdowns change timing, never outcomes)
+        # must exhaust identically.  Statically suppressed engines show
+        # up as skipped_static, never as failures.
+        skipped = [a for a in outcome.attempts if a.outcome == "skipped_static"]
+        launched = [a for a in outcome.attempts if a.outcome != "skipped_static"]
+        assert [a.engine for a in skipped] == [name for name, _ in suppressed]
+        assert [a.engine for a in launched] == list(race_chain)
+        assert all(a.outcome in FAILURE_OUTCOMES for a in launched)
         hard_faults = {
             name: fault
             for name, fault in script.items()
@@ -117,12 +138,12 @@ def test_race_invariants(chain, script, overlap, seed, budget_kind):
         }
         try:
             with faults.inject(hard_faults):
-                run_with_fallback(DB, QUERY, chain=tuple(chain), rng=seed)
+                run_with_fallback(DB, QUERY, chain=race_chain, rng=seed)
             sequential_attempts = None
         except FallbackExhausted as exc:
             sequential_attempts = [(a.engine, a.outcome) for a in exc.attempts]
         assert sequential_attempts == [
-            (a.engine, a.outcome) for a in outcome.attempts
+            (a.engine, a.outcome) for a in launched
         ]
         return
 

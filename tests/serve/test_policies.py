@@ -196,7 +196,7 @@ class TestDegradationLadder:
             DegradationLadder(relative_at=8, additive_at=4)
 
     def test_tier_filter_drops_stronger_engines(self):
-        chain = DEFAULT_CHAIN  # exact, lifted, karp_luby, montecarlo
+        chain = DEFAULT_CHAIN  # safe_lifted, exact, karp_luby, montecarlo
         assert tier_filter(chain, "reliability", "exact") == chain
         # For reliability, karp_luby only certifies an additive bound.
         assert tier_filter(chain, "reliability", "relative") == (
@@ -217,3 +217,30 @@ class TestDegradationLadder:
         # A chain with nothing at or below the tier serves at native
         # strength rather than becoming unservable.
         assert tier_filter(("exact",), "reliability", "additive") == ("exact",)
+
+    def test_retain_safe_tier_keeps_safe_lifted_under_degradation(self):
+        from repro.serve.admission import retain_safe_tier
+
+        safe = "exists x. exists y. E(x, y) & S(y)"
+        unsafe = "exists x. exists y. E(x, y) & S(x) & S(y)"
+        degraded = tier_filter(DEFAULT_CHAIN, "reliability", "additive")
+        assert "safe_lifted" not in degraded
+        # Statically safe: the polynomial tier is re-prepended.
+        assert retain_safe_tier(DEFAULT_CHAIN, degraded, safe, "additive") == (
+            ("safe_lifted",) + degraded
+        )
+        # Unsafe (non-hierarchical) or full-strength: chain unchanged.
+        assert (
+            retain_safe_tier(DEFAULT_CHAIN, degraded, unsafe, "additive")
+            == degraded
+        )
+        assert (
+            retain_safe_tier(DEFAULT_CHAIN, DEFAULT_CHAIN, safe, "exact")
+            == DEFAULT_CHAIN
+        )
+        # A chain that never had the static tier is left alone.
+        no_tier = ("exact", "montecarlo")
+        assert (
+            retain_safe_tier(no_tier, ("montecarlo",), safe, "additive")
+            == ("montecarlo",)
+        )

@@ -155,6 +155,44 @@ class TestAnalyzeCommand:
         assert code == 0
         assert "quantifier-free" in capsys.readouterr().out
 
+    def test_explain_dichotomy_safe_prints_hierarchy_tree(
+        self, db_file, capsys
+    ):
+        code = main(
+            [
+                "analyze",
+                db_file,
+                "exists x y. E(x, y) & S(y)",
+                "--explain-dichotomy",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "safe: hierarchical self-join-free Boolean CQ" in out
+        assert "hierarchy tree:" in out
+        assert "project" in out
+
+    def test_explain_dichotomy_unsafe_prints_witness(self, db_file, capsys):
+        code = main(
+            [
+                "analyze",
+                db_file,
+                "exists x y. E(x, y) & E(y, x)",
+                "--explain-dichotomy",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unsafe: relation E occurs in two atoms" in out
+        assert "offending atoms:" in out
+        assert "falls through to the general engine chain" in out
+
+    def test_without_flag_no_dichotomy_section(self, db_file, capsys):
+        code = main(["analyze", db_file, "exists x y. E(x, y) & S(y)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hierarchy tree:" not in out
+
 
 class TestErrorReporting:
     """ReproError -> one-line `error: ...` on stderr and exit code 2."""
@@ -200,7 +238,7 @@ class TestRunCommand:
         code = main(["run", db_file, "exists x y. E(x, y) & S(y)"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "exact: ok" in out
+        assert "safe_lifted: ok" in out
         assert "[exact]" in out
         assert "reliability =" in out
 
@@ -225,8 +263,8 @@ class TestRunCommand:
         )
         assert code == 0
         out = capsys.readouterr().out
+        assert "safe_lifted: skipped_static" in out
         assert "exact: cost_refused" in out
-        assert "lifted: fragment_mismatch" in out
         assert "[additive]" in out
 
     def test_custom_chain_and_quantity(self, db_file, capsys):
