@@ -1148,3 +1148,147 @@ def runtime_safe_router(params: Dict[str, Any]) -> Dict[str, Any]:
         ),
         "bit_identical": True,
     }
+
+@register(
+    "runtime.adaptive",
+    group="runtime",
+    params={
+        "mc_size": 16,
+        "mc_epsilon": 0.02,
+        "kl_epsilon": 0.1,
+        "delta": 0.05,
+        "variables": 12,
+        "clauses": 8,
+        "width": 3,
+        "repeats": 2,
+    },
+    quick={"mc_size": 12, "repeats": 1},
+    repeats=1,
+    tags=("runtime", "adaptive", "fptras"),
+)
+def runtime_adaptive(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Adaptive EB stopping vs fixed budgets on the E1 and E4 workloads.
+
+    Two arms per workload, interleaved like ``obs.overhead`` (warm-up
+    pass, then min-of-repeats): the fixed worst-case budget and the
+    sequential empirical-Bernstein stopper at the *same* (epsilon,
+    delta) guarantee.  The case asserts the headline claim — at least
+    half the worst-case sample budget comes back unspent on both the
+    additive (Hamming Monte Carlo) and relative (Karp–Luby) paths —
+    and that both arms' answers stay within guarantee of the exact
+    value, so a stopping-rule bug can never read as a speedup.
+    """
+    from repro.kernels import clear_caches
+    from repro.logic.evaluator import FOQuery
+    from repro.propositional.counting import probability_exact
+    from repro.propositional.karp_luby import karp_luby, sample_count
+    from repro.reliability.exact import reliability
+    from repro.reliability.montecarlo import estimate_reliability_hamming
+    from repro.runtime.adaptive import CostSurrogate, use_surrogate
+    from repro.util.rng import make_rng
+    from repro.workloads.random_db import random_unreliable_database
+    from repro.workloads.random_dnf import random_kdnf, random_probabilities
+
+    clear_caches()
+    delta = params["delta"]
+
+    # E1 workload: k-ary reliability by Hamming sampling (additive).
+    size = params["mc_size"]
+    mc_epsilon = params["mc_epsilon"]
+    query = FOQuery("E(x, y) & ~S(x) | S(y)", ("x", "y"))
+    db = random_unreliable_database(
+        make_rng(size), size=size, relations={"E": 2, "S": 1},
+        density=0.3, error="1/16",
+    )
+    mc_exact = float(reliability(db, query, method="qf"))
+
+    def mc_arm(adaptive):
+        with obs.recording() as rec:
+            value = estimate_reliability_hamming(
+                db, query, make_rng(7), mc_epsilon, delta,
+                adaptive=adaptive,
+            )
+        counters = rec.summary()["counters"]
+        return value, counters
+
+    # E4 workload: DNF probability by Karp-Luby (relative).
+    kl_epsilon = params["kl_epsilon"]
+    rng = make_rng(1)
+    dnf = random_kdnf(
+        rng,
+        variables=params["variables"],
+        clauses=params["clauses"],
+        width=params["width"],
+    )
+    probs = random_probabilities(rng, dnf)
+    kl_exact = float(probability_exact(dnf, probs))
+    kl_worst = sample_count(len(dnf.clauses), kl_epsilon, delta)
+
+    def kl_arm(adaptive):
+        run = karp_luby(
+            dnf, probs, kl_epsilon, delta, make_rng(2),
+            method="coverage", adaptive=adaptive,
+        )
+        return run
+
+    arms = {
+        "mc_fixed": lambda: mc_arm(False),
+        "mc_adaptive": lambda: mc_arm(True),
+        "kl_fixed": lambda: kl_arm(False),
+        "kl_adaptive": lambda: kl_arm(True),
+    }
+    times = {name: [] for name in arms}
+    results = {}
+    with use_surrogate(CostSurrogate()):
+        for name, arm in arms.items():  # warm-up
+            arm()
+        for _ in range(params["repeats"]):
+            for name, arm in arms.items():
+                with obs.span("bench.point", arm=name):
+                    start = time.perf_counter()
+                    results[name] = arm()
+                    times[name].append(time.perf_counter() - start)
+
+    mc_fixed_value, _ = results["mc_fixed"]
+    mc_adaptive_value, mc_counters = results["mc_adaptive"]
+    mc_drawn = mc_counters["adaptive.samples_drawn"]
+    mc_saved = mc_counters["adaptive.samples_saved"]
+    mc_worst = mc_drawn + mc_saved
+    assert abs(mc_fixed_value - mc_exact) <= mc_epsilon
+    assert abs(mc_adaptive_value - mc_exact) <= mc_epsilon
+    assert mc_saved / mc_worst >= 0.5, (mc_drawn, mc_worst)
+
+    kl_fixed = results["kl_fixed"]
+    kl_adaptive = results["kl_adaptive"]
+    assert kl_fixed.samples == kl_worst
+    assert abs(kl_fixed.estimate - kl_exact) <= 2 * kl_epsilon * kl_exact
+    assert abs(kl_adaptive.estimate - kl_exact) <= 2 * kl_epsilon * kl_exact
+    kl_saved = kl_worst - kl_adaptive.samples
+    assert kl_saved / kl_worst >= 0.5, (kl_adaptive.samples, kl_worst)
+
+    fraction = lambda saved, worst: round(saved / worst, 4)
+    return {
+        "mc": {
+            "worst_samples": mc_worst,
+            "adaptive_samples": mc_drawn,
+            "saved_fraction": fraction(mc_saved, mc_worst),
+            "fixed_s": round(min(times["mc_fixed"]), 6),
+            "adaptive_s": round(min(times["mc_adaptive"]), 6),
+            "fixed_error": round(abs(mc_fixed_value - mc_exact), 6),
+            "adaptive_error": round(abs(mc_adaptive_value - mc_exact), 6),
+        },
+        "kl": {
+            "worst_samples": kl_worst,
+            "adaptive_samples": kl_adaptive.samples,
+            "saved_fraction": fraction(kl_saved, kl_worst),
+            "fixed_s": round(min(times["kl_fixed"]), 6),
+            "adaptive_s": round(min(times["kl_adaptive"]), 6),
+            "fixed_rel_error": round(
+                abs(kl_fixed.estimate - kl_exact) / kl_exact, 6
+            ),
+            "adaptive_rel_error": round(
+                abs(kl_adaptive.estimate - kl_exact) / kl_exact, 6
+            ),
+        },
+        "within_guarantee": True,
+    }

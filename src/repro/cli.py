@@ -144,6 +144,11 @@ def _calibration_model(args: argparse.Namespace):
     return costmodel.load_or_fallback(path)
 
 
+def _adaptive_flag(args: argparse.Namespace) -> bool:
+    """``--adaptive[=off|on]`` to the executor's boolean (default off)."""
+    return getattr(args, "adaptive", None) == "on"
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     db = _load(args.database)
     query = _query(args)
@@ -156,6 +161,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         delta=args.delta,
         cost_model=_calibration_model(args),
         race=args.race,
+        adaptive=_adaptive_flag(args),
     )
     print(report.render())
     if getattr(args, "explain_dichotomy", False):
@@ -238,6 +244,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rng=random.Random(args.seed),
         cost_model=_calibration_model(args),
         race=False if args.race is None else args.race,
+        adaptive=_adaptive_flag(args),
     )
     print(result.describe())
     return 0
@@ -296,6 +303,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cooldown=args.breaker_cooldown,
         ),
         cost_model=_calibration_model(args),
+        adaptive=_adaptive_flag(args),
     )
     responses = server.run(requests)
     for response in responses:
@@ -658,6 +666,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(optional OVERLAP fraction, default 0.5)",
     )
     analyze_cmd.add_argument(
+        "--adaptive",
+        nargs="?",
+        const="on",
+        choices=["off", "on"],
+        default=None,
+        help="price the sequential empirical-Bernstein stopper a "
+        "`run --adaptive` would use: sampling-engine forecasts show "
+        "expected vs worst-case samples and surrogate-adjusted seconds",
+    )
+    analyze_cmd.add_argument(
         "--explain-dichotomy",
         action="store_true",
         help="print the static Dalvi-Suciu dichotomy verdict: the "
@@ -708,6 +726,17 @@ def build_parser() -> argparse.ArgumentParser:
         "the previous one has consumed OVERLAP (default 0.5) of its "
         "fair-share slice; the strongest-tier answer wins (see "
         "docs/ROBUSTNESS.md, 'Speculative racing')",
+    )
+    run.add_argument(
+        "--adaptive",
+        nargs="?",
+        const="on",
+        choices=["off", "on"],
+        default=None,
+        help="stop the sampling engines as soon as empirical-Bernstein "
+        "confidence intervals certify the (epsilon, delta) guarantee; "
+        "the worst-case sample count becomes a never-exceeded cap "
+        "(see docs/PERFORMANCE.md, 'Adaptive stopping')",
     )
     run.add_argument(
         "--cache-dir",
@@ -766,6 +795,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--calibration",
         metavar="PATH",
         help="cost-model calibration file used for admission forecasts",
+    )
+    serve.add_argument(
+        "--adaptive",
+        nargs="?",
+        const="on",
+        choices=["off", "on"],
+        default=None,
+        help="adaptive sampling for every request: runs stop early "
+        "once their guarantee is certified, and admission forecasts "
+        "use the online surrogate's expected costs, admitting more "
+        "under the same deadline as the surrogate warms",
     )
     serve.add_argument(
         "--cache-dir",

@@ -210,6 +210,49 @@ def hamming_batch_distance(
     return distance
 
 
+def hamming_block_moments(
+    plan: HammingPlan, base: int, index: int, width: int
+) -> Tuple[int, int]:
+    """Per-lane Hamming distance first and second moments of one block.
+
+    The adaptive controller needs the empirical variance of the
+    per-world distance, which :func:`hamming_batch_distance`'s batch
+    total cannot provide — so this worker extracts the per-lane
+    distances by byte through the same 256-entry bit-position table the
+    coverage estimator uses.  The lane total matches
+    ``hamming_batch_distance(plan, base, index, width)`` exactly.
+    """
+    rng = batch_rng(base, index)
+    full = full_mask(width)
+    columns = draw_columns(rng, plan.bits, width, full)
+    constant = 0
+    counts = [0] * width
+    nbytes = (width + 7) >> 3
+    for cell in plan.tuples:
+        if cell.constant is not None:
+            if cell.constant != cell.observed:
+                constant += 1
+            continue
+        sat = satisfied_mask(cell.clauses, columns, full)
+        if cell.negate:
+            sat ^= full
+        diff = sat ^ full if cell.observed else sat
+        if not diff:
+            continue
+        for byte_index, byte in enumerate(diff.to_bytes(nbytes, "little")):
+            if byte:
+                lane = byte_index << 3
+                for offset in _BYTE_BITS[byte]:
+                    counts[lane + offset] += 1
+    total = 0
+    total_sq = 0
+    for count in counts:
+        distance = count + constant
+        total += distance
+        total_sq += distance * distance
+    return total, total_sq
+
+
 def sample_hamming_batches(
     plan: HammingPlan,
     rng: random.Random,
@@ -327,6 +370,70 @@ def kl_batch(plan: KlPlan, base: int, index: int, width: int) -> float:
         if count:  # forced lanes always cover >= 1 well-formed clause
             acc += 1.0 / count
     return acc
+
+
+def kl_block_moments(
+    plan: KlPlan, base: int, index: int, width: int
+) -> Tuple[float, float]:
+    """One Karp–Luby block's per-sample sum and sum of squares.
+
+    Draws exactly the same stream as :func:`kl_batch` (same clause
+    choices, same world columns, same conditioning), so the first
+    moment matches ``kl_batch(plan, base, index, width)`` bit for bit;
+    the second moment is what the empirical-Bernstein stopper needs.
+    Canonical samples are 0/1, so their sum of squares is the sum.
+    """
+    rng = batch_rng(base, index)
+    full = full_mask(width)
+    cumulative = plan.cumulative
+    total_weight = plan.total_weight
+    top = len(cumulative) - 1
+    chosen = [0] * len(plan.clauses)
+    bit = 1
+    for _ in range(width):
+        target = rng.random() * total_weight
+        chosen[min(bisect_right(cumulative, target), top)] |= bit
+        bit <<= 1
+    columns = draw_columns(rng, plan.bits, width, full)
+    for clause_index, mask in enumerate(chosen):
+        if not mask:
+            continue
+        clause = plan.clauses[clause_index]
+        if clause is None:
+            continue
+        positive, negative = clause
+        for slot in positive:
+            columns[slot] |= mask
+        for slot in negative:
+            columns[slot] &= ~mask
+    masks = clause_masks(plan.clauses, columns, full)
+    if plan.method == "canonical":
+        assigned = 0
+        hits = 0
+        for clause_index, mask in enumerate(masks):
+            first = mask & ~assigned
+            assigned |= mask
+            if first:
+                hits += popcount(first & chosen[clause_index])
+        return float(hits), float(hits)
+    counts = [0] * width
+    nbytes = (width + 7) >> 3
+    for mask in masks:
+        if not mask:
+            continue
+        for byte_index, byte in enumerate(mask.to_bytes(nbytes, "little")):
+            if byte:
+                lane = byte_index << 3
+                for offset in _BYTE_BITS[byte]:
+                    counts[lane + offset] += 1
+    acc = 0.0
+    acc_sq = 0.0
+    for count in counts:
+        if count:  # forced lanes always cover >= 1 well-formed clause
+            value = 1.0 / count
+            acc += value
+            acc_sq += value * value
+    return acc, acc_sq
 
 
 def sample_kl_batches(

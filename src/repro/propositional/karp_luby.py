@@ -108,15 +108,30 @@ def karp_luby(
     delta: float,
     rng: RngLike,
     method: str = "coverage",
+    adaptive: bool = False,
 ) -> KarpLubyEstimate:
     """FPTRAS for ``Pr[dnf]`` with relative (epsilon, delta) guarantee.
 
     Runtime is ``O(t * m * k)`` with ``t = sample_count(m, eps, delta)`` —
     polynomial in the formula size, ``1/epsilon`` and ``log(1/delta)``,
-    which is what "fully polynomial" demands.
+    which is what "fully polynomial" demands.  ``adaptive`` switches
+    the batched kernel to the sequential empirical-Bernstein stopper
+    (:mod:`repro.runtime.adaptive`): the same relative guarantee, but
+    the run stops as soon as the empirical variance of the coverage
+    estimator certifies it, with ``sample_count`` as the never-exceeded
+    worst case.
     """
     samples = sample_count(len(dnf.clauses), epsilon, delta, method)
-    return karp_luby_samples(dnf, probs, samples, rng, method)
+    return karp_luby_samples(
+        dnf,
+        probs,
+        samples,
+        rng,
+        method,
+        epsilon=epsilon,
+        delta=delta,
+        adaptive=adaptive,
+    )
 
 
 def karp_luby_samples(
@@ -127,6 +142,9 @@ def karp_luby_samples(
     method: str = "coverage",
     kernel: str = "batched",
     shards: int = 1,
+    epsilon: Optional[float] = None,
+    delta: Optional[float] = None,
+    adaptive: bool = False,
 ) -> KarpLubyEstimate:
     """Karp–Luby with an explicit sample budget (for benchmark sweeps).
 
@@ -135,6 +153,12 @@ def karp_luby_samples(
     ``kernel="scalar"`` keeps the per-sample loop for comparison.
     ``shards`` fans batches out over worker processes; results are
     identical for a fixed seed regardless of shard count.
+
+    ``adaptive`` treats ``samples`` as the worst case and stops at the
+    first canonical checkpoint where the empirical-Bernstein interval
+    certifies a relative ``epsilon`` at confidence ``delta`` (both then
+    required); it needs the batched kernel and runs its own fixed
+    block schedule sequentially (``shards`` is ignored).
     """
     if method not in ("coverage", "canonical"):
         raise QueryError(f"unknown Karp-Luby method {method!r}")
@@ -142,6 +166,15 @@ def karp_luby_samples(
         raise QueryError(f"unknown Karp-Luby kernel {kernel!r}")
     if samples <= 0:
         raise ProbabilityError(f"sample budget must be positive, got {samples}")
+    if adaptive:
+        if kernel != "batched":
+            raise QueryError(
+                "adaptive Karp-Luby requires the batched kernel"
+            )
+        if epsilon is None or delta is None:
+            raise ProbabilityError(
+                "adaptive Karp-Luby needs epsilon and delta to stop on"
+            )
     if dnf.is_true():
         return KarpLubyEstimate(1.0, 0, 1.0, method)
     if dnf.is_false():
@@ -181,6 +214,17 @@ def karp_luby_samples(
             total_weight,
             method,
         )
+        if adaptive:
+            from repro.runtime.adaptive import adaptive_kl_accumulate
+
+            run = adaptive_kl_accumulate(
+                kl_plan, rng, samples, epsilon, delta
+            )
+            obs.inc("karp_luby.samples", run.drawn)
+            estimate = total_weight * run.mean
+            return KarpLubyEstimate(
+                min(estimate, 1.0), run.drawn, total_weight, method
+            )
         accumulator = sample_kl_batches(kl_plan, rng, samples, shards=shards)
         obs.inc("karp_luby.samples", samples)
         estimate = total_weight * accumulator / samples

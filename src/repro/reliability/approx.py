@@ -60,11 +60,14 @@ def existential_probability(
     delta: float,
     rng: random.Random,
     method: str = "coverage",
+    adaptive: bool = False,
 ) -> AdditiveEstimate:
     """FPTRAS for ``nu(psi)`` of an existential Boolean query (Thm 5.4).
 
     Relative (epsilon, delta) guarantee:
     ``Pr[|est - nu(psi)| > epsilon * nu(psi)] < delta``.
+    ``adaptive`` forwards to :func:`repro.propositional.karp_luby.
+    karp_luby`: same guarantee, sequential empirical-Bernstein stopping.
     """
     query = as_query(sentence)
     if not isinstance(query, FOQuery) or query.arity != 0:
@@ -79,7 +82,9 @@ def existential_probability(
     if grounding.dnf.is_false():
         return AdditiveEstimate(0.0, epsilon, delta, 0)
     probs = grounding_probabilities(db, grounding.dnf)
-    run = karp_luby(grounding.dnf, probs, epsilon, delta, rng, method)
+    run = karp_luby(
+        grounding.dnf, probs, epsilon, delta, rng, method, adaptive=adaptive
+    )
     return AdditiveEstimate(run.estimate, epsilon, delta, run.samples)
 
 
@@ -90,6 +95,7 @@ def _boolean_wrong_estimate(
     delta: float,
     rng: random.Random,
     method: str,
+    adaptive: bool = False,
 ) -> AdditiveEstimate:
     """Additive estimate of ``Pr[Wrong(psi)]`` for existential/universal psi.
 
@@ -107,7 +113,7 @@ def _boolean_wrong_estimate(
         )
     observed = FOQuery(target).evaluate(db.structure, ())
     probability = existential_probability(
-        db, target, epsilon, delta, rng, method
+        db, target, epsilon, delta, rng, method, adaptive=adaptive
     )
     wrong = 1.0 - probability.value if observed else probability.value
     return AdditiveEstimate(wrong, epsilon, delta, probability.samples)
@@ -120,6 +126,7 @@ def reliability_additive(
     delta: float,
     rng: random.Random,
     method: str = "coverage",
+    adaptive: bool = False,
 ) -> AdditiveEstimate:
     """Corollary 5.5: ``Pr[|M(D) - R_psi(D)| > epsilon] < delta``.
 
@@ -142,7 +149,7 @@ def reliability_additive(
     k = fo_query.arity
     if k == 0:
         estimate = _boolean_wrong_estimate(
-            db, fo_query.formula, epsilon, delta, rng, method
+            db, fo_query.formula, epsilon, delta, rng, method, adaptive
         )
         return AdditiveEstimate(
             1.0 - estimate.value, epsilon, delta, estimate.samples
@@ -158,7 +165,7 @@ def reliability_additive(
         checkpoint()
         instantiated = fo_query.instantiated(args)
         estimate = _boolean_wrong_estimate(
-            db, instantiated, per_epsilon, per_delta, rng, method
+            db, instantiated, per_epsilon, per_delta, rng, method, adaptive
         )
         total_wrong += estimate.value
         total_samples += estimate.samples

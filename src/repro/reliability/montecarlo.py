@@ -100,6 +100,7 @@ def estimate_truth_probability(
     args: Sequence[Any] = (),
     kernel: str = "auto",
     shards: int = 1,
+    adaptive: bool = False,
 ) -> float:
     """Estimate ``Pr[B |= psi(args)]`` by direct world sampling.
 
@@ -114,6 +115,14 @@ def estimate_truth_probability(
     ``"batched"`` raises if the query does not compile.  ``shards``
     fans batched sample batches out over worker processes
     (deterministic for a fixed seed regardless of shard count).
+
+    ``adaptive`` switches the batched kernel to the sequential
+    empirical-Bernstein stopper (:mod:`repro.runtime.adaptive`): same
+    additive (epsilon, delta) contract, but the run stops — and stops
+    charging the budget — as soon as the empirical variance certifies
+    it.  Adaptive draws follow their own fixed block schedule, so the
+    value differs from (while agreeing within guarantee with) the
+    fixed-budget value of the same seed.
     """
     kernel = _kernel_choice(kernel)
     query = as_query(query)
@@ -130,6 +139,14 @@ def estimate_truth_probability(
         if kernel != "scalar":
             plan = compile_truth_plan(db, query, args)
             if plan is not None:
+                if adaptive and plan.constant is None:
+                    from repro.runtime.adaptive import (
+                        adaptive_truth_estimate,
+                    )
+
+                    return adaptive_truth_estimate(
+                        plan, rng, budget, epsilon, delta
+                    )
                 return sample_truth_batches(
                     plan, rng, budget, delta, shards=shards
                 )
@@ -167,6 +184,7 @@ def estimate_reliability_hamming(
     samples: int = 0,
     kernel: str = "auto",
     shards: int = 1,
+    adaptive: bool = False,
 ) -> float:
     """Estimate ``R_psi`` by sampling worlds and averaging Hamming distance.
 
@@ -176,7 +194,9 @@ def estimate_reliability_hamming(
     ``1 - delta``.  ``rng`` may be a ``random.Random`` or a bare seed.
     ``kernel`` and ``shards`` select the batched bit-parallel loop as in
     :func:`estimate_truth_probability` (all ``n ** k`` per-tuple plans
-    share each sampled column batch).
+    share each sampled column batch); ``adaptive`` selects the
+    sequential empirical-Bernstein stopper on the batched path, as in
+    :func:`estimate_truth_probability`.
     """
     kernel = _kernel_choice(kernel)
     query = as_query(query)
@@ -192,6 +212,14 @@ def estimate_reliability_hamming(
         if kernel != "scalar":
             plan = compile_hamming_plan(db, query)
             if plan is not None:
+                if adaptive:
+                    from repro.runtime.adaptive import (
+                        adaptive_hamming_estimate,
+                    )
+
+                    return adaptive_hamming_estimate(
+                        plan, rng, budget, epsilon, delta
+                    )
                 return sample_hamming_batches(
                     plan, rng, budget, delta, shards=shards
                 )

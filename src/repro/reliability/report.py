@@ -134,6 +134,7 @@ def analyze(
     budget: Optional[Any] = None,
     cost_model: Optional[Any] = None,
     race: Optional[Any] = None,
+    adaptive: Optional[Any] = None,
 ) -> ReliabilityReport:
     """Classify, dispatch, compute — the one-call entry point.
 
@@ -152,6 +153,10 @@ def analyze(
     a ``run --race`` of the same request would hold: the recommended
     engine is then the predicted race *winner* and ``report.plan.race``
     carries the full :class:`~repro.runtime.costmodel.RaceForecast`.
+    ``adaptive`` makes the recommendation price the sequential
+    empirical-Bernstein stopper a ``run --adaptive`` would use: the
+    plan's sampling-engine forecasts then show expected versus
+    worst-case sample counts and surrogate-adjusted seconds.
     """
     query = as_query(query)
     formula = query.formula if isinstance(query, FOQuery) else None
@@ -247,6 +252,7 @@ def analyze(
         delta=delta,
         cost_model=cost_model,
         race=race,
+        adaptive=adaptive,
     )
 
     return ReliabilityReport(

@@ -36,6 +36,7 @@ ENGINE_MODULES: Tuple[str, ...] = (
     "repro.propositional.counting",
     "repro.kernels.sampling",
     "repro.kernels.gray",
+    "repro.runtime.adaptive",
     "repro.delta.session",
     "repro.delta.reground",
     "repro.delta.sampling",
@@ -60,6 +61,18 @@ EXEMPTIONS: Dict[Tuple[str, str], str] = {
     ),
     ("repro.kernels.sampling", "kl_batch"): (
         "per-batch worker; the driver charges checkpoint(samples=width)"
+    ),
+    ("repro.kernels.sampling", "hamming_block_moments"): (
+        "per-block worker; the adaptive controller checkpoints per chunk"
+    ),
+    ("repro.kernels.sampling", "kl_block_moments"): (
+        "per-block worker; the adaptive controller checkpoints per chunk"
+    ),
+    ("repro.runtime.adaptive", "block_layout"): (
+        "partitions an already-preflighted budget into fixed blocks"
+    ),
+    ("repro.runtime.adaptive", "check_grid"): (
+        "O(log blocks) doubling grid over an already-bounded budget"
     ),
     ("repro.kernels.sampling", "naive_batch_hits"): (
         "per-batch worker; the driver charges checkpoint(samples=width)"

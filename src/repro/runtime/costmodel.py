@@ -652,6 +652,11 @@ class EngineForecast:
     outcome: str
     predicted_seconds: float
     detail: str = ""
+    #: Sampling engines only, under ``plan_chain(..., adaptive=True)``:
+    #: the surrogate's expected draw count versus the worst-case bound
+    #: the preflight reserves.  ``None`` elsewhere.
+    expected_samples: Optional[int] = None
+    worst_samples: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -705,6 +710,15 @@ class ChainPlan:
                 f"[{forecast.guarantee}] "
                 f"~{forecast.predicted_seconds:.3g}s"
             )
+            if forecast.worst_samples is not None:
+                expected = forecast.expected_samples
+                if expected is not None and expected < forecast.worst_samples:
+                    line += (
+                        f" samples~{expected}/{forecast.worst_samples}"
+                        " expected/worst"
+                    )
+                else:
+                    line += f" samples<={forecast.worst_samples}"
             if forecast.detail:
                 line += f" — {forecast.detail}"
             lines.append(line)
@@ -1071,6 +1085,7 @@ def plan_chain(
     delta: float = 0.05,
     cost_model: Union[None, CostModel, str, "os.PathLike"] = None,
     race: Union[None, bool, float] = None,
+    adaptive: Union[None, bool] = None,
 ) -> ChainPlan:
     """Dry-run the fallback executor: predict its walk without running it.
 
@@ -1095,6 +1110,15 @@ def plan_chain(
     walk — the returned plan carries a :class:`RaceForecast` in
     ``plan.race``, ``selected`` is the predicted race winner, and each
     engine's forecast outcome is its predicted fate in the race.
+
+    ``adaptive`` mirrors the executor's parameter too: the cost model
+    is wrapped by the same surrogate adjustment
+    (:func:`repro.runtime.adaptive.surrogate_adjusted`), so predicted
+    seconds for the sampling engines reflect expected stopping while
+    sample-cap *preflights stay worst-case* — exactly what the real run
+    reserves, which is what keeps analyze/run engine selection in
+    lockstep.  Sampling-engine forecasts additionally carry
+    ``expected_samples``/``worst_samples``.
     """
     from repro.logic.safety import classify_dichotomy
     from repro.runtime.executor import (
@@ -1125,10 +1149,33 @@ def plan_chain(
         )
     budget = budget if budget is not None else active_budget()
     model = resolve_model(cost_model)
+    adaptive = bool(adaptive)
+    surrogate = None
+    if adaptive:
+        from repro.runtime.adaptive import (
+            active_surrogate,
+            surrogate_adjusted,
+        )
+
+        surrogate = active_surrogate()
+        if model is not None:
+            # Identical wrapping to run_with_fallback: analyze/run
+            # chain ordering cannot drift apart under adaptivity.
+            model = surrogate_adjusted(model, surrogate)
     features = plan_features(db, query, quantity, epsilon, delta)
     if model is not None:
         chain = model.order_chain(chain, features, quantity)
-    scorer = model if model is not None else CostModel()
+    if model is not None:
+        scorer = model
+    elif adaptive:
+        from repro.runtime.adaptive import surrogate_adjusted
+
+        # Display-side only: with no model there is no reordering to
+        # keep in agreement, but forecasts (and serve admission's
+        # deadline arithmetic) should still price expected stopping.
+        scorer = surrogate_adjusted(CostModel(), surrogate)
+    else:
+        scorer = CostModel()
     verdict = classify_dichotomy(query)
 
     if race is not None and race is not False:
@@ -1225,7 +1272,24 @@ def plan_chain(
                 db, query, quantity, epsilon, delta, budget, samples_used
             )
         samples_used += spent
-        forecasts.append(EngineForecast(name, tier, outcome, predicted, detail))
+        expected: Optional[int] = None
+        worst: Optional[int] = None
+        if name in ("karp_luby", "montecarlo") and spent > 0:
+            worst = spent
+            if surrogate is not None:
+                fraction = surrogate.expected_fraction(name)
+                expected = max(1, math.ceil(spent * fraction))
+        forecasts.append(
+            EngineForecast(
+                name,
+                tier,
+                outcome,
+                predicted,
+                detail,
+                expected_samples=expected,
+                worst_samples=worst,
+            )
+        )
         if outcome == "ok":
             selected = name
     return ChainPlan(

@@ -166,6 +166,9 @@ class _Request:
     epsilon: float
     delta: float
     rng: random.Random
+    #: Sequential empirical-Bernstein stopping for the sampling engines
+    #: (see :mod:`repro.runtime.adaptive`); exact engines ignore it.
+    adaptive: bool = False
 
 
 @dataclass(frozen=True)
@@ -232,10 +235,13 @@ def _engine_karp_luby(db, query, req: _Request) -> _Answer:
         raise QueryError("karp_luby engine requires a first-order query")
     if req.quantity == "probability":
         estimate = existential_probability(
-            db, query, req.epsilon, req.delta, req.rng
+            db, query, req.epsilon, req.delta, req.rng,
+            adaptive=req.adaptive,
         )
         return _Answer(estimate.value, "relative", req.epsilon, req.delta)
-    estimate = reliability_additive(db, query, req.epsilon, req.delta, req.rng)
+    estimate = reliability_additive(
+        db, query, req.epsilon, req.delta, req.rng, adaptive=req.adaptive
+    )
     return _Answer(estimate.value, "additive", req.epsilon, req.delta)
 
 
@@ -243,11 +249,13 @@ def _engine_montecarlo(db, query, req: _Request) -> _Answer:
     """Hoeffding world sampling: weakest guarantee, widest applicability."""
     if req.quantity == "probability":
         value = estimate_truth_probability(
-            db, query, req.rng, epsilon=req.epsilon, delta=req.delta
+            db, query, req.rng, epsilon=req.epsilon, delta=req.delta,
+            adaptive=req.adaptive,
         )
     else:
         value = estimate_reliability_hamming(
-            db, query, req.rng, epsilon=req.epsilon, delta=req.delta
+            db, query, req.rng, epsilon=req.epsilon, delta=req.delta,
+            adaptive=req.adaptive,
         )
     return _Answer(value, "additive", req.epsilon, req.delta)
 
@@ -407,6 +415,7 @@ def run_with_fallback(
     rng: RngLike = 0,
     cost_model=None,
     race: Union[bool, float, None] = False,
+    adaptive: Union[bool, None] = None,
 ) -> RuntimeResult:
     """Answer ``quantity`` for ``query``, degrading across ``chain``.
 
@@ -441,6 +450,16 @@ def run_with_fallback(
     ``[0, 1]`` sets the overlap fraction directly (0 launches
     everything at once).
 
+    ``adaptive`` (default off) switches the sampling engines to the
+    sequential empirical-Bernstein stopper of
+    :mod:`repro.runtime.adaptive`: same (epsilon, delta) contract, the
+    worst-case sample count as a never-exceeded cap, and the budget
+    only charged for samples actually drawn.  When a cost model is in
+    play it is wrapped so predicted seconds for the sampling engines
+    reflect the surrogate's expected stopping — identically in
+    :func:`repro.runtime.costmodel.plan_chain`, preserving analyze/run
+    agreement.
+
     Raises :class:`FallbackExhausted` (with the attempt log attached)
     when no engine in the chain produced an answer.
     """
@@ -462,6 +481,13 @@ def run_with_fallback(
             "use quantity='reliability' for k-ary queries"
         )
     model = costmodel.resolve_model(cost_model)
+    adaptive = bool(adaptive)
+    if adaptive and model is not None:
+        # plan_chain wraps identically, so analyze/run chain ordering
+        # cannot drift apart under adaptivity.
+        from repro.runtime.adaptive import surrogate_adjusted
+
+        model = surrogate_adjusted(model)
     features = None
     if model is not None or obs.enabled():
         features = costmodel.plan_features(db, query, quantity, epsilon, delta)
@@ -520,6 +546,7 @@ def run_with_fallback(
                     db, query, race_chain, run_budget,
                     quantity, epsilon, delta,
                     rng_base, model, features, overlap,
+                    adaptive=adaptive,
                 )
             except FallbackExhausted as exc:
                 raise FallbackExhausted(
@@ -556,7 +583,8 @@ def run_with_fallback(
                         share = remaining / (len(chain) - index)
                         attempt_scope = apply(run_budget.sliced(share))
                     request = _Request(
-                        quantity, epsilon, delta, _attempt_rng(rng_base, name)
+                        quantity, epsilon, delta,
+                        _attempt_rng(rng_base, name), adaptive,
                     )
                     with attempt_scope:
                         with obs.span("runtime.attempt", engine=name):

@@ -366,6 +366,7 @@ def run_race(
     model,
     features,
     overlap: float,
+    adaptive: bool = False,
 ):
     """Race ``chain`` speculatively; returns a ``RuntimeResult``.
 
@@ -403,6 +404,7 @@ def run_race(
         return _executor._Request(
             quantity, epsilon, delta,
             random.Random(f"{rng_base:x}:attempt:{name}"),
+            adaptive,
         )
 
     def make_body(racer: _Racer, share: Optional[float], headroom: Optional[int]):

@@ -137,6 +137,7 @@ def assess(
     ladder: DegradationLadder,
     budget: Budget,
     cost_model=None,
+    adaptive: bool = False,
 ) -> AdmissionDecision:
     """Decide one request's admission against the current backlog depth.
 
@@ -147,6 +148,11 @@ def assess(
     (``deadline_unmeetable``).  Malformed queries surface as
     ``invalid``.  The caller's budget is never consumed — the dry run
     is read-only, exactly as ``repro analyze`` is.
+
+    ``adaptive`` forwards to the ``plan_chain`` dry run: predicted
+    seconds for the sampling engines then price the surrogate's
+    expected early stopping, so a warm surrogate admits requests a
+    worst-case forecast would refuse under the same deadline.
     """
     tier = ladder.tier_for_depth(depth)
     filtered = tier_filter(chain, request.quantity, tier)
@@ -162,6 +168,7 @@ def assess(
             epsilon=request.epsilon,
             delta=request.delta,
             cost_model=cost_model,
+            adaptive=adaptive,
         )
     except QueryError as exc:
         return AdmissionDecision(rq.INVALID, tier, filtered, str(exc))

@@ -143,6 +143,7 @@ class Server:
         cost_model=None,
         scheduler=None,
         cache_dir=None,
+        adaptive: bool = False,
     ):
         if pool_size < 1:
             raise ResourceError(f"pool_size must be >= 1, got {pool_size}")
@@ -165,6 +166,10 @@ class Server:
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.cost_model = cost_model
+        #: Sequential empirical-Bernstein stopping for every request's
+        #: sampling engines, plus surrogate-priced admission forecasts
+        #: (see repro.runtime.adaptive).
+        self.adaptive = bool(adaptive)
         self.scheduler = scheduler if scheduler is not None else ThreadScheduler()
         self._backlog = Backlog(queue_capacity)
         self._running: Dict[int, _Ticket] = {}
@@ -292,6 +297,7 @@ class Server:
             self.ladder,
             budget,
             self.cost_model,
+            adaptive=self.adaptive,
         )
         ticket.tier = decision.tier
         ticket.chain = decision.chain
@@ -429,6 +435,7 @@ class Server:
         scheduler = self.scheduler
         worker_budget = ticket.worker_budget
         cost_model = self.cost_model
+        adaptive = self.adaptive
         # Each try gets its own derived generator: a retry re-samples
         # instead of deterministically replaying the failed draw, while
         # the derivation itself stays replayable from the request seed.
@@ -450,6 +457,7 @@ class Server:
                         rng=rng,
                         cost_model=cost_model,
                         race=race,
+                        adaptive=adaptive,
                     )
                     ticket.result = result
                     ticket.outcome = "ok"
